@@ -1,0 +1,548 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of SpotLight's design choices. Reported
+// metrics carry the headline numbers of each figure so that
+// `go test -bench=. -benchmem` reproduces the evaluation in one run:
+//
+//	BenchmarkTable2_1      — contract tradeoff table
+//	BenchmarkFigure2_1     — spot price vs on-demand trace
+//	BenchmarkFigure5_1a/b  — family and cross-zone price traces
+//	BenchmarkFigure5_2     — BidSpread intrinsic prices
+//	BenchmarkFigure5_3     — least bid to hold 1/3/6/12 h
+//	BenchmarkFigure5_4..12 — the Chapter 5 availability study
+//	BenchmarkFigure6_1/6_2 — the SpotCheck and SpotOn case studies
+//	BenchmarkAblation*     — market-based vs naive probing, threshold,
+//	                         sampling ratio, family fan-out
+package spotlight_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"spotlight/internal/analysis"
+	"spotlight/internal/core"
+	"spotlight/internal/experiment"
+	"spotlight/internal/market"
+	"spotlight/internal/query"
+	"spotlight/internal/store"
+)
+
+// The shared study behind the figure benchmarks: 6 simulated days over
+// the full catalog (the paper ran ~90 days; the shapes stabilize within
+// a week and the benchmarks stay fast).
+var (
+	studyOnce sync.Once
+	studySt   *experiment.Study
+	studyErr  error
+)
+
+func benchStudy(b *testing.B) *experiment.Study {
+	b.Helper()
+	studyOnce.Do(func() {
+		studySt, studyErr = experiment.Run(experiment.Config{Seed: 42, Days: 6})
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return studySt
+}
+
+func BenchmarkTable2_1(b *testing.B) {
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		rows = len(analysis.Table21Contracts())
+	}
+	b.ReportMetric(float64(rows), "contract_rows")
+}
+
+func BenchmarkFigure2_1(b *testing.B) {
+	st := benchStudy(b)
+	from, to := st.Window()
+	id := market.SpotID{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux}
+	b.ResetTimer()
+	var tr analysis.PriceTrace
+	for i := 0; i < b.N; i++ {
+		var err error
+		tr, err = analysis.Fig21PriceTrace(st.DB, st.Cat, id, from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*tr.AboveODFraction, "pct_samples_above_od")
+	b.ReportMetric(tr.Max/tr.OnDemandPrice, "max_price_x_od")
+}
+
+func BenchmarkFigure5_1a(b *testing.B) {
+	st := benchStudy(b)
+	from, to := st.Window()
+	ids := []market.SpotID{
+		{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux},
+		{Zone: "us-east-1d", Type: "c3.4xlarge", Product: market.ProductLinux},
+		{Zone: "us-east-1d", Type: "c3.8xlarge", Product: market.ProductLinux},
+	}
+	b.ResetTimer()
+	var trs []analysis.PriceTrace
+	for i := 0; i < b.N; i++ {
+		var err error
+		trs, err = analysis.Fig51Traces(st.DB, st.Cat, ids, from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The Fig 5.1a arbitrage observation: how often the 2xlarge
+	// out-priced the 8xlarge in absolute dollars.
+	inversions, samples := priceInversions(trs[0], trs[2])
+	b.ReportMetric(100*inversions, "pct_price_inversions")
+	b.ReportMetric(samples, "trace_points")
+}
+
+// priceInversions walks two traces and returns the fraction of hourly
+// samples where the smaller type cost more in dollars than the larger.
+func priceInversions(small, large analysis.PriceTrace) (frac, samples float64) {
+	if len(small.Points) == 0 || len(large.Points) == 0 {
+		return 0, 0
+	}
+	at := func(pts []store.PricePoint, t time.Time) float64 {
+		cur := pts[0].Price
+		for _, p := range pts {
+			if p.At.After(t) {
+				break
+			}
+			cur = p.Price
+		}
+		return cur
+	}
+	start := small.Points[0].At
+	end := small.Points[len(small.Points)-1].At
+	n, inv := 0, 0
+	for t := start; !t.After(end); t = t.Add(time.Hour) {
+		n++
+		if at(small.Points, t) > at(large.Points, t) {
+			inv++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(inv) / float64(n), float64(n)
+}
+
+func BenchmarkFigure5_1b(b *testing.B) {
+	st := benchStudy(b)
+	from, to := st.Window()
+	ids := []market.SpotID{
+		{Zone: "us-east-1a", Type: "c3.2xlarge", Product: market.ProductLinux},
+		{Zone: "us-east-1b", Type: "c3.2xlarge", Product: market.ProductLinux},
+		{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux},
+	}
+	b.ResetTimer()
+	var trs []analysis.PriceTrace
+	for i := 0; i < b.N; i++ {
+		var err error
+		trs, err = analysis.Fig51Traces(st.DB, st.Cat, ids, from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	spread := 0.0
+	for _, tr := range trs {
+		if tr.Max > spread {
+			spread = tr.Max
+		}
+	}
+	b.ReportMetric(spread/trs[0].OnDemandPrice, "max_zone_price_x_od")
+}
+
+func BenchmarkFigure5_2(b *testing.B) {
+	st := benchStudy(b)
+	var res analysis.Fig52
+	for i := 0; i < b.N; i++ {
+		res = analysis.Fig52IntrinsicPrice(st.DB, experiment.BidSpreadMarket())
+	}
+	b.ReportMetric(res.MeanAttempts, "mean_bid_attempts")
+	b.ReportMetric(100*res.PremiumFraction, "pct_searches_with_premium")
+}
+
+func BenchmarkFigure5_3(b *testing.B) {
+	st := benchStudy(b)
+	from, to := st.Window()
+	id := market.SpotID{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux}
+	b.ResetTimer()
+	var res analysis.Fig53
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = analysis.Fig53HoldPrices(st.DB, st.Cat, id, from, to, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Mean least bid to hold 12 hours, in on-demand multiples — the
+	// paper's point that holding needs a far higher bid than the spot
+	// price suggests.
+	mean12 := 0.0
+	for _, v := range res.HoldPrice[len(res.Hours)-1] {
+		mean12 += v
+	}
+	if n := len(res.HoldPrice[len(res.Hours)-1]); n > 0 {
+		mean12 /= float64(n)
+	}
+	b.ReportMetric(mean12/res.OnDemandPrice, "mean_hold12h_bid_x_od")
+}
+
+func BenchmarkFigure5_4(b *testing.B) {
+	st := benchStudy(b)
+	var res analysis.Fig54
+	for i := 0; i < b.N; i++ {
+		res = analysis.Fig54GlobalUnavailability(st.DB, nil)
+	}
+	b.ReportMetric(res.UnavailabilityPct[0][1], "pct_unavail_gt1x_w900")
+	b.ReportMetric(res.UnavailabilityPct[0][5], "pct_unavail_gt5x_w900")
+}
+
+func BenchmarkFigure5_5(b *testing.B) {
+	st := benchStudy(b)
+	var res analysis.Fig55
+	for i := 0; i < b.N; i++ {
+		res = analysis.Fig55RegionRejectShare(st.DB)
+	}
+	sa := 0.0
+	for i, r := range res.Regions {
+		if r == "sa-east-1" {
+			for _, v := range res.SharePct[i] {
+				sa += v
+			}
+		}
+	}
+	b.ReportMetric(sa, "sa_east_share_pct")
+	b.ReportMetric(float64(res.Total), "rejected_probes")
+}
+
+func BenchmarkFigure5_6(b *testing.B) {
+	st := benchStudy(b)
+	var res analysis.Fig56
+	for i := 0; i < b.N; i++ {
+		res = analysis.Fig56RegionUnavailability(st.DB, 0)
+	}
+	for i, r := range res.Regions {
+		switch r {
+		case "us-east-1":
+			b.ReportMetric(res.UnavailabilityPct[i][1], "us_east_pct_gt1x")
+		case "sa-east-1":
+			b.ReportMetric(res.UnavailabilityPct[i][1], "sa_east_pct_gt1x")
+		}
+	}
+}
+
+func BenchmarkFigure5_7(b *testing.B) {
+	st := benchStudy(b)
+	var res analysis.Fig57
+	for i := 0; i < b.N; i++ {
+		res = analysis.Fig57TriggerBreakdown(st.DB)
+	}
+	// Aggregate split across bins (paper: ~30% spikes / ~70% related).
+	var spikes, related float64
+	for bin, n := range res.Samples {
+		spikes += res.BySpikePct[bin] * float64(n) / 100
+		related += res.ByRelatedPct[bin] * float64(n) / 100
+	}
+	if total := spikes + related; total > 0 {
+		b.ReportMetric(100*spikes/total, "pct_by_spikes")
+		b.ReportMetric(100*related/total, "pct_by_related")
+	}
+}
+
+func BenchmarkFigure5_8(b *testing.B) {
+	st := benchStudy(b)
+	var res analysis.Fig58
+	for i := 0; i < b.N; i++ {
+		res = analysis.Fig58CrossAZ(st.DB, nil)
+	}
+	// 1-hour window at the lowest threshold (paper: ~24% falling to
+	// ~12.5% as spikes grow).
+	last := len(res.Windows) - 1
+	b.ReportMetric(res.ProbabilityPct[last][0], "pct_crossaz_1h_gt0")
+}
+
+func BenchmarkFigure5_9(b *testing.B) {
+	st := benchStudy(b)
+	var res analysis.Fig59
+	for i := 0; i < b.N; i++ {
+		res = analysis.Fig59OutageDurationCDF(st.DB)
+	}
+	b.ReportMetric(res.CDFPct[1], "pct_outages_under_1h")
+	b.ReportMetric(float64(len(res.Durations)), "outage_samples")
+}
+
+func BenchmarkFigure5_10(b *testing.B) {
+	st := benchStudy(b)
+	var res analysis.Fig510
+	for i := 0; i < b.N; i++ {
+		res = analysis.Fig510SpotUnavailability(st.DB)
+	}
+	b.ReportMetric(res.AllPct[0], "pct_cna_lowest_prices")
+	b.ReportMetric(res.AllPct[9], "pct_cna_near_od")
+}
+
+func BenchmarkFigure5_11(b *testing.B) {
+	st := benchStudy(b)
+	var res analysis.Fig511
+	for i := 0; i < b.N; i++ {
+		res = analysis.Fig511SpotInsufficiencyDist(st.DB)
+	}
+	b.ReportMetric(res.BelowODPct, "pct_rejections_below_od")
+	b.ReportMetric(float64(res.Total), "spot_rejections")
+}
+
+func BenchmarkFigure5_12(b *testing.B) {
+	st := benchStudy(b)
+	var res analysis.Fig512
+	for i := 0; i < b.N; i++ {
+		res = analysis.Fig512CrossKind(st.DB, nil)
+	}
+	last := len(res.Windows) - 1
+	b.ReportMetric(res.ODtoOD[last], "pct_od_od_1h")
+	b.ReportMetric(res.SpotToSpot[last], "pct_spot_spot_1h")
+	b.ReportMetric(res.ODToSpot[last], "pct_od_spot_1h")
+	b.ReportMetric(res.SpotToOD[last], "pct_spot_od_1h")
+}
+
+func BenchmarkFigure6_1(b *testing.B) {
+	st := benchStudy(b)
+	var rows []experiment.Fig61Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = st.RunSpotCheck()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worstNaive, worstInformed := 100.0, 100.0
+	for _, r := range rows {
+		if r.SpotCheckPct < worstNaive {
+			worstNaive = r.SpotCheckPct
+		}
+		if r.SpotLightPct < worstInformed {
+			worstInformed = r.SpotLightPct
+		}
+	}
+	b.ReportMetric(worstNaive, "worst_naive_availability_pct")
+	b.ReportMetric(worstInformed, "worst_spotlight_availability_pct")
+}
+
+func BenchmarkFigure6_2(b *testing.B) {
+	st := benchStudy(b)
+	var rows []experiment.Fig62Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = st.RunSpotOn(40)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worstInflation := 0.0
+	for _, r := range rows {
+		if infl := r.SpotOnHours / r.IdealHours; infl > worstInflation {
+			worstInflation = infl
+		}
+	}
+	b.ReportMetric(100*(worstInflation-1), "worst_naive_runtime_inflation_pct")
+}
+
+// Ablations ------------------------------------------------------------
+
+// ablationConfig runs a short, region-restricted study with a fixed probe
+// budget so policies are compared at equal spend.
+func ablationStudy(b *testing.B, mutate func(*core.Config)) *experiment.Study {
+	b.Helper()
+	slCfg := core.Config{
+		Budget:       2000, // dollars per day
+		BudgetWindow: 24 * time.Hour,
+	}
+	if mutate != nil {
+		mutate(&slCfg)
+	}
+	st, err := experiment.Run(experiment.Config{
+		Seed:      42,
+		Days:      2,
+		Regions:   []market.Region{"sa-east-1", "ap-southeast-2"},
+		Spotlight: slCfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// detectedOutageMinutes totals the detected on-demand outage time.
+func detectedOutageMinutes(st *experiment.Study) float64 {
+	total := 0.0
+	for _, o := range st.DB.Outages() {
+		if o.Kind != store.ProbeOnDemand {
+			continue
+		}
+		end := o.End
+		if end.IsZero() {
+			end = st.End
+		}
+		total += end.Sub(o.Start).Minutes()
+	}
+	return total
+}
+
+var (
+	ablOnce                 sync.Once
+	ablMarket, ablNaive     *experiment.Study
+	ablNoFamily, ablSampled *experiment.Study
+	ablThresholdHigh        *experiment.Study
+)
+
+func ablations(b *testing.B) {
+	b.Helper()
+	ablOnce.Do(func() {
+		ablMarket = ablationStudy(b, nil)
+		ablNaive = ablationStudy(b, func(c *core.Config) {
+			c.Threshold = 1000 // never triggers: no market signal
+			c.PeriodicODProbesPerDay = 2000
+		})
+		ablNoFamily = ablationStudy(b, func(c *core.Config) {
+			c.DisableFamilyProbing = true
+		})
+		ablSampled = ablationStudy(b, func(c *core.Config) {
+			c.SampleProb = 0.25
+		})
+		ablThresholdHigh = ablationStudy(b, func(c *core.Config) {
+			c.Threshold = 2.0
+		})
+	})
+}
+
+// BenchmarkAblationMarketVsNaive compares market-based probing against
+// naive periodic probing at equal budget: detected outage minutes per
+// thousand dollars spent (the paper's core efficiency claim).
+func BenchmarkAblationMarketVsNaive(b *testing.B) {
+	ablations(b)
+	var mkt, naive float64
+	for i := 0; i < b.N; i++ {
+		mkt = detectedOutageMinutes(ablMarket) / (ablMarket.Svc.Spent()/1000 + 1e-9)
+		naive = detectedOutageMinutes(ablNaive) / (ablNaive.Svc.Spent()/1000 + 1e-9)
+	}
+	b.ReportMetric(mkt, "market_outage_min_per_k$")
+	b.ReportMetric(naive, "naive_outage_min_per_k$")
+}
+
+// BenchmarkAblationFamilyProbing measures what the §3.2 related-market
+// fan-out contributes: detected outage minutes with and without it.
+func BenchmarkAblationFamilyProbing(b *testing.B) {
+	ablations(b)
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = detectedOutageMinutes(ablMarket)
+		without = detectedOutageMinutes(ablNoFamily)
+	}
+	b.ReportMetric(with, "with_family_outage_min")
+	b.ReportMetric(without, "without_family_outage_min")
+}
+
+// BenchmarkAblationSamplingRatio measures §3.4's p knob: spend and
+// detections at p=1 vs p=0.25.
+func BenchmarkAblationSamplingRatio(b *testing.B) {
+	ablations(b)
+	var full, sampled float64
+	for i := 0; i < b.N; i++ {
+		full = detectedOutageMinutes(ablMarket)
+		sampled = detectedOutageMinutes(ablSampled)
+	}
+	b.ReportMetric(full, "p1.0_outage_min")
+	b.ReportMetric(sampled, "p0.25_outage_min")
+	b.ReportMetric(ablMarket.Svc.Spent(), "p1.0_spend_$")
+	b.ReportMetric(ablSampled.Svc.Spent(), "p0.25_spend_$")
+}
+
+// BenchmarkAblationThreshold measures §3.4's T knob: T=1x vs T=2x.
+func BenchmarkAblationThreshold(b *testing.B) {
+	ablations(b)
+	var t1, t2 float64
+	for i := 0; i < b.N; i++ {
+		t1 = float64(ablMarket.Svc.Stats().ODProbes)
+		t2 = float64(ablThresholdHigh.Svc.Stats().ODProbes)
+	}
+	b.ReportMetric(t1, "t1x_od_probes")
+	b.ReportMetric(t2, "t2x_od_probes")
+	b.ReportMetric(detectedOutageMinutes(ablMarket), "t1x_outage_min")
+	b.ReportMetric(detectedOutageMinutes(ablThresholdHigh), "t2x_outage_min")
+}
+
+// BenchmarkDetectionScore evaluates the paper's detection claim: how much
+// of the platform's true unavailability SpotLight's probing recovered.
+func BenchmarkDetectionScore(b *testing.B) {
+	st := benchStudy(b)
+	var score experiment.DetectionScore
+	for i := 0; i < b.N; i++ {
+		var err error
+		score, err = st.DetectionScore()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*score.Precision, "precision_pct")
+	b.ReportMetric(100*score.Recall, "recall_pct")
+	b.ReportMetric(float64(score.DetectedOutages), "detected_outages")
+}
+
+// Microbenchmarks ------------------------------------------------------
+
+// BenchmarkSimStep measures one full-catalog simulator tick (all 4134
+// markets re-clear).
+func BenchmarkSimStep(b *testing.B) {
+	st, err := experiment.New(experiment.Config{Seed: 1, Days: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Sim.Step()
+	}
+}
+
+// BenchmarkServiceTick measures a simulator tick plus a full SpotLight
+// monitoring cycle over all nine regions.
+func BenchmarkServiceTick(b *testing.B) {
+	st, err := experiment.New(experiment.Config{Seed: 1, Days: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Sim.Step()
+		st.Svc.OnTick()
+	}
+}
+
+// BenchmarkQueryStable measures the paper's example query over a seeded
+// store.
+func BenchmarkQueryStable(b *testing.B) {
+	st := benchStudy(b)
+	from, to := st.Window()
+	engine := query.NewEngine(st.DB, st.Cat)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.TopStableMarkets("us-east-1", market.ProductLinux, 10, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryFallback measures the uncorrelated-fallback
+// recommendation.
+func BenchmarkQueryFallback(b *testing.B) {
+	st := benchStudy(b)
+	from, to := st.Window()
+	engine := query.NewEngine(st.DB, st.Cat)
+	id := market.SpotID{Zone: "us-east-1e", Type: "d2.8xlarge", Product: market.ProductLinux}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.RecommendFallback(id, 5, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

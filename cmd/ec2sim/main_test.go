@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator command test skipped in -short mode")
+	}
+	var sb strings.Builder
+	err := run([]string{"-days", "1", "-seed", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"price changes", "ground-truth on-demand outages", "region"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator command test skipped in -short mode")
+	}
+	var sb strings.Builder
+	err := run([]string{"-days", "1", "-seed", "4", "-trace"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x od)") {
+		t.Error("trace output missing price lines")
+	}
+}
+
+func TestRunRejectsBadMarket(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-market", "garbage"}, &sb); err == nil {
+		t.Error("malformed market accepted")
+	}
+}

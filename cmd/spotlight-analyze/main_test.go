@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+// writeSnapshot dumps a tiny synthetic store to disk.
+func writeSnapshot(t *testing.T) string {
+	t.Helper()
+	db := store.New()
+	m := market.SpotID{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux}
+	t0 := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	db.AppendSpike(store.SpikeEvent{At: t0, Market: m, Ratio: 2, Probed: true})
+	db.AppendProbe(store.ProbeRecord{
+		At: t0, Market: m, Kind: store.ProbeOnDemand,
+		Trigger: store.TriggerSpike, TriggerMarket: m, Rejected: true, Code: "x",
+	})
+	db.AppendProbe(store.ProbeRecord{
+		At: t0.Add(10 * time.Minute), Market: m, Kind: store.ProbeOnDemand,
+		Trigger: store.TriggerRecheck, TriggerMarket: m,
+	})
+	path := filepath.Join(t.TempDir(), "store.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := db.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeAllFigures(t *testing.T) {
+	path := writeSnapshot(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"loaded", "Fig 5.4", "Fig 5.12", "1 outages"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeSingleFigure(t *testing.T) {
+	path := writeSnapshot(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-fig", "5.9"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Fig 5.9") {
+		t.Error("missing requested figure")
+	}
+	if strings.Contains(out, "Fig 5.4") {
+		t.Error("printed figures beyond the requested one")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-in", "/nonexistent/store.json"}, &sb); err == nil {
+		t.Error("missing input accepted")
+	}
+	path := writeSnapshot(t)
+	if err := run([]string{"-in", path, "-fig", "99.9"}, &sb); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", garbage}, &sb); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}

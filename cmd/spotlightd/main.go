@@ -1,0 +1,115 @@
+// Command spotlightd runs the SpotLight information service as a daemon:
+// the cloud simulation advances in accelerated time in the background
+// while the query API (package query) is served over HTTP. This is the
+// deployment shape of the paper's prototype — a continuously running
+// information plane that applications query for availability data.
+//
+// Usage:
+//
+//	spotlightd [-addr :8080] [-seed 42] [-tick 5m] [-speed 300]
+//
+// With -speed 300, five simulated minutes (one tick) pass per wall-clock
+// second. Endpoints:
+//
+//	GET /v1/unavailability?market=zone:type:product&kind=od|spot&from=...&to=...
+//	GET /v1/stable?region=...&n=10&from=...&to=...
+//	GET /v1/fallback?market=...&n=5&from=...&to=...
+//	GET /v1/prices?market=...&from=...&to=...
+//	GET /v1/summary
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"spotlight/internal/experiment"
+	"spotlight/internal/query"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("spotlightd: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spotlightd", flag.ContinueOnError)
+	var (
+		addr  = fs.String("addr", ":8080", "HTTP listen address")
+		seed  = fs.Uint64("seed", 42, "simulation seed")
+		tick  = fs.Duration("tick", 5*time.Minute, "simulation tick")
+		speed = fs.Float64("speed", 300, "simulated seconds per wall second")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *speed <= 0 {
+		return errors.New("speed must be positive")
+	}
+
+	st, err := experiment.New(experiment.Config{Seed: *seed, Days: 1, Tick: *tick})
+	if err != nil {
+		return err
+	}
+
+	// The simulator and service are single-threaded by design; the
+	// driver goroutine owns them and the HTTP layer only touches the
+	// (concurrency-safe) store plus the clock under the mutex.
+	var mu sync.Mutex
+	interval := time.Duration(float64(*tick) / *speed)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				mu.Lock()
+				st.Sim.Step()
+				st.Svc.OnTick()
+				mu.Unlock()
+			}
+		}
+	}()
+
+	engine := query.NewEngine(st.DB, st.Cat)
+	api := query.NewAPI(engine, func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return st.Sim.Now()
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("spotlightd: serving on %s (tick %v, %gx real time)\n", *addr, *tick, *speed)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-speed", "not-a-number"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-speed", "0"}); err == nil {
+		t.Error("zero speed accepted")
+	}
+	if err := run([]string{"-speed", "-5"}); err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon startup test skipped in -short mode")
+	}
+	// ListenAndServe fails immediately on an unusable address and run
+	// returns the error.
+	if err := run([]string{"-addr", "256.256.256.256:99999"}); err == nil {
+		t.Error("unusable address accepted")
+	}
+}

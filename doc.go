@@ -1,0 +1,31 @@
+// Package spotlight is a from-scratch Go reproduction of "SpotLight: An
+// Information Service for the Cloud" (Ouyang; UMass Amherst / ICDCS 2016).
+//
+// SpotLight actively probes an IaaS cloud with requests for on-demand and
+// spot servers, uses spot-market price dynamics to decide when and where
+// to probe, and exposes the gathered availability data through a query
+// API that applications use to pick servers whose failures are not
+// correlated.
+//
+// The repository layout:
+//
+//   - internal/core        — the SpotLight service (the paper's contribution)
+//   - internal/cloud       — the EC2 simulator substrate (Fig 2.2 model)
+//   - internal/demand      — seeded demand processes driving the simulator
+//   - internal/market      — the 9-region / 26-zone / 53-type catalog
+//   - internal/store       — SpotLight's database
+//   - internal/query       — query engine + HTTP API
+//   - internal/analysis    — one function per paper table/figure
+//   - internal/experiment  — study harness and the Chapter 6 case studies
+//   - internal/spotcheck   — SpotCheck case study (Fig 6.1)
+//   - internal/spoton      — SpotOn case study + Eq 6.1 (Fig 6.2)
+//   - cmd/spotlight-study  — regenerate every table and figure
+//   - cmd/spotlightd       — run the service as an HTTP daemon
+//   - cmd/ec2sim           — inspect the simulator standalone
+//   - examples/            — runnable API walkthroughs
+//
+// The root-level benchmarks (bench_test.go) regenerate each table and
+// figure of the paper's evaluation; see EXPERIMENTS.md for paper-vs-
+// measured values and DESIGN.md for the system inventory and the
+// simulator-substitution rationale.
+package spotlight

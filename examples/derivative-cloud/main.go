@@ -1,0 +1,52 @@
+// Derivative-cloud example: a SpotCheck-style interactive service that
+// hosts nested VMs on spot servers and live-migrates to on-demand servers
+// on revocation. It compares the naive fallback (same market, assumed
+// always obtainable — the assumption the paper debunks) against a
+// SpotLight-informed fallback to an uncorrelated family, reproducing the
+// Fig 6.1 effect.
+//
+//	go run ./examples/derivative-cloud
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spotlight/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	st, err := experiment.Run(experiment.Config{Seed: 21, Days: 7})
+	if err != nil {
+		return err
+	}
+
+	rows, err := st.RunSpotCheck()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("SpotCheck-style derivative cloud availability over one simulated week")
+	fmt.Println("(naive = fall back to the same market's on-demand tier; informed =")
+	fmt.Println(" fall back to the uncorrelated market SpotLight recommends)")
+	fmt.Println()
+	for _, r := range rows {
+		verdict := "ok"
+		if r.FailedFails > 0 {
+			verdict = fmt.Sprintf("%d failovers hit unavailable on-demand pools", r.FailedFails)
+		}
+		fmt.Printf("%-42s naive %6.2f%%  informed %6.2f%%  (%d revocations; %s)\n",
+			r.Market, r.SpotCheckPct, r.SpotLightPct, r.Revocations, verdict)
+	}
+	fmt.Println()
+	fmt.Println("The paper's observation: revocations happen exactly when the spot price")
+	fmt.Println("spikes past the on-demand price — which is exactly when the same pool's")
+	fmt.Println("on-demand tier is most likely to be sold out (§6.1).")
+	return nil
+}

@@ -1,0 +1,68 @@
+// Quickstart: run a short SpotLight study against the simulated cloud and
+// ask the information service the paper's canonical question — which spot
+// markets were the most stable over the past week, and how available was a
+// given market's on-demand tier?
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spotlight/internal/experiment"
+	"spotlight/internal/market"
+	"spotlight/internal/query"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One simulated week of monitoring all ~4500 markets.
+	st, err := experiment.Run(experiment.Config{Seed: 7, Days: 7})
+	if err != nil {
+		return err
+	}
+	from, to := st.Window()
+	fmt.Printf("monitored %d markets for %v: %d probes, %d price spikes, $%.0f spent\n\n",
+		len(st.Cat.SpotMarkets()), to.Sub(from), st.DB.ProbeCount(), len(st.DB.Spikes()), st.Svc.Spent())
+
+	engine := query.NewEngine(st.DB, st.Cat)
+
+	// The paper's example query (Chapter 3): "the top ten server types
+	// with the longest mean-time-to-revocation for a bid price equal to
+	// the corresponding on-demand price over the past week".
+	stable, err := engine.TopStableMarkets("us-east-1", market.ProductLinux, 10, from, to)
+	if err != nil {
+		return err
+	}
+	fmt.Println("most stable us-east-1 Linux spot markets (bid = on-demand price):")
+	for i, row := range stable {
+		fmt.Printf("%2d. %-42s mttr>=%v crossings=%d\n",
+			i+1, row.Market, row.MTTR.Round(time.Hour), row.Crossings)
+	}
+
+	// How available was a specific on-demand market?
+	target := market.SpotID{Zone: "sa-east-1a", Type: "d2.8xlarge", Product: market.ProductLinux}
+	unav, err := engine.ODUnavailability(target, from, to)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\non-demand availability of %s: %.3f%%\n", target, 100*(1-unav))
+
+	// And where should an application running there fail over to?
+	fallbacks, err := engine.RecommendFallback(target, 3, from, to)
+	if err != nil {
+		return err
+	}
+	fmt.Println("recommended uncorrelated fallback markets:")
+	for _, fb := range fallbacks {
+		fmt.Printf("  %-42s od-unavailability=%.4f%%\n", fb.Market, 100*fb.ODUnavailability)
+	}
+	return nil
+}

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+// spikeOutcome pairs a spike with whether a detected on-demand outage of
+// its market followed within a window.
+type spikeOutcome struct {
+	at         time.Time
+	market     market.SpotID
+	ratio      float64
+	correlated bool
+}
+
+// correlateSpikes joins the spike stream with the detected od outage
+// intervals: a spike is "correlated" when its market has a detected
+// outage overlapping [spike, spike+window]. Per the Fig 5.4 caption,
+// multiple correlated spikes of one market within one window are counted
+// once (the first).
+func correlateSpikes(db *store.Store, window time.Duration) []spikeOutcome {
+	outagesByMarket := make(map[market.SpotID][]store.OutageRecord)
+	for _, o := range db.Outages() {
+		if o.Kind != store.ProbeOnDemand {
+			continue
+		}
+		outagesByMarket[o.Market] = append(outagesByMarket[o.Market], o)
+	}
+
+	spikes := db.Spikes()
+	sort.Slice(spikes, func(i, j int) bool { return spikes[i].At.Before(spikes[j].At) })
+
+	lastCounted := make(map[market.SpotID]time.Time)
+	var out []spikeOutcome
+	for _, sp := range spikes {
+		correlated := false
+		for _, o := range outagesByMarket[sp.Market] {
+			if o.Overlaps(sp.At, sp.At.Add(window)) {
+				correlated = true
+				break
+			}
+		}
+		if correlated {
+			if last, ok := lastCounted[sp.Market]; ok && sp.At.Sub(last) < window {
+				continue // cluster: only the first correlated spike counts
+			}
+			lastCounted[sp.Market] = sp.At
+		}
+		out = append(out, spikeOutcome{
+			at: sp.At, market: sp.Market, ratio: sp.Ratio, correlated: correlated,
+		})
+	}
+	return out
+}
+
+// Fig54 is the global spike-size vs on-demand-unavailability relationship
+// (Fig 5.4): for each clustering window and each cumulative spike
+// threshold, the percentage of spikes followed by a detected on-demand
+// outage.
+type Fig54 struct {
+	Thresholds []float64
+	Windows    []time.Duration
+	// UnavailabilityPct[w][t] is the probability (in percent) that a
+	// spike with ratio > Thresholds[t] correlated with unavailability,
+	// within Windows[w].
+	UnavailabilityPct [][]float64
+	// Samples[w][t] is the number of spikes in the cell.
+	Samples [][]int
+}
+
+// Fig54GlobalUnavailability computes Fig 5.4 over the whole store.
+func Fig54GlobalUnavailability(db *store.Store, windows []time.Duration) Fig54 {
+	if len(windows) == 0 {
+		windows = Fig54Windows
+	}
+	res := Fig54{
+		Thresholds:        SpikeThresholds,
+		Windows:           windows,
+		UnavailabilityPct: make([][]float64, len(windows)),
+		Samples:           make([][]int, len(windows)),
+	}
+	for wi, w := range windows {
+		outcomes := correlateSpikes(db, w)
+		res.UnavailabilityPct[wi] = make([]float64, len(SpikeThresholds))
+		res.Samples[wi] = make([]int, len(SpikeThresholds))
+		for ti, t := range SpikeThresholds {
+			total, corr := 0, 0
+			for _, oc := range outcomes {
+				if oc.ratio <= t {
+					continue
+				}
+				total++
+				if oc.correlated {
+					corr++
+				}
+			}
+			res.Samples[wi][ti] = total
+			if total > 0 {
+				res.UnavailabilityPct[wi][ti] = 100 * float64(corr) / float64(total)
+			}
+		}
+	}
+	return res
+}
+
+// Fig56 is the per-region variant (Fig 5.6) at one window.
+type Fig56 struct {
+	Thresholds []float64
+	Regions    []market.Region
+	// UnavailabilityPct[r][t], as in Fig54.
+	UnavailabilityPct [][]float64
+	Samples           [][]int
+}
+
+// Fig56RegionUnavailability computes Fig 5.6 (default window 900 s).
+func Fig56RegionUnavailability(db *store.Store, window time.Duration) Fig56 {
+	if window <= 0 {
+		window = 900 * time.Second
+	}
+	outcomes := correlateSpikes(db, window)
+	regionSet := make(map[market.Region]bool)
+	for _, oc := range outcomes {
+		regionSet[oc.market.Region()] = true
+	}
+	var regions []market.Region
+	for r := range regionSet {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+
+	res := Fig56{
+		Thresholds:        SpikeThresholds,
+		Regions:           regions,
+		UnavailabilityPct: make([][]float64, len(regions)),
+		Samples:           make([][]int, len(regions)),
+	}
+	for ri, r := range regions {
+		res.UnavailabilityPct[ri] = make([]float64, len(SpikeThresholds))
+		res.Samples[ri] = make([]int, len(SpikeThresholds))
+		for ti, t := range SpikeThresholds {
+			total, corr := 0, 0
+			for _, oc := range outcomes {
+				if oc.market.Region() != r || oc.ratio <= t {
+					continue
+				}
+				total++
+				if oc.correlated {
+					corr++
+				}
+			}
+			res.Samples[ri][ti] = total
+			if total > 0 {
+				res.UnavailabilityPct[ri][ti] = 100 * float64(corr) / float64(total)
+			}
+		}
+	}
+	return res
+}
+
+// Fig55 is the regional distribution of rejected spike-triggered probes
+// over spike-size range bins (Fig 5.5), as percentages of all rejected
+// spike-triggered probes.
+type Fig55 struct {
+	BinLabels []string
+	Regions   []market.Region
+	// SharePct[r][b] is region r's share (percent of the global total)
+	// of rejected probes whose trigger spike fell in bin b.
+	SharePct [][]float64
+	Total    int
+}
+
+// Fig55RegionRejectShare computes Fig 5.5.
+func Fig55RegionRejectShare(db *store.Store) Fig55 {
+	rejected := db.ProbesWhere(func(r store.ProbeRecord) bool {
+		return r.Kind == store.ProbeOnDemand && r.Rejected && r.Trigger == store.TriggerSpike
+	})
+	counts := make(map[market.Region][]int)
+	for _, p := range rejected {
+		r := p.Market.Region()
+		if counts[r] == nil {
+			counts[r] = make([]int, len(spikeRanges))
+		}
+		counts[r][spikeRangeIndex(p.SpikeRatio)]++
+	}
+	var regions []market.Region
+	for r := range counts {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+
+	res := Fig55{
+		BinLabels: SpikeRangeLabels(),
+		Regions:   regions,
+		SharePct:  make([][]float64, len(regions)),
+		Total:     len(rejected),
+	}
+	for ri, r := range regions {
+		res.SharePct[ri] = make([]float64, len(spikeRanges))
+		for b, c := range counts[r] {
+			if res.Total > 0 {
+				res.SharePct[ri][b] = 100 * float64(c) / float64(res.Total)
+			}
+		}
+	}
+	return res
+}
+
+// Fig57 splits rejected on-demand probes by what triggered them: the spot
+// price spike itself versus the related-market fan-out (Fig 5.7).
+type Fig57 struct {
+	BinLabels []string
+	// BySpikePct[b] and ByRelatedPct[b] sum to 100 within a bin that has
+	// data.
+	BySpikePct   []float64
+	ByRelatedPct []float64
+	Samples      []int
+}
+
+// Fig57TriggerBreakdown computes Fig 5.7.
+func Fig57TriggerBreakdown(db *store.Store) Fig57 {
+	spike := make([]int, len(spikeRanges))
+	related := make([]int, len(spikeRanges))
+	for _, p := range db.Probes() {
+		if p.Kind != store.ProbeOnDemand || !p.Rejected {
+			continue
+		}
+		switch p.Trigger {
+		case store.TriggerSpike:
+			spike[spikeRangeIndex(p.SpikeRatio)]++
+		case store.TriggerRelatedSameZone, store.TriggerRelatedOtherZone:
+			if p.SourceKind == store.ProbeOnDemand {
+				related[spikeRangeIndex(p.SpikeRatio)]++
+			}
+		}
+	}
+	res := Fig57{
+		BinLabels:    SpikeRangeLabels(),
+		BySpikePct:   make([]float64, len(spikeRanges)),
+		ByRelatedPct: make([]float64, len(spikeRanges)),
+		Samples:      make([]int, len(spikeRanges)),
+	}
+	for b := range spikeRanges {
+		n := spike[b] + related[b]
+		res.Samples[b] = n
+		if n > 0 {
+			res.BySpikePct[b] = 100 * float64(spike[b]) / float64(n)
+			res.ByRelatedPct[b] = 100 * float64(related[b]) / float64(n)
+		}
+	}
+	return res
+}
+
+// Fig58 is the cross-availability-zone coupling (Fig 5.8): after a
+// spike-triggered detection, the probability that at least one related
+// on-demand market in another availability zone was also detected
+// unavailable within a window.
+type Fig58 struct {
+	Thresholds []float64
+	Windows    []time.Duration
+	// ProbabilityPct[w][t].
+	ProbabilityPct [][]float64
+	Samples        [][]int
+}
+
+// Fig58CrossAZ computes Fig 5.8.
+func Fig58CrossAZ(db *store.Store, windows []time.Duration) Fig58 {
+	if len(windows) == 0 {
+		windows = Fig58Windows
+	}
+	detections := db.ProbesWhere(func(r store.ProbeRecord) bool {
+		return r.Kind == store.ProbeOnDemand && r.Rejected && r.Trigger == store.TriggerSpike
+	})
+	// Index the cross-zone related rejections by trigger market.
+	crossRejects := make(map[market.SpotID][]time.Time)
+	for _, p := range db.Probes() {
+		if p.Kind != store.ProbeOnDemand || !p.Rejected {
+			continue
+		}
+		if p.Trigger != store.TriggerRelatedOtherZone || p.SourceKind != store.ProbeOnDemand {
+			continue
+		}
+		crossRejects[p.TriggerMarket] = append(crossRejects[p.TriggerMarket], p.At)
+	}
+
+	res := Fig58{
+		Thresholds:     SpikeThresholds,
+		Windows:        windows,
+		ProbabilityPct: make([][]float64, len(windows)),
+		Samples:        make([][]int, len(windows)),
+	}
+	for wi, w := range windows {
+		res.ProbabilityPct[wi] = make([]float64, len(SpikeThresholds))
+		res.Samples[wi] = make([]int, len(SpikeThresholds))
+		for ti, t := range SpikeThresholds {
+			total, hits := 0, 0
+			for _, d := range detections {
+				if d.SpikeRatio <= t {
+					continue
+				}
+				total++
+				for _, at := range crossRejects[d.Market] {
+					if !at.Before(d.At) && at.Sub(d.At) <= w {
+						hits++
+						break
+					}
+				}
+			}
+			res.Samples[wi][ti] = total
+			if total > 0 {
+				res.ProbabilityPct[wi][ti] = 100 * float64(hits) / float64(total)
+			}
+		}
+	}
+	return res
+}
+
+// Fig59 is the CDF of detected on-demand outage durations (Fig 5.9).
+type Fig59 struct {
+	// HourMarks is the log-scaled duration grid of the paper's x-axis.
+	HourMarks []float64
+	// CDFPct[i] = percentage of outages with duration <= HourMarks[i].
+	CDFPct []float64
+	// Durations are the underlying sorted samples.
+	Durations []time.Duration
+}
+
+// Fig59OutageDurationCDF computes Fig 5.9 from the completed detected
+// outages.
+func Fig59OutageDurationCDF(db *store.Store) Fig59 {
+	var durs []time.Duration
+	for _, o := range db.Outages() {
+		if o.Kind != store.ProbeOnDemand || o.End.IsZero() {
+			continue
+		}
+		durs = append(durs, o.End.Sub(o.Start))
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+
+	marks := []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+	res := Fig59{HourMarks: marks, CDFPct: make([]float64, len(marks)), Durations: durs}
+	if len(durs) == 0 {
+		return res
+	}
+	for i, h := range marks {
+		cut := time.Duration(h * float64(time.Hour))
+		n := sort.Search(len(durs), func(k int) bool { return durs[k] > cut })
+		res.CDFPct[i] = 100 * float64(n) / float64(len(durs))
+	}
+	return res
+}

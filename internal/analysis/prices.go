@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"errors"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+// ErrNoTrace is returned when a price-trace analysis targets a market the
+// study did not record densely.
+var ErrNoTrace = errors.New("analysis: no recorded price trace for market")
+
+// PriceTrace is one market's recorded price series with its on-demand
+// reference, the raw material of Figs 2.1 and 5.1.
+type PriceTrace struct {
+	Market        market.SpotID
+	OnDemandPrice float64
+	Points        []store.PricePoint
+	// AboveODFraction is the *time-weighted* share of the trace spent
+	// above the on-demand price (Fig 2.1's observation that spot
+	// periodically exceeds on-demand). Change points cluster during
+	// volatility, so a per-sample fraction would be badly biased.
+	AboveODFraction float64
+	Max             float64
+	Min             float64
+}
+
+// Fig21PriceTrace extracts a watched market's price trace over a window.
+func Fig21PriceTrace(db *store.Store, cat *market.Catalog, id market.SpotID, from, to time.Time) (PriceTrace, error) {
+	od, err := cat.SpotODPrice(id)
+	if err != nil {
+		return PriceTrace{}, err
+	}
+	var pts []store.PricePoint
+	for _, p := range db.Prices(id) {
+		if p.At.Before(from) || p.At.After(to) {
+			continue
+		}
+		pts = append(pts, p)
+	}
+	if len(pts) == 0 {
+		return PriceTrace{}, ErrNoTrace
+	}
+	tr := PriceTrace{Market: id, OnDemandPrice: od, Points: pts, Min: pts[0].Price, Max: pts[0].Price}
+	var aboveDur, totalDur time.Duration
+	for i, p := range pts {
+		if p.Price > tr.Max {
+			tr.Max = p.Price
+		}
+		if p.Price < tr.Min {
+			tr.Min = p.Price
+		}
+		// Each change point holds until the next one (or the window end).
+		end := to
+		if i+1 < len(pts) {
+			end = pts[i+1].At
+		}
+		hold := end.Sub(p.At)
+		if hold < 0 {
+			hold = 0
+		}
+		totalDur += hold
+		if p.Price > od {
+			aboveDur += hold
+		}
+	}
+	if totalDur > 0 {
+		tr.AboveODFraction = float64(aboveDur) / float64(totalDur)
+	}
+	return tr, nil
+}
+
+// Fig51Traces extracts several markets' traces over one window (Fig 5.1a
+// compares sizes within a family; Fig 5.1b compares zones for one type).
+func Fig51Traces(db *store.Store, cat *market.Catalog, ids []market.SpotID, from, to time.Time) ([]PriceTrace, error) {
+	out := make([]PriceTrace, 0, len(ids))
+	for _, id := range ids {
+		tr, err := Fig21PriceTrace(db, cat, id, from, to)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// Fig52 is the intrinsic-price comparison (Fig 5.2): BidSpread's
+// discovered winning bids against the published prices at search time.
+type Fig52 struct {
+	Market  market.SpotID
+	Records []store.BidSpreadRecord
+	// MeanAttempts should land in the paper's "average 2-3" range.
+	MeanAttempts float64
+	// PremiumFraction is the share of searches where the winning bid
+	// exceeded the published price.
+	PremiumFraction float64
+}
+
+// Fig52IntrinsicPrice computes Fig 5.2 for one market.
+func Fig52IntrinsicPrice(db *store.Store, id market.SpotID) Fig52 {
+	var recs []store.BidSpreadRecord
+	for _, r := range db.BidSpreads() {
+		if r.Market == id {
+			recs = append(recs, r)
+		}
+	}
+	res := Fig52{Market: id, Records: recs}
+	if len(recs) == 0 {
+		return res
+	}
+	attempts, premium := 0, 0
+	for _, r := range recs {
+		attempts += r.Attempts
+		if r.Intrinsic > r.Published {
+			premium++
+		}
+	}
+	res.MeanAttempts = float64(attempts) / float64(len(recs))
+	res.PremiumFraction = float64(premium) / float64(len(recs))
+	return res
+}
+
+// Fig53 is the least-bid-to-hold analysis (Fig 5.3): for each start time,
+// the minimum bid that would have kept a spot instance alive for h hours
+// equals the maximum spot price over [t, t+h].
+type Fig53 struct {
+	Market        market.SpotID
+	OnDemandPrice float64
+	Hours         []int
+	// Times are the sampled start instants; HoldPrice[h][i] is the least
+	// winning bid for Hours[h] starting at Times[i]; Spot[i] is the spot
+	// price at Times[i].
+	Times     []time.Time
+	Spot      []float64
+	HoldPrice [][]float64
+}
+
+// Fig53HoldPrices computes Fig 5.3 over a trace window, sampling start
+// times on the given stride (default 1 hour).
+func Fig53HoldPrices(db *store.Store, cat *market.Catalog, id market.SpotID, from, to time.Time, hours []int, stride time.Duration) (Fig53, error) {
+	if len(hours) == 0 {
+		hours = []int{1, 3, 6, 12}
+	}
+	if stride <= 0 {
+		stride = time.Hour
+	}
+	od, err := cat.SpotODPrice(id)
+	if err != nil {
+		return Fig53{}, err
+	}
+	pts := db.Prices(id)
+	if len(pts) == 0 {
+		return Fig53{}, ErrNoTrace
+	}
+
+	// priceAt walks the step function defined by the change points.
+	priceAt := func(t time.Time) float64 {
+		cur := pts[0].Price
+		for _, p := range pts {
+			if p.At.After(t) {
+				break
+			}
+			cur = p.Price
+		}
+		return cur
+	}
+	maxIn := func(a, b time.Time) float64 {
+		m := priceAt(a)
+		for _, p := range pts {
+			if p.At.Before(a) || p.At.After(b) {
+				continue
+			}
+			if p.Price > m {
+				m = p.Price
+			}
+		}
+		return m
+	}
+
+	res := Fig53{Market: id, OnDemandPrice: od, Hours: hours}
+	res.HoldPrice = make([][]float64, len(hours))
+	for t := from; !t.After(to); t = t.Add(stride) {
+		res.Times = append(res.Times, t)
+		res.Spot = append(res.Spot, priceAt(t))
+	}
+	for hi, h := range hours {
+		res.HoldPrice[hi] = make([]float64, len(res.Times))
+		for i, t := range res.Times {
+			end := t.Add(time.Duration(h) * time.Hour)
+			if end.After(to) {
+				end = to
+			}
+			res.HoldPrice[hi][i] = maxIn(t, end)
+		}
+	}
+	return res, nil
+}
+
+// ContractRow is one row of Table 2.1.
+type ContractRow struct {
+	Contract      string
+	Cost          string
+	Revocable     string
+	Availability  string
+	Obtainability string
+}
+
+// Table21Contracts returns the paper's Table 2.1 verbatim: the cost and
+// characteristic tradeoffs of the contract types the platform sells.
+func Table21Contracts() []ContractRow {
+	return []ContractRow{
+		{"On-demand", "High", "No", "High", "Not Guaranteed"},
+		{"Reserved", "High", "No", "High", "Guaranteed"},
+		{"Spot", "Low", "Yes", "Variable", "Not Guaranteed"},
+		{"Spot Blocks", "Medium", "No", "Variable", "Not Guaranteed"},
+	}
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// Rendering helpers: each figure result renders itself as an aligned text
+// table so the study command regenerates the paper's figures as terminal
+// output and EXPERIMENTS.md material.
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func windowLabel(d time.Duration) string {
+	return fmt.Sprintf("%ds", int(d.Seconds()))
+}
+
+// WriteText renders Fig 5.4.
+func (f Fig54) WriteText(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprint(tw, "window")
+	for _, t := range f.Thresholds {
+		fmt.Fprintf(tw, "\t%s", SpikeThresholdLabel(t))
+	}
+	fmt.Fprintln(tw)
+	for wi, win := range f.Windows {
+		fmt.Fprintf(tw, "<=%s", windowLabel(win))
+		for ti := range f.Thresholds {
+			fmt.Fprintf(tw, "\t%.2f", f.UnavailabilityPct[wi][ti])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteText renders Fig 5.5.
+func (f Fig55) WriteText(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprint(tw, "region")
+	for _, b := range f.BinLabels {
+		fmt.Fprintf(tw, "\t%s", b)
+	}
+	fmt.Fprintln(tw)
+	for ri, r := range f.Regions {
+		fmt.Fprint(tw, string(r))
+		for b := range f.BinLabels {
+			fmt.Fprintf(tw, "\t%.2f", f.SharePct[ri][b])
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintf(tw, "(total rejected spike-triggered probes: %d)\n", f.Total)
+	return tw.Flush()
+}
+
+// WriteText renders Fig 5.6.
+func (f Fig56) WriteText(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprint(tw, "region")
+	for _, t := range f.Thresholds {
+		fmt.Fprintf(tw, "\t%s", SpikeThresholdLabel(t))
+	}
+	fmt.Fprintln(tw)
+	for ri, r := range f.Regions {
+		fmt.Fprint(tw, string(r))
+		for ti := range f.Thresholds {
+			fmt.Fprintf(tw, "\t%.2f", f.UnavailabilityPct[ri][ti])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteText renders Fig 5.7.
+func (f Fig57) WriteText(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "bin\tby_price_spikes%\tby_related_markets%\tsamples")
+	for b, label := range f.BinLabels {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%d\n", label, f.BySpikePct[b], f.ByRelatedPct[b], f.Samples[b])
+	}
+	return tw.Flush()
+}
+
+// WriteText renders Fig 5.8.
+func (f Fig58) WriteText(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprint(tw, "window")
+	for _, t := range f.Thresholds {
+		fmt.Fprintf(tw, "\t%s", SpikeThresholdLabel(t))
+	}
+	fmt.Fprintln(tw)
+	for wi, win := range f.Windows {
+		fmt.Fprintf(tw, "<=%s", windowLabel(win))
+		for ti := range f.Thresholds {
+			fmt.Fprintf(tw, "\t%.2f", f.ProbabilityPct[wi][ti])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteText renders Fig 5.9.
+func (f Fig59) WriteText(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "duration_hours\tcdf%")
+	for i, h := range f.HourMarks {
+		fmt.Fprintf(tw, "%g\t%.2f\n", h, f.CDFPct[i])
+	}
+	fmt.Fprintf(tw, "(samples: %d)\n", len(f.Durations))
+	return tw.Flush()
+}
+
+// WriteText renders Fig 5.10.
+func (f Fig510) WriteText(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprint(tw, "region")
+	for _, b := range f.BinLabels {
+		fmt.Fprintf(tw, "\t%s", b)
+	}
+	fmt.Fprintln(tw)
+	for ri, r := range f.Regions {
+		fmt.Fprint(tw, string(r))
+		for b := range f.BinLabels {
+			fmt.Fprintf(tw, "\t%.2f", f.UnavailabilityPct[ri][b])
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "all")
+	for b := range f.BinLabels {
+		fmt.Fprintf(tw, "\t%.2f", f.AllPct[b])
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+// WriteText renders Fig 5.11.
+func (f Fig511) WriteText(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprint(tw, "region")
+	for _, b := range f.BinLabels {
+		fmt.Fprintf(tw, "\t%s", b)
+	}
+	fmt.Fprintln(tw)
+	for ri, r := range f.Regions {
+		fmt.Fprint(tw, string(r))
+		for b := range f.BinLabels {
+			fmt.Fprintf(tw, "\t%.2f", f.SharePct[ri][b])
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintf(tw, "(total spot rejections: %d; below on-demand price: %.1f%%)\n",
+		f.Total, f.BelowODPct)
+	return tw.Flush()
+}
+
+// WriteText renders Fig 5.12.
+func (f Fig512) WriteText(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "window\tod-od%\tspot-spot%\tod-spot%\tspot-od%")
+	for wi, win := range f.Windows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			windowLabel(win), f.ODtoOD[wi], f.SpotToSpot[wi], f.ODToSpot[wi], f.SpotToOD[wi])
+	}
+	fmt.Fprintf(tw, "(detections: od=%d spot=%d)\n", f.ODDetections, f.SpotDetections)
+	return tw.Flush()
+}
+
+// WriteText renders a price trace summary (Figs 2.1/5.1).
+func (tr PriceTrace) WriteText(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"%s: %d points, od=$%.4f, min=$%.4f max=$%.4f, above-od %.2f%% of the time\n",
+		tr.Market, len(tr.Points), tr.OnDemandPrice, tr.Min, tr.Max, 100*tr.AboveODFraction)
+	return err
+}
+
+// WriteText renders Fig 5.2.
+func (f Fig52) WriteText(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "market %s: %d searches, mean attempts %.2f, premium in %.1f%% of searches\n",
+		f.Market, len(f.Records), f.MeanAttempts, 100*f.PremiumFraction)
+	fmt.Fprintln(tw, "at\tpublished\tintrinsic\tattempts")
+	for _, r := range f.Records {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%d\n",
+			r.At.Format("01-02 15:04"), r.Published, r.Intrinsic, r.Attempts)
+	}
+	return tw.Flush()
+}
+
+// WriteText renders Fig 5.3 (summarized per holding period).
+func (f Fig53) WriteText(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintf(tw, "market %s (od=$%.4f), %d sampled start times\n",
+		f.Market, f.OnDemandPrice, len(f.Times))
+	fmt.Fprintln(tw, "holding_hours\tmean_least_bid\tmax_least_bid\tmean_premium_over_spot")
+	for hi, h := range f.Hours {
+		var sum, maxV, prem float64
+		for i, v := range f.HoldPrice[hi] {
+			sum += v
+			if v > maxV {
+				maxV = v
+			}
+			if f.Spot[i] > 0 {
+				prem += v / f.Spot[i]
+			}
+		}
+		n := float64(len(f.HoldPrice[hi]))
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.2fx\n", h, sum/n, maxV, prem/n)
+	}
+	return tw.Flush()
+}
+
+// WriteText renders Table 2.1.
+func WriteTable21(w io.Writer) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Contract Type\tCost\tRevocable\tAvailability\tObtainability")
+	for _, row := range Table21Contracts() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+			row.Contract, row.Cost, row.Revocable, row.Availability, row.Obtainability)
+	}
+	return tw.Flush()
+}

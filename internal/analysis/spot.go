@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+// Fig510 is the spot-side availability relationship (Fig 5.10): the
+// probability that a periodic CheckCapacity probe came back
+// capacity-not-available, as a function of how deep the spot price sat
+// below the on-demand price, per region and globally.
+type Fig510 struct {
+	BinLabels []string
+	Regions   []market.Region // "all" is reported separately
+	// UnavailabilityPct[r][b]; AllPct[b] aggregates every region.
+	UnavailabilityPct [][]float64
+	AllPct            []float64
+	Samples           [][]int
+	AllSamples        []int
+}
+
+// periodicSpotProbes selects the unbiased CheckCapacity stream: probes
+// issued on the fixed round-robin schedule only. Recheck probes would
+// oversample markets already known to be out, and detection-triggered
+// probes oversample trouble; both would flatten the Fig 5.10 curve.
+func periodicSpotProbes(db *store.Store) []store.ProbeRecord {
+	return db.ProbesWhere(func(r store.ProbeRecord) bool {
+		return r.Kind == store.ProbeSpot && r.Trigger == store.TriggerPeriodicSpot
+	})
+}
+
+// Fig510SpotUnavailability computes Fig 5.10. Bins are cumulative low-price
+// thresholds: bin k holds probes whose spot/on-demand ratio was below
+// PriceRatioThresholds[k]; the last bin holds ratios above 1.
+func Fig510SpotUnavailability(db *store.Store) Fig510 {
+	probes := periodicSpotProbes(db)
+	regionSet := make(map[market.Region]bool)
+	for _, p := range probes {
+		regionSet[p.Market.Region()] = true
+	}
+	var regions []market.Region
+	for r := range regionSet {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+
+	nBins := len(PriceRatioThresholds) + 1 // + the >1X bucket
+	res := Fig510{
+		BinLabels:         PriceRatioLabels(),
+		Regions:           regions,
+		UnavailabilityPct: make([][]float64, len(regions)),
+		AllPct:            make([]float64, nBins),
+		Samples:           make([][]int, len(regions)),
+		AllSamples:        make([]int, nBins),
+	}
+
+	cell := func(keep func(store.ProbeRecord) bool) ([]float64, []int) {
+		pct := make([]float64, nBins)
+		n := make([]int, nBins)
+		for b := 0; b < nBins; b++ {
+			total, rej := 0, 0
+			for _, p := range probes {
+				if !keep(p) {
+					continue
+				}
+				inBin := false
+				if b < len(PriceRatioThresholds) {
+					inBin = p.PriceRatio < PriceRatioThresholds[b]
+				} else {
+					inBin = p.PriceRatio > 1
+				}
+				if !inBin {
+					continue
+				}
+				total++
+				if p.Rejected {
+					rej++
+				}
+			}
+			n[b] = total
+			if total > 0 {
+				pct[b] = 100 * float64(rej) / float64(total)
+			}
+		}
+		return pct, n
+	}
+
+	res.AllPct, res.AllSamples = cell(func(store.ProbeRecord) bool { return true })
+	for ri, r := range regions {
+		res.UnavailabilityPct[ri], res.Samples[ri] = cell(func(p store.ProbeRecord) bool {
+			return p.Market.Region() == r
+		})
+	}
+	return res
+}
+
+// Fig511 is the distribution of spot insufficiency over price-ratio range
+// bins per region (Fig 5.11): of all capacity-not-available rejections,
+// what share happened at each price level.
+type Fig511 struct {
+	BinLabels []string
+	Regions   []market.Region
+	// SharePct[r][b] is region r's share of all rejections in bin b; all
+	// cells together sum to 100%.
+	SharePct [][]float64
+	Total    int
+	// BelowODPct is the share of rejections that happened with the spot
+	// price below the on-demand price (paper: ~98%).
+	BelowODPct float64
+}
+
+// Fig511SpotInsufficiencyDist computes Fig 5.11.
+func Fig511SpotInsufficiencyDist(db *store.Store) Fig511 {
+	rejected := db.ProbesWhere(func(r store.ProbeRecord) bool {
+		return r.Kind == store.ProbeSpot && r.Rejected && r.Trigger == store.TriggerPeriodicSpot
+	})
+	counts := make(map[market.Region][]int)
+	belowOD := 0
+	for _, p := range rejected {
+		r := p.Market.Region()
+		if counts[r] == nil {
+			counts[r] = make([]int, len(RatioRangeLabels()))
+		}
+		counts[r][ratioRangeIndex(p.PriceRatio)]++
+		if p.PriceRatio < 1 {
+			belowOD++
+		}
+	}
+	var regions []market.Region
+	for r := range counts {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+
+	res := Fig511{
+		BinLabels: RatioRangeLabels(),
+		Regions:   regions,
+		SharePct:  make([][]float64, len(regions)),
+		Total:     len(rejected),
+	}
+	if res.Total > 0 {
+		res.BelowODPct = 100 * float64(belowOD) / float64(res.Total)
+	}
+	for ri, r := range regions {
+		res.SharePct[ri] = make([]float64, len(RatioRangeLabels()))
+		for b, c := range counts[r] {
+			if res.Total > 0 {
+				res.SharePct[ri][b] = 100 * float64(c) / float64(res.Total)
+			}
+		}
+	}
+	return res
+}
+
+// Fig512 is the four-way related-market insufficiency comparison of
+// Fig 5.12: after detecting an on-demand (or spot) outage in a market, the
+// probability that at least one *related* market was detected unavailable
+// on the on-demand (or spot) tier within a time window.
+type Fig512 struct {
+	Windows []time.Duration
+	// Probability percentages per window, one series per pair.
+	ODtoOD     []float64
+	SpotToSpot []float64
+	ODToSpot   []float64
+	SpotToOD   []float64
+	// Detections backing each conditional: od and spot outage counts.
+	ODDetections   int
+	SpotDetections int
+}
+
+// Fig512CrossKind computes Fig 5.12 from the detected outage starts and
+// the related-probe stream.
+func Fig512CrossKind(db *store.Store, windows []time.Duration) Fig512 {
+	if len(windows) == 0 {
+		windows = Fig512Windows
+	}
+	type detection struct {
+		market market.SpotID
+		at     time.Time
+	}
+	// Join each outage to the probe that opened it, so only *initial*
+	// detections condition the probabilities: an outage first seen by a
+	// related-market probe is itself fan-out, not a trigger.
+	type openKey struct {
+		market market.SpotID
+		kind   store.ProbeKind
+		at     time.Time
+	}
+	opener := make(map[openKey]store.Trigger)
+	for _, p := range db.Probes() {
+		if !p.Rejected {
+			continue
+		}
+		k := openKey{p.Market, p.Kind, p.At}
+		if _, seen := opener[k]; !seen {
+			opener[k] = p.Trigger
+		}
+	}
+	initial := func(o store.OutageRecord) bool {
+		tr, ok := opener[openKey{o.Market, o.Kind, o.Start}]
+		if !ok {
+			return false
+		}
+		switch tr {
+		case store.TriggerSpike, store.TriggerPeriodicSpot, store.TriggerPeriodicOD:
+			return true
+		default:
+			return false
+		}
+	}
+	var odDet, spotDet []detection
+	for _, o := range db.Outages() {
+		if !initial(o) {
+			continue
+		}
+		switch o.Kind {
+		case store.ProbeOnDemand:
+			odDet = append(odDet, detection{o.Market, o.Start})
+		case store.ProbeSpot:
+			spotDet = append(spotDet, detection{o.Market, o.Start})
+		}
+	}
+
+	// relRejects[sourceKind][probeKind][triggerMarket] = rejection times.
+	relRejects := make(map[store.ProbeKind]map[store.ProbeKind]map[market.SpotID][]time.Time)
+	for _, src := range []store.ProbeKind{store.ProbeOnDemand, store.ProbeSpot} {
+		relRejects[src] = map[store.ProbeKind]map[market.SpotID][]time.Time{
+			store.ProbeOnDemand: make(map[market.SpotID][]time.Time),
+			store.ProbeSpot:     make(map[market.SpotID][]time.Time),
+		}
+	}
+	for _, p := range db.Probes() {
+		if !p.Rejected {
+			continue
+		}
+		if p.Trigger != store.TriggerRelatedSameZone && p.Trigger != store.TriggerRelatedOtherZone {
+			continue
+		}
+		byKind, ok := relRejects[p.SourceKind]
+		if !ok {
+			continue
+		}
+		byKind[p.Kind][p.TriggerMarket] = append(byKind[p.Kind][p.TriggerMarket], p.At)
+	}
+
+	prob := func(dets []detection, src, kind store.ProbeKind, w time.Duration) float64 {
+		if len(dets) == 0 {
+			return 0
+		}
+		hits := 0
+		idx := relRejects[src][kind]
+		for _, d := range dets {
+			for _, at := range idx[d.market] {
+				if !at.Before(d.at) && at.Sub(d.at) <= w {
+					hits++
+					break
+				}
+			}
+		}
+		return 100 * float64(hits) / float64(len(dets))
+	}
+
+	res := Fig512{
+		Windows:        windows,
+		ODtoOD:         make([]float64, len(windows)),
+		SpotToSpot:     make([]float64, len(windows)),
+		ODToSpot:       make([]float64, len(windows)),
+		SpotToOD:       make([]float64, len(windows)),
+		ODDetections:   len(odDet),
+		SpotDetections: len(spotDet),
+	}
+	for wi, w := range windows {
+		res.ODtoOD[wi] = prob(odDet, store.ProbeOnDemand, store.ProbeOnDemand, w)
+		res.SpotToSpot[wi] = prob(spotDet, store.ProbeSpot, store.ProbeSpot, w)
+		res.ODToSpot[wi] = prob(odDet, store.ProbeOnDemand, store.ProbeSpot, w)
+		res.SpotToOD[wi] = prob(spotDet, store.ProbeSpot, store.ProbeOnDemand, w)
+	}
+	return res
+}

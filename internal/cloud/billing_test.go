@@ -1,0 +1,90 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+)
+
+func TestBillableHoursEC2Model(t *testing.T) {
+	s := testSim(t, 1) // defaults: 1h minimum, 1h increment
+	tests := []struct {
+		dur     time.Duration
+		revoked bool
+		want    float64
+	}{
+		{0, false, 1},                // minimum charge
+		{time.Minute, false, 1},      // still one hour
+		{time.Hour, false, 1},        // exactly one hour
+		{61 * time.Minute, false, 2}, // rounds up
+		{3 * time.Hour, false, 3},    // exact hours
+		{30 * time.Minute, true, 0},  // revoked in the first hour: free
+		{90 * time.Minute, true, 1},  // revoked in the second: pay one
+		{3*time.Hour + time.Minute, true, 3},
+	}
+	for _, tt := range tests {
+		if got := s.billableHours(tt.dur, tt.revoked); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("billableHours(%v, revoked=%v) = %v, want %v", tt.dur, tt.revoked, got, tt.want)
+		}
+	}
+}
+
+func TestBillableHoursGCEModel(t *testing.T) {
+	// §3.4: "Google Compute Engine charges only for the first 10 minutes
+	// if a server is deactivated within its first 10 minutes" — a 10-min
+	// minimum with per-minute increments.
+	s, err := New(market.New(), Config{
+		Seed:             1,
+		MinimumCharge:    10 * time.Minute,
+		BillingIncrement: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		dur  time.Duration
+		want float64
+	}{
+		{0, 10.0 / 60},
+		{5 * time.Minute, 10.0 / 60},
+		{15 * time.Minute, 15.0 / 60},
+		{15*time.Minute + 30*time.Second, 16.0 / 60},
+	}
+	for _, tt := range tests {
+		if got := s.billableHours(tt.dur, false); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("GCE billableHours(%v) = %v, want %v", tt.dur, got, tt.want)
+		}
+	}
+}
+
+func TestProbeCostDropsUnderFineGrainedBilling(t *testing.T) {
+	// The paper's §3.4 point: probing costs shrink as billing gets
+	// finer. A zero-duration probe on EC2 pays an hour; on a GCE-style
+	// model it pays 10 minutes.
+	ec2 := testSim(t, 1)
+	gce, err := New(market.New(), Config{
+		Seed:             1,
+		MinimumCharge:    10 * time.Minute,
+		BillingIncrement: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Sim{ec2, gce} {
+		inst, err := s.RunInstance(testMarket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.TerminateInstance(inst.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gce.ClientCost() >= ec2.ClientCost() {
+		t.Errorf("GCE-style probe cost %v not below EC2-style %v", gce.ClientCost(), ec2.ClientCost())
+	}
+	if ratio := ec2.ClientCost() / gce.ClientCost(); math.Abs(ratio-6) > 1e-9 {
+		t.Errorf("cost ratio = %v, want 6 (60min vs 10min)", ratio)
+	}
+}

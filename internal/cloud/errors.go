@@ -1,0 +1,62 @@
+// Package cloud implements the EC2 simulator substrate the reproduction
+// probes against. It realizes the paper's hypothesised platform model
+// (Fig 2.2): every (availability zone, instance family) pair is one
+// physical capacity pool shared by the reserved, on-demand, and spot
+// contract tiers; the spot tier is cleared by a uniform-price auction whose
+// price is the lowest winning bid; on-demand supply is bounded by capacity
+// minus granted reservations; spot supply is whatever reserved and
+// on-demand usage leave idle. The public API mirrors the slice of EC2 that
+// SpotLight touches: RunInstance, TerminateInstance, RequestSpotInstance,
+// CancelSpotRequest, and the spot price feed, with the exact error and
+// status codes named in Chapter 3 and Chapter 4 of the paper.
+package cloud
+
+import "fmt"
+
+// ErrorCode enumerates the API error codes the simulator returns, matching
+// EC2's codes as the paper reports them.
+type ErrorCode string
+
+// API error codes.
+const (
+	// ErrInsufficientCapacity is returned when an on-demand request
+	// cannot be fulfilled because demand exceeds supply — the signal at
+	// the heart of the paper ("InsufficientInstanceCapacity").
+	ErrInsufficientCapacity ErrorCode = "InsufficientInstanceCapacity"
+	// ErrRequestLimitExceeded is returned when a caller exceeds the
+	// per-region API call budget.
+	ErrRequestLimitExceeded ErrorCode = "RequestLimitExceeded"
+	// ErrInstanceLimitExceeded is returned when a caller exceeds the
+	// per-type running-instance quota (20 in 2015-era EC2).
+	ErrInstanceLimitExceeded ErrorCode = "InstanceLimitExceeded"
+	// ErrSpotRequestLimitExceeded is returned when a caller exceeds the
+	// per-region open spot request quota (20).
+	ErrSpotRequestLimitExceeded ErrorCode = "MaxSpotInstanceCountExceeded"
+	// ErrBadParameters is returned for malformed requests: unknown
+	// market, non-positive bid, or a bid above the 10x on-demand cap EC2
+	// introduced after the $1000/hour incident (§2.1.3).
+	ErrBadParameters ErrorCode = "InvalidParameterValue"
+	// ErrNotFound is returned when an instance or request ID is unknown.
+	ErrNotFound ErrorCode = "InvalidInstanceID.NotFound"
+)
+
+// APIError is the error type returned by all simulator API calls.
+type APIError struct {
+	Code    ErrorCode
+	Message string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// IsCode reports whether err is an *APIError carrying code.
+func IsCode(err error, code ErrorCode) bool {
+	apiErr, ok := err.(*APIError)
+	return ok && apiErr.Code == code
+}
+
+func apiErrorf(code ErrorCode, format string, args ...any) *APIError {
+	return &APIError{Code: code, Message: fmt.Sprintf(format, args...)}
+}

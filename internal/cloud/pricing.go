@@ -1,0 +1,190 @@
+package cloud
+
+import (
+	"math"
+	"sync"
+
+	"spotlight/internal/stats"
+)
+
+// The spot tier is cleared as a uniform-price auction: given demand d and
+// supply s, the clearing price is the bid of the marginal (lowest winning)
+// bidder, i.e. the (1 - s/d) quantile of the bid distribution (§2.1.3:
+// "the lowest winning bid dictates the spot price").
+//
+// Bids, expressed as multiples of the on-demand price, follow a
+// three-component mixture modelled on the paper's observations:
+//
+//   - the bulk of users bid a deep discount (lognormal around 0.30x;
+//     "the price of spot instances is on average 10x less" §3.3 combined
+//     with the clearing dynamics keeps typical prices near 0.1-0.2x);
+//   - some users bid right at or slightly above the on-demand price
+//     (uniform on [0.9x, 1.3x]), the natural "never pay more than
+//     on-demand" strategy;
+//   - a few place "convenience" bids far above on-demand to avoid
+//     revocation (log-uniform up to the 10x cap), the behaviour that
+//     produced the $1000/hour incident (§2.1.3 [2]).
+//
+// The mixture's upper tail is what lets the clearing price shoot past the
+// on-demand price exactly when supply nearly vanishes — the spike signal
+// SpotLight keys on.
+const (
+	bidWeightBulk        = 0.87
+	bidWeightODBidders   = 0.08
+	bidWeightConvenience = 0.05
+
+	bidBulkMedian = 0.30
+	odBidderLo    = 0.9
+	odBidderHi    = 1.3
+	convenienceLo = 1.3
+	convenienceHi = 10.0
+)
+
+// sigmaClasses are the bid-distribution widths selectable per market;
+// class 2 markets are the paper's "volatile" markets.
+var sigmaClasses = [3]float64{0.50, 0.75, 1.05}
+
+// bidMixtureCDF returns P(bid <= x) for the mixture with the given bulk
+// sigma, x in on-demand multiples.
+func bidMixtureCDF(sigma, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	cdf := bidWeightBulk * stats.LogNormalCDF(math.Log(bidBulkMedian), sigma, x)
+	switch {
+	case x <= odBidderLo:
+		// uniform component contributes nothing yet
+	case x >= odBidderHi:
+		cdf += bidWeightODBidders
+	default:
+		cdf += bidWeightODBidders * (x - odBidderLo) / (odBidderHi - odBidderLo)
+	}
+	switch {
+	case x <= convenienceLo:
+		// log-uniform component contributes nothing yet
+	case x >= convenienceHi:
+		cdf += bidWeightConvenience
+	default:
+		cdf += bidWeightConvenience * math.Log(x/convenienceLo) / math.Log(convenienceHi/convenienceLo)
+	}
+	return cdf
+}
+
+// bidCurveResolution is the number of table entries used to invert the
+// mixture CDF. 2048 entries bound the interpolation error well below a
+// price tick.
+const bidCurveResolution = 2048
+
+// bidCurve is the precomputed quantile function of the bid mixture for one
+// sigma class.
+type bidCurve struct {
+	table [bidCurveResolution + 1]float64
+}
+
+// newBidCurve inverts the mixture CDF by bisection on a dense grid.
+func newBidCurve(sigma float64) *bidCurve {
+	c := &bidCurve{}
+	for i := 0; i <= bidCurveResolution; i++ {
+		q := float64(i) / bidCurveResolution
+		c.table[i] = invertCDF(sigma, q)
+	}
+	return c
+}
+
+func invertCDF(sigma, q float64) float64 {
+	const lo0, hi0 = 1e-4, convenienceHi
+	switch {
+	case q <= 0:
+		return lo0
+	case q >= 1:
+		return hi0
+	}
+	lo, hi := lo0, hi0
+	for i := 0; i < 60 && hi-lo > 1e-7; i++ {
+		mid := (lo + hi) / 2
+		if bidMixtureCDF(sigma, mid) < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Quantile returns the clearing price (in on-demand multiples) at demand
+// quantile q, interpolating the precomputed table.
+func (c *bidCurve) Quantile(q float64) float64 {
+	q = stats.Clamp(q, 0, 1)
+	pos := q * bidCurveResolution
+	i := int(pos)
+	if i >= bidCurveResolution {
+		return c.table[bidCurveResolution]
+	}
+	frac := pos - float64(i)
+	return c.table[i]*(1-frac) + c.table[i+1]*frac
+}
+
+var (
+	bidCurvesOnce sync.Once
+	bidCurves     [len(sigmaClasses)]*bidCurve
+)
+
+// curveForClass returns the shared quantile table for a sigma class,
+// building all tables on first use.
+func curveForClass(class int) *bidCurve {
+	bidCurvesOnce.Do(func() {
+		for i, sigma := range sigmaClasses {
+			bidCurves[i] = newBidCurve(sigma)
+		}
+	})
+	if class < 0 {
+		class = 0
+	}
+	if class >= len(bidCurves) {
+		class = len(bidCurves) - 1
+	}
+	return bidCurves[class]
+}
+
+// priceTick is the price quantum in dollars, matching EC2's $0.0001
+// granularity.
+const priceTick = 0.0001
+
+// PriceTick is the market price quantum in dollars, exported for clients
+// that reason about bid granularity (e.g. BidSpread refinement).
+const PriceTick = priceTick
+
+// quantizePrice rounds a dollar price to the market tick.
+func quantizePrice(p float64) float64 {
+	if p < priceTick {
+		return priceTick
+	}
+	return math.Round(p/priceTick) * priceTick
+}
+
+// clearingPrice computes a market's spot clearing price in dollars.
+//
+//	odPrice     — the market's on-demand reference price
+//	supply      — spot supply units available to this market
+//	dem         — spot demand units at this market
+//	scale       — the market's slow multiplicative jitter
+//	sigmaClass  — bid distribution width class
+//	floorFrac   — the price floor as a fraction of odPrice
+//
+// It returns the quantized price and whether the price is pinned at the
+// floor (a supply glut, when EC2 would rather idle machines than sell
+// below cost — the §5.3 regime where capacity-not-available appears).
+func clearingPrice(odPrice, supply, dem, scale float64, sigmaClass int, floorFrac float64) (price float64, atFloor bool) {
+	q := 0.0
+	if dem > 0 && supply < dem {
+		q = 1 - supply/dem
+	}
+	mult := scale * curveForClass(sigmaClass).Quantile(q)
+	if mult >= convenienceHi {
+		mult = convenienceHi
+	}
+	if mult <= floorFrac {
+		return quantizePrice(odPrice * floorFrac), true
+	}
+	return quantizePrice(odPrice * mult), false
+}

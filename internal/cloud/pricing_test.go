@@ -1,0 +1,202 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBidMixtureCDFBounds(t *testing.T) {
+	for _, sigma := range sigmaClasses {
+		if got := bidMixtureCDF(sigma, 0); got != 0 {
+			t.Errorf("CDF(0) = %v, want 0", got)
+		}
+		if got := bidMixtureCDF(sigma, -1); got != 0 {
+			t.Errorf("CDF(-1) = %v, want 0", got)
+		}
+		// The lognormal bulk saturates slowly; by twice the cap the CDF
+		// must be within a few 1e-5 of one.
+		if got := bidMixtureCDF(sigma, convenienceHi*2); math.Abs(got-1) > 1e-4 {
+			t.Errorf("CDF(20) = %v, want ~1", got)
+		}
+	}
+}
+
+// Property: the mixture CDF is monotone nondecreasing on (0, 20].
+func TestBidMixtureCDFMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 20))
+		y := math.Abs(math.Mod(b, 20))
+		if x > y {
+			x, y = y, x
+		}
+		return bidMixtureCDF(0.75, x) <= bidMixtureCDF(0.75, y)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBidCurveInvertsCDF(t *testing.T) {
+	curve := newBidCurve(0.75)
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99} {
+		x := curve.Quantile(q)
+		back := bidMixtureCDF(0.75, x)
+		if math.Abs(back-q) > 5e-3 {
+			t.Errorf("CDF(Quantile(%v)) = %v, drift too large", q, back)
+		}
+	}
+}
+
+func TestBidCurveMedianNearBulkMedian(t *testing.T) {
+	// The bulk (87%) of bids are lognormal around 0.30x, so the overall
+	// median must sit very near it.
+	curve := newBidCurve(0.75)
+	if got := curve.Quantile(0.5); math.Abs(got-bidBulkMedian) > 0.05 {
+		t.Errorf("median bid = %v, want ~%v", got, bidBulkMedian)
+	}
+}
+
+func TestBidCurveTailReachesCap(t *testing.T) {
+	curve := newBidCurve(0.75)
+	if got := curve.Quantile(1); got < convenienceHi*0.98 {
+		t.Errorf("Quantile(1) = %v, want ~%v (convenience-bid cap)", got, convenienceHi)
+	}
+	// The upper few percent must cross the on-demand price: this is what
+	// produces the >1x spikes of Fig 2.1.
+	if got := curve.Quantile(0.97); got < 1 {
+		t.Errorf("Quantile(0.97) = %v, want >= 1x on-demand", got)
+	}
+}
+
+// Property: bid curve quantile is monotone in q.
+func TestBidCurveMonotoneProperty(t *testing.T) {
+	curve := curveForClass(1)
+	f := func(a, b float64) bool {
+		q1 := math.Abs(math.Mod(a, 1))
+		q2 := math.Abs(math.Mod(b, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return curve.Quantile(q1) <= curve.Quantile(q2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveForClassClamps(t *testing.T) {
+	if curveForClass(-1) != curveForClass(0) {
+		t.Error("negative class should clamp to 0")
+	}
+	if curveForClass(99) != curveForClass(len(sigmaClasses)-1) {
+		t.Error("oversized class should clamp to max")
+	}
+}
+
+func TestClearingPriceSupplySensitivity(t *testing.T) {
+	const od = 0.42
+	// Plentiful supply pins the price at the floor.
+	pFloor, atFloor := clearingPrice(od, 1000, 100, 1, 1, 0.10)
+	if !atFloor {
+		t.Error("glutted market should be at the floor")
+	}
+	if math.Abs(pFloor-od*0.10) > priceTick {
+		t.Errorf("floor price = %v, want %v", pFloor, od*0.10)
+	}
+	// Shrinking supply raises the price monotonically.
+	prev := 0.0
+	for _, supply := range []float64{90, 50, 20, 5, 1} {
+		p, _ := clearingPrice(od, supply, 100, 1, 1, 0.10)
+		if p < prev {
+			t.Errorf("price %v fell as supply shrank to %v", p, supply)
+		}
+		prev = p
+	}
+	// Near-zero supply pushes past the on-demand price toward the cap.
+	pTight, atFloorTight := clearingPrice(od, 0.1, 100, 1, 1, 0.10)
+	if atFloorTight {
+		t.Error("starved market cannot be at the floor")
+	}
+	if pTight < od {
+		t.Errorf("starved market price %v below on-demand %v", pTight, od)
+	}
+	if pTight > od*maxBidMultiple+priceTick {
+		t.Errorf("price %v exceeds the 10x bid cap", pTight)
+	}
+}
+
+func TestClearingPriceZeroDemand(t *testing.T) {
+	p, atFloor := clearingPrice(0.42, 100, 0, 1, 1, 0.10)
+	if !atFloor {
+		t.Error("zero demand should pin the floor")
+	}
+	if p <= 0 {
+		t.Errorf("price = %v, want positive", p)
+	}
+}
+
+func TestClearingPriceScaleJitter(t *testing.T) {
+	lo, _ := clearingPrice(0.42, 50, 100, 0.8, 1, 0.01)
+	hi, _ := clearingPrice(0.42, 50, 100, 1.2, 1, 0.01)
+	if hi <= lo {
+		t.Errorf("scale jitter did not move the price: %v vs %v", lo, hi)
+	}
+}
+
+// Property: the clearing price is monotone nonincreasing in supply and
+// nondecreasing in demand.
+func TestClearingPriceMonotoneProperty(t *testing.T) {
+	const od = 0.42
+	f := func(a, b, c float64) bool {
+		s1 := math.Abs(math.Mod(a, 1000))
+		s2 := math.Abs(math.Mod(b, 1000))
+		d := math.Abs(math.Mod(c, 1000)) + 1
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		pSmallSupply, _ := clearingPrice(od, s1, d, 1, 1, 0.10)
+		pBigSupply, _ := clearingPrice(od, s2, d, 1, 1, 0.10)
+		if pSmallSupply < pBigSupply-priceTick {
+			return false // more supply must not raise the price
+		}
+		d2 := d * 2
+		pMoreDemand, _ := clearingPrice(od, s1, d2, 1, 1, 0.10)
+		return pMoreDemand >= pSmallSupply-priceTick
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the clearing price always lands in [floor, 10x od].
+func TestClearingPriceBoundsProperty(t *testing.T) {
+	const od = 1.0
+	f := func(a, b, scale float64) bool {
+		supply := math.Abs(math.Mod(a, 1e6))
+		dem := math.Abs(math.Mod(b, 1e6))
+		sc := 0.5 + math.Abs(math.Mod(scale, 1))
+		p, _ := clearingPrice(od, supply, dem, sc, 1, 0.10)
+		return p >= od*0.10-priceTick && p <= od*maxBidMultiple+priceTick
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizePrice(t *testing.T) {
+	tests := []struct {
+		give, want float64
+	}{
+		{0.12345, 0.1235}, // round up at half tick
+		{0.12344, 0.1234},
+		{0, priceTick},  // never below one tick
+		{-1, priceTick}, // negative clamps
+		{priceTick, priceTick},
+	}
+	for _, tt := range tests {
+		if got := quantizePrice(tt.give); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("quantizePrice(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}

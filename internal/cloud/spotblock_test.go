@@ -1,0 +1,161 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+)
+
+func TestSpotBlockPriceBounds(t *testing.T) {
+	s := testSim(t, 1)
+	od, _ := s.OnDemandPrice(testMarket)
+	for hours := MinSpotBlockHours; hours <= MaxSpotBlockHours; hours++ {
+		p, err := s.SpotBlockPrice(testMarket, hours)
+		if err != nil {
+			t.Fatalf("hours=%d: %v", hours, err)
+		}
+		if p < od*0.40-PriceTick || p > od*0.85+PriceTick {
+			t.Errorf("hours=%d: block price %v outside [0.40, 0.85] x od (%v)", hours, p, od)
+		}
+	}
+	// Longer blocks cost at least as much as shorter ones at the same
+	// published price.
+	p1, _ := s.SpotBlockPrice(testMarket, 1)
+	p6, _ := s.SpotBlockPrice(testMarket, 6)
+	if p6 < p1 {
+		t.Errorf("6h block (%v) cheaper than 1h block (%v)", p6, p1)
+	}
+}
+
+func TestSpotBlockPriceValidation(t *testing.T) {
+	s := testSim(t, 1)
+	for _, hours := range []int{0, -1, 7} {
+		if _, err := s.SpotBlockPrice(testMarket, hours); !IsCode(err, ErrBadParameters) {
+			t.Errorf("hours=%d err = %v, want %s", hours, err, ErrBadParameters)
+		}
+	}
+	bad := market.SpotID{Zone: "atlantis-1a", Type: "c3.large", Product: market.ProductLinux}
+	if _, err := s.SpotBlockPrice(bad, 2); !IsCode(err, ErrBadParameters) {
+		t.Errorf("unknown market err = %v", err)
+	}
+	if _, err := s.RequestSpotBlock(bad, 2); !IsCode(err, ErrBadParameters) {
+		t.Errorf("RequestSpotBlock unknown market err = %v", err)
+	}
+}
+
+func TestSpotBlockLifecycle(t *testing.T) {
+	s := testSim(t, 1)
+	price, err := s.SpotBlockPrice(testMarket, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.RequestSpotBlock(testMarket, 2)
+	if err != nil {
+		t.Fatalf("RequestSpotBlock: %v", err)
+	}
+	if !inst.Spot || inst.State != InstanceRunning {
+		t.Fatalf("block = %+v, want running spot", inst)
+	}
+	if !inst.IsBlock() {
+		t.Fatal("block instance not marked as block")
+	}
+	// Billed up front: 2 hours at the block price.
+	if got := s.ClientCost(); math.Abs(got-2*price) > 1e-9 {
+		t.Errorf("ClientCost = %v, want %v (prepaid)", got, 2*price)
+	}
+
+	// Force every market's price sky-high: a regular spot instance would
+	// be revoked, the block must survive.
+	for _, m := range s.markets {
+		m.truePrice = m.odPrice * 9
+	}
+	s.advanceInstances(s.Now())
+	got, _ := s.DescribeInstance(inst.ID)
+	if got.State != InstanceRunning {
+		t.Fatalf("block state = %v after price spike, want running (non-revocable)", got.State)
+	}
+
+	// Advance past the 2-hour expiry: the platform completes the block.
+	steps := int(2*time.Hour/s.Tick()) + 2
+	for i := 0; i < steps; i++ {
+		s.Step()
+	}
+	got, _ = s.DescribeInstance(inst.ID)
+	if got.State != InstanceTerminated {
+		t.Fatalf("block state = %v after expiry, want terminated", got.State)
+	}
+	if got.Revoked {
+		t.Error("expired block marked revoked; completion is not revocation")
+	}
+	// No extra charges beyond the prepayment.
+	if gotCost := s.ClientCost(); math.Abs(gotCost-2*price) > 1e-9 {
+		t.Errorf("ClientCost after expiry = %v, want %v", gotCost, 2*price)
+	}
+}
+
+func TestSpotBlockReleasesCapacityAndQuota(t *testing.T) {
+	s := testSim(t, 1)
+	inst, err := s.RequestSpotBlock(testMarket, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := s.pools[s.markets[s.marketIdx[testMarket]].poolIdx]
+	if pool.clientSpotUnits == 0 {
+		t.Fatal("block did not consume pool capacity")
+	}
+	region := s.regions[testMarket.Region()]
+	if region.runningByType[testMarket.Type] != 1 {
+		t.Fatalf("quota count = %d, want 1", region.runningByType[testMarket.Type])
+	}
+	// Early user termination releases capacity and quota (no refund).
+	costBefore := s.ClientCost()
+	if err := s.TerminateInstance(inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	if pool.clientSpotUnits != 0 {
+		t.Errorf("pool units = %d after terminate, want 0", pool.clientSpotUnits)
+	}
+	if region.runningByType[testMarket.Type] != 0 {
+		t.Errorf("quota count = %d after terminate, want 0", region.runningByType[testMarket.Type])
+	}
+	if s.ClientCost() != costBefore {
+		t.Errorf("terminating a prepaid block changed the bill: %v -> %v", costBefore, s.ClientCost())
+	}
+}
+
+func TestSpotBlockRespectsQuota(t *testing.T) {
+	s := testSim(t, 1)
+	var last error
+	granted := 0
+	for i := 0; i < 25; i++ {
+		_, err := s.RequestSpotBlock(testMarket, 1)
+		if err != nil {
+			last = err
+			break
+		}
+		granted++
+	}
+	if granted != s.cfg.MaxRunningPerType {
+		t.Errorf("granted %d blocks, want quota %d", granted, s.cfg.MaxRunningPerType)
+	}
+	if !IsCode(last, ErrInstanceLimitExceeded) {
+		t.Errorf("err = %v, want %s", last, ErrInstanceLimitExceeded)
+	}
+}
+
+func TestSpotBlockCapacityNotAvailable(t *testing.T) {
+	s := testSim(t, 1)
+	idx := s.marketIdx[testMarket]
+	s.markets[idx].cnaActive = true
+	if _, err := s.RequestSpotBlock(testMarket, 1); !IsCode(err, ErrInsufficientCapacity) {
+		t.Errorf("err = %v, want %s during CNA", err, ErrInsufficientCapacity)
+	}
+	// Physical shortage also rejects.
+	s.markets[idx].cnaActive = false
+	s.pools[s.markets[idx].poolIdx].spotSupplyUnits = 0
+	if _, err := s.RequestSpotBlock(testMarket, 1); !IsCode(err, ErrInsufficientCapacity) {
+		t.Errorf("err = %v, want %s with no supply", err, ErrInsufficientCapacity)
+	}
+}

@@ -1,0 +1,151 @@
+package cloud
+
+import "testing"
+
+func TestInstanceStateStrings(t *testing.T) {
+	tests := []struct {
+		give InstanceState
+		want string
+	}{
+		{InstancePending, "pending"},
+		{InstanceRunning, "running"},
+		{InstanceShuttingDown, "shutting-down"},
+		{InstanceTerminated, "terminated"},
+		{InstanceState(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestInstanceTransitions(t *testing.T) {
+	// Fig 3.1: pending -> running -> shutting-down -> terminated, with a
+	// short-circuit from pending to shutting-down (denied launches).
+	legal := []struct{ from, to InstanceState }{
+		{InstancePending, InstanceRunning},
+		{InstancePending, InstanceShuttingDown},
+		{InstanceRunning, InstanceShuttingDown},
+		{InstanceShuttingDown, InstanceTerminated},
+	}
+	for _, tt := range legal {
+		if !canTransition(tt.from, tt.to) {
+			t.Errorf("transition %v -> %v should be legal", tt.from, tt.to)
+		}
+	}
+	illegal := []struct{ from, to InstanceState }{
+		{InstanceTerminated, InstanceRunning},
+		{InstanceRunning, InstancePending},
+		{InstanceShuttingDown, InstanceRunning},
+		{InstanceRunning, InstanceTerminated}, // must pass through shutting-down
+	}
+	for _, tt := range illegal {
+		if canTransition(tt.from, tt.to) {
+			t.Errorf("transition %v -> %v should be illegal", tt.from, tt.to)
+		}
+	}
+}
+
+func TestSpotRequestStateStrings(t *testing.T) {
+	tests := []struct {
+		give SpotRequestState
+		want string
+	}{
+		{SpotPendingEvaluation, "pending-evaluation"},
+		{SpotPendingFulfillment, "pending-fulfillment"},
+		{SpotFulfilled, "fulfilled"},
+		{SpotPriceTooLow, "price-too-low"},
+		{SpotCapacityNotAvailable, "capacity-not-available"},
+		{SpotCapacityOversubscribed, "capacity-oversubscribed"},
+		{SpotBadParameters, "bad-parameters"},
+		{SpotSystemError, "system-error"},
+		{SpotCancelled, "cancelled"},
+		{SpotMarkedForTermination, "marked-for-termination"},
+		{SpotInstanceTerminatedByPrice, "instance-terminated-by-price"},
+		{SpotInstanceTerminatedByUser, "instance-terminated-by-user"},
+		{SpotRequestCanceledInstanceRunning, "request-canceled-and-instance-running"},
+		{SpotRequestState(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestSpotHeldAndTerminal(t *testing.T) {
+	held := []SpotRequestState{
+		SpotPendingEvaluation, SpotPendingFulfillment, SpotPriceTooLow,
+		SpotCapacityNotAvailable, SpotCapacityOversubscribed,
+	}
+	for _, s := range held {
+		if !s.Held() {
+			t.Errorf("%v should be held", s)
+		}
+		if s.Terminal() {
+			t.Errorf("%v cannot be both held and terminal", s)
+		}
+	}
+	terminal := []SpotRequestState{
+		SpotBadParameters, SpotSystemError, SpotCancelled,
+		SpotInstanceTerminatedByPrice, SpotInstanceTerminatedByUser,
+		SpotRequestCanceledInstanceRunning,
+	}
+	for _, s := range terminal {
+		if !s.Terminal() {
+			t.Errorf("%v should be terminal", s)
+		}
+		if s.Held() {
+			t.Errorf("%v cannot be both terminal and held", s)
+		}
+	}
+	// fulfilled and marked-for-termination are neither held nor terminal.
+	for _, s := range []SpotRequestState{SpotFulfilled, SpotMarkedForTermination} {
+		if s.Held() || s.Terminal() {
+			t.Errorf("%v should be neither held nor terminal", s)
+		}
+	}
+}
+
+func TestSpotTransitionTable(t *testing.T) {
+	legal := []struct{ from, to SpotRequestState }{
+		{SpotPendingEvaluation, SpotPriceTooLow},
+		{SpotPendingEvaluation, SpotCapacityNotAvailable},
+		{SpotPendingEvaluation, SpotPendingFulfillment},
+		{SpotPendingFulfillment, SpotFulfilled},
+		{SpotPriceTooLow, SpotPendingFulfillment},
+		{SpotPriceTooLow, SpotCancelled},
+		{SpotCapacityNotAvailable, SpotPendingFulfillment},
+		{SpotCapacityNotAvailable, SpotPriceTooLow},
+		{SpotFulfilled, SpotMarkedForTermination},
+		{SpotFulfilled, SpotInstanceTerminatedByUser},
+		{SpotFulfilled, SpotRequestCanceledInstanceRunning},
+		{SpotMarkedForTermination, SpotInstanceTerminatedByPrice},
+	}
+	for _, tt := range legal {
+		if !canSpotTransition(tt.from, tt.to) {
+			t.Errorf("spot transition %v -> %v should be legal", tt.from, tt.to)
+		}
+	}
+	illegal := []struct{ from, to SpotRequestState }{
+		{SpotFulfilled, SpotPriceTooLow},
+		{SpotCancelled, SpotPendingFulfillment},
+		{SpotInstanceTerminatedByPrice, SpotFulfilled},
+		{SpotBadParameters, SpotPendingFulfillment},
+		{SpotPendingEvaluation, SpotFulfilled}, // must pass pending-fulfillment
+	}
+	for _, tt := range illegal {
+		if canSpotTransition(tt.from, tt.to) {
+			t.Errorf("spot transition %v -> %v should be illegal", tt.from, tt.to)
+		}
+	}
+}
+
+func TestTerminalStatesHaveNoSuccessors(t *testing.T) {
+	for state, nexts := range spotRequestNext {
+		if state.Terminal() && len(nexts) > 0 {
+			t.Errorf("terminal state %v has successors %v", state, nexts)
+		}
+	}
+}

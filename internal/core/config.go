@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"spotlight/internal/market"
+)
+
+// Config parameterizes the SpotLight service. The defaults mirror the
+// prototype deployment in the paper: threshold equal to the on-demand
+// price, sampling every event, and periodic re-probing of unavailable
+// markets until they recover (§3.4: "to maximize data collection, we set
+// T equal to the on-demand price and sample every event").
+type Config struct {
+	// Threshold is T: a probe triggers when a market's spot price
+	// crosses Threshold times its on-demand price. Default 1.0.
+	Threshold float64
+
+	// SampleProb is p: the probability a threshold crossing is actually
+	// probed (§3.4's sampling ratio). Default 1.0.
+	SampleProb float64
+
+	// RecheckInterval is δ: how often an unavailable market is re-probed
+	// until it becomes available again. Default 5 minutes.
+	RecheckInterval time.Duration
+
+	// RelatedWindow bounds how long related markets keep being re-probed
+	// after a detected rejection. Default 1 hour.
+	RelatedWindow time.Duration
+
+	// RelatedRecheckInterval is the period of related-market re-probes
+	// inside RelatedWindow. Default 15 minutes.
+	RelatedRecheckInterval time.Duration
+
+	// SpotProbesPerDay is the total budget of periodic CheckCapacity
+	// spot probes per simulated day, spread round-robin over all
+	// monitored markets (§3.3 rate-limits spot probes by budget).
+	// Default 2000.
+	SpotProbesPerDay int
+
+	// Budget is the probing budget in dollars per BudgetWindow; zero
+	// means unlimited. When the window's budget is exhausted SpotLight
+	// stops probing until the next window (§3.4).
+	Budget float64
+
+	// BudgetWindow is the budgeting period. Default 24 hours.
+	BudgetWindow time.Duration
+
+	// Regions restricts monitoring; empty means every region.
+	Regions []market.Region
+
+	// WatchedMarkets get their full published price history recorded in
+	// the store (for trace figures and the case studies). All other
+	// markets are sampled every PriceSampleEvery.
+	WatchedMarkets []market.SpotID
+
+	// PriceSampleEvery is the sparse price-recording period for
+	// non-watched markets. Default 1 hour.
+	PriceSampleEvery time.Duration
+
+	// BidSpreadMarkets are periodically subjected to the BidSpread
+	// intrinsic-price search (Chapter 4).
+	BidSpreadMarkets []market.SpotID
+
+	// BidSpreadInterval is the period between BidSpread searches per
+	// market. Default 6 hours.
+	BidSpreadInterval time.Duration
+
+	// RevocationMarkets are the user-selected volatile markets on which
+	// SpotLight holds a spot instance to measure time-to-revocation
+	// (Chapter 4's Revocation probing function).
+	RevocationMarkets []market.SpotID
+
+	// RevocationBid is the bid (in multiples of the on-demand price)
+	// used for revocation-watch instances. Default 1.0.
+	RevocationBid float64
+
+	// MaxHeldCNAPerRegion bounds how many capacity-not-available spot
+	// requests SpotLight leaves held per region before falling back to
+	// fresh rechecks, so holds cannot exhaust the 20-request quota.
+	// Default 8.
+	MaxHeldCNAPerRegion int
+
+	// Seed drives the sampling coin flips.
+	Seed uint64
+
+	// DisableFamilyProbing turns off the §3.2.1/§3.2.2 related-market
+	// fan-out; used by the ablation benchmarks.
+	DisableFamilyProbing bool
+
+	// PeriodicODProbesPerDay enables the naive baseline: round-robin
+	// on-demand probes with no market signal, at this daily rate. Zero
+	// disables it (the normal SpotLight configuration). The ablation
+	// benchmarks compare this against market-based probing at equal
+	// budget.
+	PeriodicODProbesPerDay int
+}
+
+// fillDefaults applies the paper-prototype defaults and validates ranges.
+func (c *Config) fillDefaults() error {
+	if c.Threshold == 0 {
+		c.Threshold = 1.0
+	}
+	if c.Threshold < 0 {
+		return errors.New("core: negative threshold")
+	}
+	if c.SampleProb == 0 {
+		c.SampleProb = 1.0
+	}
+	if c.SampleProb < 0 || c.SampleProb > 1 {
+		return errors.New("core: sampling probability outside [0,1]")
+	}
+	if c.RecheckInterval <= 0 {
+		c.RecheckInterval = 5 * time.Minute
+	}
+	if c.RelatedWindow <= 0 {
+		c.RelatedWindow = time.Hour
+	}
+	if c.RelatedRecheckInterval <= 0 {
+		c.RelatedRecheckInterval = 15 * time.Minute
+	}
+	if c.SpotProbesPerDay == 0 {
+		c.SpotProbesPerDay = 2000
+	}
+	if c.SpotProbesPerDay < 0 {
+		return errors.New("core: negative spot probe budget")
+	}
+	if c.Budget < 0 {
+		return errors.New("core: negative budget")
+	}
+	if c.BudgetWindow <= 0 {
+		c.BudgetWindow = 24 * time.Hour
+	}
+	if c.PriceSampleEvery <= 0 {
+		c.PriceSampleEvery = time.Hour
+	}
+	if c.BidSpreadInterval <= 0 {
+		c.BidSpreadInterval = 6 * time.Hour
+	}
+	if c.RevocationBid == 0 {
+		c.RevocationBid = 1.0
+	}
+	if c.RevocationBid < 0 {
+		return errors.New("core: negative revocation bid")
+	}
+	if c.MaxHeldCNAPerRegion <= 0 {
+		c.MaxHeldCNAPerRegion = 8
+	}
+	if c.PeriodicODProbesPerDay < 0 {
+		return errors.New("core: negative periodic on-demand probe rate")
+	}
+	return nil
+}

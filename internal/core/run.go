@@ -1,0 +1,29 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Run drives the service in real time: one monitoring cycle every
+// pollInterval until ctx is cancelled. This is the deployment loop for a
+// live provider (the discrete-time studies call OnTick directly instead,
+// coupled to the simulator's ticks).
+//
+// The paper's prototype polled EC2 continuously for three months; Run is
+// that loop. It returns ctx.Err() on cancellation.
+func (s *Service) Run(ctx context.Context, pollInterval time.Duration) error {
+	if pollInterval <= 0 {
+		pollInterval = time.Minute
+	}
+	ticker := time.NewTicker(pollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			s.OnTick()
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+)
+
+func TestRunPollsUntilCancelled(t *testing.T) {
+	f := newFakeProvider()
+	od := odPrice(t, f, trigMkt)
+	f.prices[trigMkt] = od * 2
+	svc, db := newService(t, f, Config{Regions: []market.Region{"us-east-1"}})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- svc.Run(ctx, time.Millisecond) }()
+
+	// Wait until at least one cycle has run (the spike gets probed).
+	deadline := time.After(2 * time.Second)
+	for db.ProbeCount() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no monitoring cycle ran within 2s")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+func TestRunDefaultsInterval(t *testing.T) {
+	f := newFakeProvider()
+	svc, _ := newService(t, f, Config{Regions: []market.Region{"us-east-1"}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: Run must return immediately
+	if err := svc.Run(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run returned %v, want context.Canceled", err)
+	}
+}

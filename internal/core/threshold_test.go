@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/simtime"
+	"spotlight/internal/store"
+)
+
+// seedSpikes writes a synthetic week of spikes: every day, `perDay`
+// crossings at ratio 1.2 and one rare crossing at ratio 6.
+func seedSpikes(db *store.Store, m market.SpotID, days, perDay int) (from, to time.Time) {
+	from = simtime.StudyEpoch
+	for d := 0; d < days; d++ {
+		day := from.Add(time.Duration(d) * 24 * time.Hour)
+		for i := 0; i < perDay; i++ {
+			db.AppendSpike(store.SpikeEvent{
+				At: day.Add(time.Duration(i) * time.Hour), Market: m, Ratio: 1.2,
+			})
+		}
+		db.AppendSpike(store.SpikeEvent{At: day.Add(23 * time.Hour), Market: m, Ratio: 6})
+	}
+	return from, from.Add(time.Duration(days) * 24 * time.Hour)
+}
+
+func TestEstimateThresholdBudgetFitsEverything(t *testing.T) {
+	db := store.New()
+	cat := market.New()
+	m := market.SpotID{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux}
+	from, to := seedSpikes(db, m, 7, 10)
+	od, _ := cat.SpotODPrice(m) // 0.42
+
+	// 11 spikes/day at $0.42 each = $4.62/day; a $10 budget covers T=1.
+	plan, err := EstimateThreshold(db, cat, 10, from, to, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Threshold != 1 || plan.SampleProb != 1 {
+		t.Errorf("plan = %+v, want T=1 p=1", plan)
+	}
+	want := 11 * od
+	if math.Abs(plan.ExpectedDailyCost-want) > 1e-9 {
+		t.Errorf("daily cost = %v, want %v", plan.ExpectedDailyCost, want)
+	}
+	if math.Abs(plan.ExpectedDailyProbes-11) > 1e-9 {
+		t.Errorf("daily probes = %v, want 11", plan.ExpectedDailyProbes)
+	}
+}
+
+func TestEstimateThresholdRaisesT(t *testing.T) {
+	db := store.New()
+	cat := market.New()
+	m := market.SpotID{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux}
+	from, to := seedSpikes(db, m, 7, 10)
+	od, _ := cat.SpotODPrice(m)
+
+	// A budget covering only ~1 probe/day forces T above 1.2 (skipping
+	// the ten daily small spikes) but keeps the daily 6x event.
+	plan, err := EstimateThreshold(db, cat, od*1.05, from, to, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Threshold <= 1.2 {
+		t.Errorf("threshold = %v, want above the 1.2 crowd", plan.Threshold)
+	}
+	if plan.SampleProb != 1 {
+		t.Errorf("p = %v, want 1 (budget fits at higher T)", plan.SampleProb)
+	}
+	if math.Abs(plan.ExpectedDailyProbes-1) > 1e-9 {
+		t.Errorf("daily probes = %v, want 1 (the 6x event)", plan.ExpectedDailyProbes)
+	}
+	// The sampling alternative keeps T=1 with p < 1.
+	if plan.Alternative == nil {
+		t.Fatal("no sampling alternative")
+	}
+	alt := plan.Alternative
+	if alt.Threshold != 1 || alt.SampleProb >= 1 || alt.SampleProb <= 0 {
+		t.Errorf("alternative = %+v", alt)
+	}
+	if alt.ExpectedDailyCost > od*1.05+1e-9 {
+		t.Errorf("alternative cost %v exceeds budget", alt.ExpectedDailyCost)
+	}
+}
+
+func TestEstimateThresholdSamplesWhenEvenRareEventsOverflow(t *testing.T) {
+	db := store.New()
+	cat := market.New()
+	m := market.SpotID{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux}
+	from, to := seedSpikes(db, m, 7, 10)
+	od, _ := cat.SpotODPrice(m)
+
+	// A budget below one probe/day: even T=10 (one 6x event... none above
+	// 10) — the grid search lands at the top and samples.
+	plan, err := EstimateThreshold(db, cat, od/10, from, to, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SampleProb > 1 {
+		t.Errorf("p = %v > 1", plan.SampleProb)
+	}
+	if plan.ExpectedDailyCost > od/10+1e-9 {
+		t.Errorf("cost %v exceeds budget %v", plan.ExpectedDailyCost, od/10)
+	}
+}
+
+func TestEstimateThresholdRelatedOverhead(t *testing.T) {
+	db := store.New()
+	cat := market.New()
+	m := market.SpotID{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux}
+	from, to := seedSpikes(db, m, 7, 10)
+
+	// Record trigger probes with a 50% rejection (= detection) rate.
+	for i := 0; i < 4; i++ {
+		db.AppendProbe(store.ProbeRecord{
+			At: from.Add(time.Duration(i) * time.Hour), Market: m,
+			Kind: store.ProbeOnDemand, Trigger: store.TriggerSpike,
+			TriggerMarket: m, Rejected: i%2 == 0, Code: "x",
+		})
+	}
+
+	plain, err := EstimateThreshold(db, cat, 1e9, from, to, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := EstimateThreshold(db, cat, 1e9, from, to, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ExpectedDailyCost <= plain.ExpectedDailyCost {
+		t.Errorf("related overhead did not raise cost: %v vs %v",
+			loaded.ExpectedDailyCost, plain.ExpectedDailyCost)
+	}
+	// 24 related markets at 50% detection rate roughly multiplies cost;
+	// sanity-bound the factor.
+	factor := loaded.ExpectedDailyCost / plain.ExpectedDailyCost
+	if factor < 2 || factor > 60 {
+		t.Errorf("overhead factor = %v, implausible", factor)
+	}
+}
+
+func TestEstimateThresholdErrors(t *testing.T) {
+	db := store.New()
+	cat := market.New()
+	from := simtime.StudyEpoch
+	to := from.Add(24 * time.Hour)
+	if _, err := EstimateThreshold(db, cat, 0, from, to, false); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := EstimateThreshold(db, cat, 10, to, from, false); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := EstimateThreshold(db, cat, 10, from, to, false); err != ErrNoHistory {
+		t.Errorf("err = %v, want ErrNoHistory", err)
+	}
+}

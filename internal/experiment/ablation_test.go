@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"spotlight/internal/core"
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+// detectedMinutes totals the study's detected on-demand outage time.
+func detectedMinutes(st *Study) float64 {
+	total := 0.0
+	for _, o := range st.DB.Outages() {
+		if o.Kind != store.ProbeOnDemand {
+			continue
+		}
+		end := o.End
+		if end.IsZero() {
+			end = st.End
+		}
+		total += end.Sub(o.Start).Minutes()
+	}
+	return total
+}
+
+// TestMarketBasedBeatsNaiveAtEqualBudget is the paper's core efficiency
+// claim as a test: at the same dollar budget, spike-triggered probing
+// detects more outage time per dollar than blind periodic probing,
+// because spikes point at exactly the pools running out of capacity.
+func TestMarketBasedBeatsNaiveAtEqualBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation study skipped in -short mode")
+	}
+	run := func(mutate func(*core.Config)) *Study {
+		cfg := core.Config{Budget: 1500, BudgetWindow: 24 * time.Hour}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		st, err := Run(Config{
+			Seed:      42,
+			Days:      2,
+			Regions:   []market.Region{"sa-east-1", "ap-southeast-2"},
+			Spotlight: cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	marketBased := run(nil)
+	naive := run(func(c *core.Config) {
+		c.Threshold = 1000 // spikes never trigger
+		c.PeriodicODProbesPerDay = 2000
+	})
+
+	mbSpend, nvSpend := marketBased.Svc.Spent(), naive.Svc.Spent()
+	if mbSpend <= 0 || nvSpend <= 0 {
+		t.Fatalf("spends = %v / %v; both policies must probe", mbSpend, nvSpend)
+	}
+	mbEff := detectedMinutes(marketBased) / mbSpend
+	nvEff := detectedMinutes(naive) / nvSpend
+	t.Logf("market-based: %.1f outage-min for $%.0f (%.4f min/$)", detectedMinutes(marketBased), mbSpend, mbEff)
+	t.Logf("naive:        %.1f outage-min for $%.0f (%.4f min/$)", detectedMinutes(naive), nvSpend, nvEff)
+	if mbEff <= nvEff {
+		t.Errorf("market-based efficiency %.4f min/$ not above naive %.4f min/$", mbEff, nvEff)
+	}
+}
+
+// TestFamilyProbingMultipliesDetections checks §3.2's rationale: the
+// related-market fan-out finds substantially more unavailability than the
+// trigger probes alone.
+func TestFamilyProbingMultipliesDetections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation study skipped in -short mode")
+	}
+	run := func(disable bool) *Study {
+		st, err := Run(Config{
+			Seed:    42,
+			Days:    2,
+			Regions: []market.Region{"sa-east-1", "ap-southeast-2"},
+			Spotlight: core.Config{
+				DisableFamilyProbing: disable,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	with := detectedMinutes(run(false))
+	without := detectedMinutes(run(true))
+	t.Logf("family probing on: %.0f outage-min; off: %.0f outage-min", with, without)
+	if with <= without {
+		t.Errorf("family probing found %.0f outage-min, no more than %.0f without it", with, without)
+	}
+}

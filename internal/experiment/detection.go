@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"sort"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+// DetectionScore quantifies how much of the platform's true on-demand
+// unavailability SpotLight's probing recovered — the paper's "we evaluate
+// its ability to detect and predict periods of unavailability"
+// (Chapter 1). Precision answers "when SpotLight says a market is out, is
+// it?"; recall answers "how much of the true outage time did probing
+// see?". Market-based probing is deliberately partial — it only looks
+// where prices spike — so recall measures exactly the cost of that
+// frugality.
+type DetectionScore struct {
+	// Precision is true-positive detected time / total detected time.
+	Precision float64
+	// Recall is true-positive detected time / total true outage time.
+	Recall float64
+	// TruePositive is detected time overlapping ground truth.
+	TruePositive time.Duration
+	// Detected is SpotLight's total detected outage time.
+	Detected time.Duration
+	// Truth is the platform's total ground-truth outage time (for the
+	// pool/size pairs SpotLight monitors).
+	Truth time.Duration
+	// DetectedOutages and TruthOutages count intervals.
+	DetectedOutages int
+	TruthOutages    int
+}
+
+// interval is a closed-open time span.
+type interval struct {
+	start, end time.Time
+}
+
+// clip bounds an interval to [from, to]; zero end means ongoing.
+func clip(start, end, from, to time.Time) (interval, bool) {
+	if end.IsZero() {
+		end = to
+	}
+	if start.Before(from) {
+		start = from
+	}
+	if end.After(to) {
+		end = to
+	}
+	if !end.After(start) {
+		return interval{}, false
+	}
+	return interval{start, end}, true
+}
+
+// mergeIntervals unions overlapping spans.
+func mergeIntervals(in []interval) []interval {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].start.Before(in[j].start) })
+	out := []interval{in[0]}
+	for _, iv := range in[1:] {
+		last := &out[len(out)-1]
+		if !iv.start.After(last.end) {
+			if iv.end.After(last.end) {
+				last.end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+func totalDur(in []interval) time.Duration {
+	var d time.Duration
+	for _, iv := range in {
+		d += iv.end.Sub(iv.start)
+	}
+	return d
+}
+
+// overlapDur computes the total overlap between two merged interval sets.
+func overlapDur(a, b []interval) time.Duration {
+	var d time.Duration
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		start := a[i].start
+		if b[j].start.After(start) {
+			start = b[j].start
+		}
+		end := a[i].end
+		if b[j].end.Before(end) {
+			end = b[j].end
+		}
+		if end.After(start) {
+			d += end.Sub(start)
+		}
+		if a[i].end.Before(b[j].end) {
+			i++
+		} else {
+			j++
+		}
+	}
+	return d
+}
+
+// detectionKey identifies one (pool, size) availability series; the three
+// product platforms of one type share it, because they share hardware.
+type detectionKey struct {
+	pool  market.PoolID
+	units int
+}
+
+// DetectionScore compares SpotLight's detected on-demand outages with the
+// simulator's ground truth over the study window.
+func (st *Study) DetectionScore() (DetectionScore, error) {
+	from, to := st.Window()
+	monitored := make(map[market.Region]bool)
+	if len(st.Cfg.Regions) == 0 {
+		for _, r := range st.Cat.Regions() {
+			monitored[r] = true
+		}
+	} else {
+		for _, r := range st.Cfg.Regions {
+			monitored[r] = true
+		}
+	}
+
+	// Detected intervals per (pool, units): the union over the type's
+	// product markets.
+	detected := make(map[detectionKey][]interval)
+	detectedCount := 0
+	for _, o := range st.DB.Outages() {
+		if o.Kind != store.ProbeOnDemand {
+			continue
+		}
+		units, err := st.Cat.Units(o.Market.Type)
+		if err != nil {
+			return DetectionScore{}, err
+		}
+		iv, ok := clip(o.Start, o.End, from, to)
+		if !ok {
+			continue
+		}
+		key := detectionKey{o.Market.Pool(), units}
+		detected[key] = append(detected[key], iv)
+		detectedCount++
+	}
+
+	// Ground truth per (pool, units), restricted to monitored regions.
+	truth := make(map[detectionKey][]interval)
+	truthCount := 0
+	for _, o := range st.Sim.TrueOutages() {
+		if !monitored[o.Pool.Zone.RegionOf()] {
+			continue
+		}
+		iv, ok := clip(o.Start, o.End, from, to)
+		if !ok {
+			continue
+		}
+		key := detectionKey{o.Pool, o.Units}
+		truth[key] = append(truth[key], iv)
+		truthCount++
+	}
+
+	var score DetectionScore
+	score.DetectedOutages = detectedCount
+	score.TruthOutages = truthCount
+	for key, ivs := range detected {
+		merged := mergeIntervals(ivs)
+		score.Detected += totalDur(merged)
+		score.TruePositive += overlapDur(merged, mergeIntervals(truth[key]))
+	}
+	for _, ivs := range truth {
+		score.Truth += totalDur(mergeIntervals(ivs))
+	}
+	if score.Detected > 0 {
+		score.Precision = float64(score.TruePositive) / float64(score.Detected)
+	}
+	if score.Truth > 0 {
+		score.Recall = float64(score.TruePositive) / float64(score.Truth)
+	}
+	return score, nil
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"spotlight/internal/simtime"
+)
+
+func TestIntervalHelpers(t *testing.T) {
+	base := simtime.StudyEpoch
+	at := func(h float64) time.Time { return base.Add(time.Duration(h * float64(time.Hour))) }
+
+	// clip
+	iv, ok := clip(at(1), at(3), at(0), at(24))
+	if !ok || !iv.start.Equal(at(1)) || !iv.end.Equal(at(3)) {
+		t.Errorf("clip inside = %+v ok=%v", iv, ok)
+	}
+	iv, ok = clip(at(-1), at(1), at(0), at(24))
+	if !ok || !iv.start.Equal(at(0)) {
+		t.Errorf("clip left = %+v", iv)
+	}
+	iv, ok = clip(at(1), time.Time{}, at(0), at(24))
+	if !ok || !iv.end.Equal(at(24)) {
+		t.Errorf("clip ongoing = %+v", iv)
+	}
+	if _, ok = clip(at(30), at(31), at(0), at(24)); ok {
+		t.Error("clip outside accepted")
+	}
+
+	// mergeIntervals
+	merged := mergeIntervals([]interval{
+		{at(4), at(5)},
+		{at(1), at(2)},
+		{at(1.5), at(3)},
+	})
+	if len(merged) != 2 {
+		t.Fatalf("merged = %+v, want 2 spans", merged)
+	}
+	if !merged[0].start.Equal(at(1)) || !merged[0].end.Equal(at(3)) {
+		t.Errorf("merged[0] = %+v", merged[0])
+	}
+	if got := totalDur(merged); got != 3*time.Hour {
+		t.Errorf("totalDur = %v, want 3h", got)
+	}
+
+	// overlapDur
+	a := mergeIntervals([]interval{{at(0), at(2)}, {at(4), at(6)}})
+	b := mergeIntervals([]interval{{at(1), at(5)}})
+	if got := overlapDur(a, b); got != 2*time.Hour {
+		t.Errorf("overlapDur = %v, want 2h (1-2 and 4-5)", got)
+	}
+	if got := overlapDur(a, nil); got != 0 {
+		t.Errorf("overlapDur with empty = %v", got)
+	}
+}
+
+func TestDetectionScoreOnStudy(t *testing.T) {
+	st := runShortStudy(t)
+	score, err := st.DetectionScore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.TruthOutages == 0 {
+		t.Skip("no ground-truth outages in the short study")
+	}
+	if score.DetectedOutages == 0 {
+		t.Fatal("SpotLight detected nothing despite true outages")
+	}
+	// Detected time must be real: high precision is the design goal
+	// (SpotLight never invents outages; probes observe actual
+	// rejections). Allow slack for boundary quantization at the tick.
+	if score.Precision < 0.6 {
+		t.Errorf("precision = %.2f, want >= 0.6", score.Precision)
+	}
+	// Market-based probing is deliberately partial: it only probes where
+	// prices spike, so recall is positive but below 1.
+	if score.Recall <= 0 || score.Recall > 1 {
+		t.Errorf("recall = %.2f, want in (0, 1]", score.Recall)
+	}
+	if score.TruePositive > score.Detected || score.TruePositive > score.Truth {
+		t.Errorf("TP %v exceeds detected %v or truth %v", score.TruePositive, score.Detected, score.Truth)
+	}
+}

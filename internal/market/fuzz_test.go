@@ -1,0 +1,41 @@
+package market
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpotID exercises the ID parser with arbitrary input: it must
+// never panic, and whatever it accepts must round-trip through String.
+func FuzzParseSpotID(f *testing.F) {
+	f.Add("us-east-1d:c3.2xlarge:Linux/UNIX")
+	f.Add("sa-east-1a:m3.large:Windows")
+	f.Add("a:b:c")
+	f.Add(":::")
+	f.Add("")
+	f.Add("zone:type:product:extra")
+	f.Add("zone:type")
+	f.Add("\x00:\xff:☃")
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := ParseSpotID(s)
+		if err != nil {
+			return
+		}
+		// Accepted IDs must have non-empty parts.
+		if id.Zone == "" || id.Type == "" || id.Product == "" {
+			t.Fatalf("accepted id with empty component: %q -> %+v", s, id)
+		}
+		// The product may itself contain colons (SplitN with n=3), so
+		// String must reproduce the original input exactly.
+		if got := id.String(); got != s {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+		// Derived accessors must not panic on arbitrary content.
+		_ = id.Region()
+		_ = id.Pool()
+		_ = id.OnDemand()
+		_ = id.Type.Family()
+		_ = id.Type.Size()
+		_ = strings.Contains(string(id.Product), ":")
+	})
+}

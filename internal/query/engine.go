@@ -1,0 +1,401 @@
+// Package query implements SpotLight's query interface (Chapter 3:
+// "SpotLight exports a query interface that enables applications or users
+// to query information about the availability characteristics of
+// different server types and contracts"). The Engine answers queries from
+// the store; the HTTP layer in this package exposes them to applications
+// like SpotCheck and SpotOn for programmatic, automated server selection.
+package query
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/stats"
+	"spotlight/internal/store"
+)
+
+// ErrBadWindow is returned when a query window is empty or inverted.
+var ErrBadWindow = errors.New("query: to must be after from")
+
+// Engine answers availability queries from a SpotLight store.
+type Engine struct {
+	db  *store.Store
+	cat *market.Catalog
+}
+
+// NewEngine builds a query engine over db and the catalog.
+func NewEngine(db *store.Store, cat *market.Catalog) *Engine {
+	return &Engine{db: db, cat: cat}
+}
+
+// overlap returns how much of [from, to] the interval [start, end] covers;
+// a zero end means the interval is still open.
+func overlap(start, end, from, to time.Time) time.Duration {
+	if end.IsZero() {
+		end = to
+	}
+	if start.Before(from) {
+		start = from
+	}
+	if end.After(to) {
+		end = to
+	}
+	if !end.After(start) {
+		return 0
+	}
+	return end.Sub(start)
+}
+
+// unavailability computes the fraction of [from, to] covered by detected
+// outages of the given contract kind.
+func (e *Engine) unavailability(m market.SpotID, kind store.ProbeKind, from, to time.Time) (float64, error) {
+	if !to.After(from) {
+		return 0, ErrBadWindow
+	}
+	total := time.Duration(0)
+	for _, o := range e.db.OutagesFor(m, kind) {
+		total += overlap(o.Start, o.End, from, to)
+	}
+	return float64(total) / float64(to.Sub(from)), nil
+}
+
+// ODUnavailability returns the fraction of the window during which the
+// market's on-demand tier was detected unavailable.
+func (e *Engine) ODUnavailability(m market.SpotID, from, to time.Time) (float64, error) {
+	return e.unavailability(m, store.ProbeOnDemand, from, to)
+}
+
+// SpotUnavailability returns the fraction of the window during which the
+// market's spot tier was detected capacity-not-available.
+func (e *Engine) SpotUnavailability(m market.SpotID, from, to time.Time) (float64, error) {
+	return e.unavailability(m, store.ProbeSpot, from, to)
+}
+
+// StableMarket is one row of a stability ranking.
+type StableMarket struct {
+	Market market.SpotID `json:"market"`
+	// Crossings is how many times the spot price crossed the on-demand
+	// price in the window — each crossing revokes a spot instance bid at
+	// the on-demand price.
+	Crossings int `json:"crossings"`
+	// MTTR is the estimated mean time to revocation for a bid equal to
+	// the on-demand price: window / (crossings + 1). This is the metric
+	// behind the paper's example query ("top ten server types with the
+	// longest mean-time-to-revocation for a bid price equal to the
+	// corresponding on-demand price").
+	MTTR time.Duration `json:"mttrNanos"`
+	// ODUnavailability is the market's detected on-demand outage
+	// fraction over the window.
+	ODUnavailability float64 `json:"odUnavailability"`
+}
+
+// TopStableMarkets ranks the spot markets of a region (all regions when
+// empty) by fewest on-demand-price crossings and returns the n most
+// stable. Product filters to one platform when non-empty.
+func (e *Engine) TopStableMarkets(region market.Region, product market.Product, n int, from, to time.Time) ([]StableMarket, error) {
+	if !to.After(from) {
+		return nil, ErrBadWindow
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	crossings := make(map[market.SpotID]int)
+	for _, sp := range e.db.Spikes() {
+		if sp.At.Before(from) || sp.At.After(to) {
+			continue
+		}
+		if sp.Ratio < 1 {
+			continue
+		}
+		crossings[sp.Market]++
+	}
+	window := to.Sub(from)
+	var rows []StableMarket
+	for _, id := range e.cat.SpotMarkets() {
+		if region != "" && id.Region() != region {
+			continue
+		}
+		if product != "" && id.Product != product {
+			continue
+		}
+		c := crossings[id]
+		unav, err := e.ODUnavailability(id, from, to)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, StableMarket{
+			Market:           id,
+			Crossings:        c,
+			MTTR:             window / time.Duration(c+1),
+			ODUnavailability: unav,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Crossings != rows[j].Crossings {
+			return rows[i].Crossings < rows[j].Crossings
+		}
+		if rows[i].ODUnavailability != rows[j].ODUnavailability {
+			return rows[i].ODUnavailability < rows[j].ODUnavailability
+		}
+		return rows[i].Market.String() < rows[j].Market.String()
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows, nil
+}
+
+// Fallback is one recommended fail-over market.
+type Fallback struct {
+	Market market.SpotID `json:"market"`
+	// ODUnavailability is the candidate's detected on-demand outage
+	// fraction (lower is better: this is the pool an application fails
+	// over to when its spot server is revoked).
+	ODUnavailability float64 `json:"odUnavailability"`
+	// Crossings counts the candidate's own spot spikes in the window.
+	Crossings int `json:"crossings"`
+}
+
+// RecommendFallback returns up to n markets from *different families* in
+// the same region whose on-demand tier was most available during the
+// window — the uncorrelated fail-over targets that restore SpotCheck and
+// SpotOn to near-100% availability (Chapter 6).
+func (e *Engine) RecommendFallback(m market.SpotID, n int, from, to time.Time) ([]Fallback, error) {
+	if !to.After(from) {
+		return nil, ErrBadWindow
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	crossings := make(map[market.SpotID]int)
+	for _, sp := range e.db.Spikes() {
+		if sp.At.Before(from) || sp.At.After(to) || sp.Ratio < 1 {
+			continue
+		}
+		crossings[sp.Market]++
+	}
+	var rows []Fallback
+	for _, cand := range e.cat.UncorrelatedCandidates(m) {
+		unav, err := e.ODUnavailability(cand, from, to)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fallback{
+			Market:           cand,
+			ODUnavailability: unav,
+			Crossings:        crossings[cand],
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ODUnavailability != rows[j].ODUnavailability {
+			return rows[i].ODUnavailability < rows[j].ODUnavailability
+		}
+		if rows[i].Crossings != rows[j].Crossings {
+			return rows[i].Crossings < rows[j].Crossings
+		}
+		return rows[i].Market.String() < rows[j].Market.String()
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows, nil
+}
+
+// RegionSummary aggregates detected availability per region.
+type RegionSummary struct {
+	Region            market.Region `json:"region"`
+	ODOutages         int           `json:"odOutages"`
+	SpotOutages       int           `json:"spotOutages"`
+	MeanODOutage      time.Duration `json:"meanODOutageNanos"`
+	RejectedODProbes  int           `json:"rejectedODProbes"`
+	TotalODProbes     int           `json:"totalODProbes"`
+	RejectedSpotPcnt  float64       `json:"rejectedSpotPcnt"`
+	TotalSpotProbes   int           `json:"totalSpotProbes"`
+	SpikesAboveOD     int           `json:"spikesAboveOD"`
+	ObservedSpikesAll int           `json:"observedSpikesAll"`
+}
+
+// Summary aggregates the store per region at instant now (used to close
+// ongoing outages).
+func (e *Engine) Summary(now time.Time) []RegionSummary {
+	byRegion := make(map[market.Region]*RegionSummary)
+	get := func(r market.Region) *RegionSummary {
+		s, ok := byRegion[r]
+		if !ok {
+			s = &RegionSummary{Region: r}
+			byRegion[r] = s
+		}
+		return s
+	}
+	odDur := make(map[market.Region]time.Duration)
+	for _, o := range e.db.Outages() {
+		s := get(o.Market.Region())
+		switch o.Kind {
+		case store.ProbeOnDemand:
+			s.ODOutages++
+			odDur[o.Market.Region()] += o.Duration(now)
+		case store.ProbeSpot:
+			s.SpotOutages++
+		}
+	}
+	for _, p := range e.db.Probes() {
+		s := get(p.Market.Region())
+		switch p.Kind {
+		case store.ProbeOnDemand:
+			s.TotalODProbes++
+			if p.Rejected {
+				s.RejectedODProbes++
+			}
+		case store.ProbeSpot:
+			s.TotalSpotProbes++
+			if p.Rejected {
+				s.RejectedSpotPcnt++ // count; normalized below
+			}
+		}
+	}
+	for _, sp := range e.db.Spikes() {
+		s := get(sp.Market.Region())
+		s.ObservedSpikesAll++
+		if sp.Ratio >= 1 {
+			s.SpikesAboveOD++
+		}
+	}
+	var out []RegionSummary
+	for r, s := range byRegion {
+		if s.ODOutages > 0 {
+			s.MeanODOutage = odDur[r] / time.Duration(s.ODOutages)
+		}
+		if s.TotalSpotProbes > 0 {
+			s.RejectedSpotPcnt = s.RejectedSpotPcnt / float64(s.TotalSpotProbes)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
+	return out
+}
+
+// MarketInfo is one row of the market-discovery listing.
+type MarketInfo struct {
+	Market        market.SpotID `json:"market"`
+	OnDemandPrice float64       `json:"onDemandPrice"`
+	Family        string        `json:"family"`
+	Units         int           `json:"units"`
+}
+
+// Markets lists the catalog's spot markets, optionally filtered by region
+// and product — the discovery call an application makes before asking
+// availability questions.
+func (e *Engine) Markets(region market.Region, product market.Product) ([]MarketInfo, error) {
+	var out []MarketInfo
+	for _, id := range e.cat.SpotMarkets() {
+		if region != "" && id.Region() != region {
+			continue
+		}
+		if product != "" && id.Product != product {
+			continue
+		}
+		od, err := e.cat.SpotODPrice(id)
+		if err != nil {
+			return nil, err
+		}
+		units, err := e.cat.Units(id.Type)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MarketInfo{
+			Market:        id,
+			OnDemandPrice: od,
+			Family:        string(id.Type.Family()),
+			Units:         units,
+		})
+	}
+	return out, nil
+}
+
+// AvailabilityCorrelation returns the Pearson correlation of the two
+// markets' detected on-demand outage indicators, sampled over [from, to]
+// at the given resolution (default 5 minutes). This is the quantitative
+// backing for Chapter 6's "select markets that are independent, i.e.,
+// hosted on different physical servers": a good fallback market has a
+// correlation near zero (or is never out at all, in which case the
+// correlation is also zero).
+func (e *Engine) AvailabilityCorrelation(m1, m2 market.SpotID, from, to time.Time, resolution time.Duration) (float64, error) {
+	if !to.After(from) {
+		return 0, ErrBadWindow
+	}
+	if resolution <= 0 {
+		resolution = 5 * time.Minute
+	}
+	indicator := func(m market.SpotID) []float64 {
+		outs := e.db.OutagesFor(m, store.ProbeOnDemand)
+		var series []float64
+		for t := from; t.Before(to); t = t.Add(resolution) {
+			v := 0.0
+			for _, o := range outs {
+				end := o.End
+				if end.IsZero() {
+					end = to
+				}
+				if !t.Before(o.Start) && t.Before(end) {
+					v = 1
+					break
+				}
+			}
+			series = append(series, v)
+		}
+		return series
+	}
+	return stats.Pearson(indicator(m1), indicator(m2))
+}
+
+// PriceStats summarizes a recorded price series over a window.
+type PriceStats struct {
+	Market  market.SpotID `json:"market"`
+	Samples int           `json:"samples"`
+	Min     float64       `json:"min"`
+	Mean    float64       `json:"mean"`
+	Max     float64       `json:"max"`
+}
+
+// Prices returns the recorded price points of a market within the window.
+func (e *Engine) Prices(m market.SpotID, from, to time.Time) ([]store.PricePoint, error) {
+	if !to.After(from) {
+		return nil, ErrBadWindow
+	}
+	var out []store.PricePoint
+	for _, p := range e.db.Prices(m) {
+		if p.At.Before(from) || p.At.After(to) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// PriceSummary computes min/mean/max of the recorded series in a window.
+func (e *Engine) PriceSummary(m market.SpotID, from, to time.Time) (PriceStats, error) {
+	pts, err := e.Prices(m, from, to)
+	if err != nil {
+		return PriceStats{}, err
+	}
+	st := PriceStats{Market: m, Samples: len(pts)}
+	if len(pts) == 0 {
+		return st, nil
+	}
+	st.Min = pts[0].Price
+	st.Max = pts[0].Price
+	sum := 0.0
+	for _, p := range pts {
+		if p.Price < st.Min {
+			st.Min = p.Price
+		}
+		if p.Price > st.Max {
+			st.Max = p.Price
+		}
+		sum += p.Price
+	}
+	st.Mean = sum / float64(len(pts))
+	return st, nil
+}

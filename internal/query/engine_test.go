@@ -1,0 +1,256 @@
+package query
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+var (
+	mktA = market.SpotID{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux}
+	mktB = market.SpotID{Zone: "us-east-1a", Type: "m3.large", Product: market.ProductLinux}
+	t0   = time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func seededEngine(t *testing.T) (*Engine, *store.Store) {
+	t.Helper()
+	db := store.New()
+	return NewEngine(db, market.New()), db
+}
+
+// addOutage injects a detected outage through the probe path.
+func addOutage(db *store.Store, m market.SpotID, kind store.ProbeKind, start, end time.Time) {
+	db.AppendProbe(store.ProbeRecord{At: start, Market: m, Kind: kind, Rejected: true, Code: "x"})
+	if !end.IsZero() {
+		db.AppendProbe(store.ProbeRecord{At: end, Market: m, Kind: kind})
+	}
+}
+
+func TestODUnavailabilityFraction(t *testing.T) {
+	e, db := seededEngine(t)
+	// 6 hours of outage inside a 24-hour window = 25%.
+	addOutage(db, mktA, store.ProbeOnDemand, t0.Add(6*time.Hour), t0.Add(12*time.Hour))
+	got, err := e.ODUnavailability(mktA, t0, t0.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("unavailability = %v, want 0.25", got)
+	}
+	// A different market is unaffected.
+	got, _ = e.ODUnavailability(mktB, t0, t0.Add(24*time.Hour))
+	if got != 0 {
+		t.Errorf("unrelated market unavailability = %v, want 0", got)
+	}
+}
+
+func TestUnavailabilityClipsToWindow(t *testing.T) {
+	e, db := seededEngine(t)
+	// Outage spans 22:00 day0 to 02:00 day1; window is day1 only.
+	addOutage(db, mktA, store.ProbeOnDemand, t0.Add(-2*time.Hour), t0.Add(2*time.Hour))
+	got, err := e.ODUnavailability(mktA, t0, t0.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / 24.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("clipped unavailability = %v, want %v", got, want)
+	}
+}
+
+func TestOngoingOutageCountsToWindowEnd(t *testing.T) {
+	e, db := seededEngine(t)
+	addOutage(db, mktA, store.ProbeOnDemand, t0.Add(12*time.Hour), time.Time{})
+	got, err := e.ODUnavailability(mktA, t0, t0.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("ongoing unavailability = %v, want 0.5", got)
+	}
+}
+
+func TestBadWindows(t *testing.T) {
+	e, _ := seededEngine(t)
+	if _, err := e.ODUnavailability(mktA, t0, t0); err != ErrBadWindow {
+		t.Errorf("empty window err = %v, want ErrBadWindow", err)
+	}
+	if _, err := e.TopStableMarkets("", "", 5, t0, t0.Add(-time.Hour)); err != ErrBadWindow {
+		t.Errorf("inverted window err = %v, want ErrBadWindow", err)
+	}
+	if _, err := e.RecommendFallback(mktA, 5, t0, t0); err != ErrBadWindow {
+		t.Errorf("fallback empty window err = %v, want ErrBadWindow", err)
+	}
+	if _, err := e.Prices(mktA, t0, t0); err != ErrBadWindow {
+		t.Errorf("prices empty window err = %v, want ErrBadWindow", err)
+	}
+}
+
+func TestTopStableMarkets(t *testing.T) {
+	e, db := seededEngine(t)
+	to := t0.Add(7 * 24 * time.Hour)
+	// mktA crosses the on-demand price 5 times; mktB never does.
+	for i := 0; i < 5; i++ {
+		db.AppendSpike(store.SpikeEvent{At: t0.Add(time.Duration(i) * time.Hour), Market: mktA, Ratio: 1.5})
+	}
+	db.AppendSpike(store.SpikeEvent{At: t0, Market: mktB, Ratio: 0.5}) // sub-OD: not a crossing
+
+	rows, err := e.TopStableMarkets("us-east-1", market.ProductLinux, 1000, t0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5*53 {
+		t.Fatalf("rows = %d, want one per us-east-1 Linux market", len(rows))
+	}
+	// mktA must rank last among zero-crossing peers (it has 5 crossings).
+	last := rows[len(rows)-1]
+	if last.Market != mktA || last.Crossings != 5 {
+		t.Errorf("least stable = %+v, want %v with 5 crossings", last, mktA)
+	}
+	wantMTTR := to.Sub(t0) / 6
+	if last.MTTR != wantMTTR {
+		t.Errorf("MTTR = %v, want %v", last.MTTR, wantMTTR)
+	}
+	// The most stable rows have zero crossings.
+	if rows[0].Crossings != 0 {
+		t.Errorf("most stable has %d crossings, want 0", rows[0].Crossings)
+	}
+}
+
+func TestTopStableMarketsLimitsN(t *testing.T) {
+	e, _ := seededEngine(t)
+	rows, err := e.TopStableMarkets("", "", 10, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Errorf("rows = %d, want 10", len(rows))
+	}
+	if rows, _ = e.TopStableMarkets("", "", 0, t0, t0.Add(time.Hour)); rows != nil {
+		t.Errorf("n=0 rows = %v, want nil", rows)
+	}
+}
+
+func TestRecommendFallbackAvoidsFamilyAndPrefersAvailable(t *testing.T) {
+	e, db := seededEngine(t)
+	to := t0.Add(24 * time.Hour)
+	// Make one candidate family visibly bad.
+	bad := market.SpotID{Zone: "us-east-1d", Type: "m3.large", Product: market.ProductLinux}
+	addOutage(db, bad, store.ProbeOnDemand, t0, t0.Add(12*time.Hour))
+
+	rows, err := e.RecommendFallback(mktA, 5, t0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, row := range rows {
+		if row.Market.Type.Family() == "c3" {
+			t.Errorf("fallback %v shares the trigger family", row.Market)
+		}
+		if row.Market == bad {
+			t.Errorf("fallback recommended the known-bad market")
+		}
+		if row.ODUnavailability != 0 {
+			t.Errorf("fallback %v has unavailability %v, want 0", row.Market, row.ODUnavailability)
+		}
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	e, db := seededEngine(t)
+	now := t0.Add(24 * time.Hour)
+	addOutage(db, mktA, store.ProbeOnDemand, t0, t0.Add(time.Hour))
+	db.AppendProbe(store.ProbeRecord{At: t0, Market: mktA, Kind: store.ProbeSpot, Rejected: true, Code: "capacity-not-available"})
+	db.AppendProbe(store.ProbeRecord{At: t0, Market: mktA, Kind: store.ProbeSpot})
+	db.AppendSpike(store.SpikeEvent{At: t0, Market: mktA, Ratio: 2})
+	db.AppendSpike(store.SpikeEvent{At: t0, Market: mktA, Ratio: 0.5})
+
+	sums := e.Summary(now)
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d, want 1 region", len(sums))
+	}
+	s := sums[0]
+	if s.Region != "us-east-1" {
+		t.Errorf("region = %v", s.Region)
+	}
+	if s.ODOutages != 1 || s.MeanODOutage != time.Hour {
+		t.Errorf("od outages = %d mean %v", s.ODOutages, s.MeanODOutage)
+	}
+	if s.TotalODProbes != 2 || s.RejectedODProbes != 1 {
+		t.Errorf("od probes = %d/%d", s.RejectedODProbes, s.TotalODProbes)
+	}
+	if s.TotalSpotProbes != 2 || math.Abs(s.RejectedSpotPcnt-0.5) > 1e-9 {
+		t.Errorf("spot probes = %d rejected frac %v", s.TotalSpotProbes, s.RejectedSpotPcnt)
+	}
+	if s.SpikesAboveOD != 1 || s.ObservedSpikesAll != 2 {
+		t.Errorf("spikes = %d/%d", s.SpikesAboveOD, s.ObservedSpikesAll)
+	}
+}
+
+func TestAvailabilityCorrelation(t *testing.T) {
+	e, db := seededEngine(t)
+	to := t0.Add(24 * time.Hour)
+	// Perfectly overlapping outages -> correlation 1.
+	addOutage(db, mktA, store.ProbeOnDemand, t0.Add(2*time.Hour), t0.Add(4*time.Hour))
+	addOutage(db, mktB, store.ProbeOnDemand, t0.Add(2*time.Hour), t0.Add(4*time.Hour))
+	r, err := e.AvailabilityCorrelation(mktA, mktB, t0, to, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-9 {
+		t.Errorf("overlapping outages corr = %v, want 1", r)
+	}
+	// A market that never fails has zero variance -> correlation 0.
+	never := market.SpotID{Zone: "us-west-2a", Type: "m4.large", Product: market.ProductLinux}
+	r, err = e.AvailabilityCorrelation(mktA, never, t0, to, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("corr with always-available market = %v, want 0", r)
+	}
+	// Disjoint outages are anti-correlated.
+	disjoint := market.SpotID{Zone: "eu-west-1a", Type: "r3.large", Product: market.ProductLinux}
+	addOutage(db, disjoint, store.ProbeOnDemand, t0.Add(10*time.Hour), t0.Add(12*time.Hour))
+	r, err = e.AvailabilityCorrelation(mktA, disjoint, t0, to, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= 0 {
+		t.Errorf("disjoint outages corr = %v, want negative", r)
+	}
+	if _, err := e.AvailabilityCorrelation(mktA, mktB, to, t0, 0); err != ErrBadWindow {
+		t.Errorf("err = %v, want ErrBadWindow", err)
+	}
+}
+
+func TestPricesAndSummaryStats(t *testing.T) {
+	e, db := seededEngine(t)
+	for i, p := range []float64{0.1, 0.3, 0.2} {
+		db.RecordPrice(mktA, store.PricePoint{At: t0.Add(time.Duration(i) * time.Hour), Price: p})
+	}
+	db.RecordPrice(mktA, store.PricePoint{At: t0.Add(48 * time.Hour), Price: 9}) // outside window
+
+	st, err := e.PriceSummary(mktA, t0, t0.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 3 {
+		t.Fatalf("samples = %d, want 3", st.Samples)
+	}
+	if st.Min != 0.1 || st.Max != 0.3 || math.Abs(st.Mean-0.2) > 1e-9 {
+		t.Errorf("stats = %+v", st)
+	}
+	empty, err := e.PriceSummary(mktB, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Samples != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

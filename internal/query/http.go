@@ -1,0 +1,293 @@
+package query
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"spotlight/internal/market"
+)
+
+// API serves the query engine over HTTP/JSON. Endpoints:
+//
+//	GET /v1/unavailability?market=Z:T:P&kind=od|spot&from=RFC3339&to=RFC3339
+//	GET /v1/stable?region=R&product=P&n=10&from=...&to=...
+//	GET /v1/fallback?market=Z:T:P&n=5&from=...&to=...
+//	GET /v1/prices?market=Z:T:P&from=...&to=...
+//	GET /v1/summary
+//
+// Market IDs use the "zone:type:product" form of market.SpotID.String.
+type API struct {
+	engine *Engine
+	// Now supplies the "current" instant for summary queries; the
+	// daemon wires it to the simulation clock.
+	Now func() time.Time
+}
+
+// NewAPI builds the HTTP layer over an engine.
+func NewAPI(engine *Engine, now func() time.Time) *API {
+	if now == nil {
+		now = time.Now
+	}
+	return &API{engine: engine, Now: now}
+}
+
+// Handler returns the routed HTTP handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/unavailability", a.handleUnavailability)
+	mux.HandleFunc("GET /v1/stable", a.handleStable)
+	mux.HandleFunc("GET /v1/volatile", a.handleVolatile)
+	mux.HandleFunc("GET /v1/fallback", a.handleFallback)
+	mux.HandleFunc("GET /v1/prices", a.handlePrices)
+	mux.HandleFunc("GET /v1/outages", a.handleOutages)
+	mux.HandleFunc("GET /v1/predict", a.handlePredict)
+	mux.HandleFunc("GET /v1/reserved-value", a.handleReservedValue)
+	mux.HandleFunc("GET /v1/markets", a.handleMarkets)
+	mux.HandleFunc("GET /v1/summary", a.handleSummary)
+	return mux
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if he, ok := err.(*httpError); ok {
+		status = he.status
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// parseWindow reads from/to query parameters; both are required.
+func parseWindow(r *http.Request) (from, to time.Time, err error) {
+	from, err = time.Parse(time.RFC3339, r.URL.Query().Get("from"))
+	if err != nil {
+		return from, to, &httpError{http.StatusBadRequest, "bad or missing 'from' (RFC3339)"}
+	}
+	to, err = time.Parse(time.RFC3339, r.URL.Query().Get("to"))
+	if err != nil {
+		return from, to, &httpError{http.StatusBadRequest, "bad or missing 'to' (RFC3339)"}
+	}
+	return from, to, nil
+}
+
+func parseMarket(r *http.Request) (market.SpotID, error) {
+	id, err := market.ParseSpotID(r.URL.Query().Get("market"))
+	if err != nil {
+		return market.SpotID{}, &httpError{http.StatusBadRequest, "bad or missing 'market' (zone:type:product)"}
+	}
+	return id, nil
+}
+
+func parseN(r *http.Request, def int) int {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil || n <= 0 {
+		return def
+	}
+	return n
+}
+
+func (a *API) handleUnavailability(w http.ResponseWriter, r *http.Request) {
+	id, err := parseMarket(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	from, to, err := parseWindow(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var frac float64
+	switch r.URL.Query().Get("kind") {
+	case "", "od", "on-demand":
+		frac, err = a.engine.ODUnavailability(id, from, to)
+	case "spot":
+		frac, err = a.engine.SpotUnavailability(id, from, to)
+	default:
+		writeErr(w, &httpError{http.StatusBadRequest, "kind must be od or spot"})
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"market":         id.String(),
+		"unavailability": frac,
+		"availability":   1 - frac,
+	})
+}
+
+func (a *API) handleStable(w http.ResponseWriter, r *http.Request) {
+	from, to, err := parseWindow(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	region := market.Region(r.URL.Query().Get("region"))
+	product := market.Product(r.URL.Query().Get("product"))
+	rows, err := a.engine.TopStableMarkets(region, product, parseN(r, 10), from, to)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, rows)
+}
+
+func (a *API) handleFallback(w http.ResponseWriter, r *http.Request) {
+	id, err := parseMarket(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	from, to, err := parseWindow(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rows, err := a.engine.RecommendFallback(id, parseN(r, 5), from, to)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, rows)
+}
+
+func (a *API) handlePrices(w http.ResponseWriter, r *http.Request) {
+	id, err := parseMarket(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	from, to, err := parseWindow(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	pts, err := a.engine.Prices(id, from, to)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, pts)
+}
+
+func (a *API) handleVolatile(w http.ResponseWriter, r *http.Request) {
+	from, to, err := parseWindow(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	region := market.Region(r.URL.Query().Get("region"))
+	product := market.Product(r.URL.Query().Get("product"))
+	rows, err := a.engine.TopVolatileMarkets(region, product, parseN(r, 10), from, to)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, rows)
+}
+
+func (a *API) handleOutages(w http.ResponseWriter, r *http.Request) {
+	id, err := parseMarket(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	from, to, err := parseWindow(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rows, err := a.engine.Outages(id, from, to)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, rows)
+}
+
+func (a *API) handlePredict(w http.ResponseWriter, r *http.Request) {
+	id, err := parseMarket(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	from, to, err := parseWindow(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	ratio, err := strconv.ParseFloat(r.URL.Query().Get("ratio"), 64)
+	if err != nil || ratio < 0 {
+		writeErr(w, &httpError{http.StatusBadRequest, "bad or missing 'ratio' (spike multiple)"})
+		return
+	}
+	horizon := 900 * time.Second
+	if hs := r.URL.Query().Get("horizon"); hs != "" {
+		horizon, err = time.ParseDuration(hs)
+		if err != nil || horizon <= 0 {
+			writeErr(w, &httpError{http.StatusBadRequest, "bad 'horizon' duration"})
+			return
+		}
+	}
+	pred, err := a.engine.PredictOutage(id, ratio, horizon, from, to)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, pred)
+}
+
+func (a *API) handleReservedValue(w http.ResponseWriter, r *http.Request) {
+	id, err := parseMarket(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	from, to, err := parseWindow(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	util, err := strconv.ParseFloat(r.URL.Query().Get("utilization"), 64)
+	if err != nil || util < 0 || util > 1 {
+		writeErr(w, &httpError{http.StatusBadRequest, "bad or missing 'utilization' in [0,1]"})
+		return
+	}
+	rv, err := a.engine.ReservedValue(id, util, from, to)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, rv)
+}
+
+func (a *API) handleMarkets(w http.ResponseWriter, r *http.Request) {
+	region := market.Region(r.URL.Query().Get("region"))
+	product := market.Product(r.URL.Query().Get("product"))
+	rows, err := a.engine.Markets(region, product)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, rows)
+}
+
+func (a *API) handleSummary(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, a.engine.Summary(a.Now()))
+}

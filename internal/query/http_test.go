@@ -1,0 +1,177 @@
+package query
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	db := store.New()
+	api := NewAPI(NewEngine(db, market.New()), func() time.Time { return t0.Add(24 * time.Hour) })
+	srv := httptest.NewServer(api.Handler())
+	t.Cleanup(srv.Close)
+	return srv, db
+}
+
+func get(t *testing.T, srv *httptest.Server, path string, q url.Values) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path + "?" + q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [1 << 16]byte
+	n, _ := resp.Body.Read(buf[:])
+	return resp, buf[:n]
+}
+
+func window() url.Values {
+	return url.Values{
+		"from": {t0.Format(time.RFC3339)},
+		"to":   {t0.Add(24 * time.Hour).Format(time.RFC3339)},
+	}
+}
+
+func TestHTTPUnavailability(t *testing.T) {
+	srv, db := testServer(t)
+	addOutage(db, mktA, store.ProbeOnDemand, t0, t0.Add(6*time.Hour))
+
+	q := window()
+	q.Set("market", mktA.String())
+	resp, body := get(t, srv, "/v1/unavailability", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d body=%s", resp.StatusCode, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out["unavailability"].(float64); got != 0.25 {
+		t.Errorf("unavailability = %v, want 0.25", got)
+	}
+	if got := out["availability"].(float64); got != 0.75 {
+		t.Errorf("availability = %v, want 0.75", got)
+	}
+}
+
+func TestHTTPUnavailabilitySpotKind(t *testing.T) {
+	srv, db := testServer(t)
+	addOutage(db, mktA, store.ProbeSpot, t0, t0.Add(12*time.Hour))
+	q := window()
+	q.Set("market", mktA.String())
+	q.Set("kind", "spot")
+	resp, body := get(t, srv, "/v1/unavailability", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out["unavailability"].(float64); got != 0.5 {
+		t.Errorf("spot unavailability = %v, want 0.5", got)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	tests := []struct {
+		path string
+		q    url.Values
+	}{
+		{"/v1/unavailability", url.Values{}},                          // no market
+		{"/v1/unavailability", url.Values{"market": {mktA.String()}}}, // no window
+		{"/v1/unavailability", func() url.Values { q := window(); q.Set("market", mktA.String()); q.Set("kind", "weird"); return q }()},
+		{"/v1/fallback", window()}, // no market
+		{"/v1/prices", window()},   // no market
+		{"/v1/stable", url.Values{"from": {"garbage"}, "to": {"garbage"}}},
+	}
+	for _, tt := range tests {
+		resp, _ := get(t, srv, tt.path, tt.q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s?%s status = %d, want 400", tt.path, tt.q.Encode(), resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPStable(t *testing.T) {
+	srv, db := testServer(t)
+	db.AppendSpike(store.SpikeEvent{At: t0.Add(time.Hour), Market: mktA, Ratio: 2})
+	q := window()
+	q.Set("region", "us-east-1")
+	q.Set("n", "3")
+	resp, body := get(t, srv, "/v1/stable", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d body=%s", resp.StatusCode, body)
+	}
+	var rows []StableMarket
+	if err := json.Unmarshal(body, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("rows = %d, want 3", len(rows))
+	}
+}
+
+func TestHTTPFallback(t *testing.T) {
+	srv, _ := testServer(t)
+	q := window()
+	q.Set("market", mktA.String())
+	q.Set("n", "4")
+	resp, body := get(t, srv, "/v1/fallback", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d body=%s", resp.StatusCode, body)
+	}
+	var rows []Fallback
+	if err := json.Unmarshal(body, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Errorf("rows = %d, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if row.Market.Type.Family() == "c3" {
+			t.Errorf("fallback %v shares the trigger family", row.Market)
+		}
+	}
+}
+
+func TestHTTPPricesAndSummary(t *testing.T) {
+	srv, db := testServer(t)
+	db.RecordPrice(mktA, store.PricePoint{At: t0.Add(time.Hour), Price: 0.42})
+	db.AppendProbe(store.ProbeRecord{At: t0, Market: mktA, Kind: store.ProbeOnDemand, Rejected: true, Code: "x"})
+
+	q := window()
+	q.Set("market", mktA.String())
+	resp, body := get(t, srv, "/v1/prices", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prices status = %d", resp.StatusCode)
+	}
+	var pts []store.PricePoint
+	if err := json.Unmarshal(body, &pts); err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Price != 0.42 {
+		t.Errorf("prices = %+v", pts)
+	}
+
+	resp, body = get(t, srv, "/v1/summary", url.Values{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary status = %d", resp.StatusCode)
+	}
+	var sums []RegionSummary
+	if err := json.Unmarshal(body, &sums); err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].Region != "us-east-1" {
+		t.Errorf("summary = %+v", sums)
+	}
+}

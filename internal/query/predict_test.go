@@ -1,0 +1,186 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+func TestReservedValueDecisions(t *testing.T) {
+	e, db := seededEngine(t)
+	to := t0.Add(30 * 24 * time.Hour)
+
+	// mktA: perfectly available on-demand tier.
+	// mktB: 5% measured unavailability.
+	addOutage(db, mktB, store.ProbeOnDemand, t0, t0.Add(36*time.Hour))
+
+	// Low duty cycle + healthy market: stay on-demand.
+	rv, err := e.ReservedValue(mktA, 0.2, t0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Reserve {
+		t.Errorf("healthy market at 20%% duty recommended reserve: %+v", rv)
+	}
+	if math.Abs(rv.BreakEvenUtilization-(1-DefaultReservedDiscount)) > 1e-9 {
+		t.Errorf("break-even = %v", rv.BreakEvenUtilization)
+	}
+	// High duty cycle: reserve on cost grounds.
+	rv, err = e.ReservedValue(mktA, 0.9, t0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rv.Reserve {
+		t.Errorf("90%% duty cycle not recommended reserve: %+v", rv)
+	}
+	// Low duty cycle but unreliable on-demand: reserve for the
+	// guarantee (the paper's "a reserved server in Brazil is worth
+	// more").
+	rv, err = e.ReservedValue(mktB, 0.2, t0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rv.Reserve {
+		t.Errorf("unreliable market not recommended reserve: %+v", rv)
+	}
+	if rv.ODUnavailability < 0.04 {
+		t.Errorf("measured unavailability = %v, want ~0.05", rv.ODUnavailability)
+	}
+	if _, err := e.ReservedValue(mktA, 0.5, to, t0); err != ErrBadWindow {
+		t.Errorf("err = %v, want ErrBadWindow", err)
+	}
+	if _, err := e.ReservedValue(market.SpotID{Zone: "atlantis-1a", Type: "x", Product: "y"}, 0.5, t0, to); err == nil {
+		t.Error("unknown market accepted")
+	}
+}
+
+// seedPredictionHistory writes n spikes at the given ratio for m starting
+// at `start`, one per hour; every k-th spike is followed by a detected
+// outage.
+func seedPredictionHistory(db *store.Store, m market.SpotID, start time.Time, n int, ratio float64, everyK int) {
+	for i := 0; i < n; i++ {
+		at := start.Add(time.Duration(i) * time.Hour)
+		db.AppendSpike(store.SpikeEvent{At: at, Market: m, Ratio: ratio})
+		if everyK > 0 && i%everyK == 0 {
+			// An outage inside the prediction window.
+			db.AppendProbe(store.ProbeRecord{
+				At: at.Add(time.Minute), Market: m, Kind: store.ProbeOnDemand,
+				Trigger: store.TriggerSpike, TriggerMarket: m, Rejected: true, Code: "x",
+			})
+			db.AppendProbe(store.ProbeRecord{
+				At: at.Add(5 * time.Minute), Market: m, Kind: store.ProbeOnDemand,
+				Trigger: store.TriggerRecheck, TriggerMarket: m,
+			})
+		}
+	}
+}
+
+func TestPredictOutageMarketBasis(t *testing.T) {
+	e, db := seededEngine(t)
+	to := t0.Add(60 * 24 * time.Hour)
+	// 40 spikes at 3x on mktA, every 4th followed by an outage: P = 0.25.
+	seedPredictionHistory(db, mktA, t0, 40, 3, 4)
+
+	pred, err := e.PredictOutage(mktA, 2, 900*time.Second, t0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Basis != BasisMarket {
+		t.Errorf("basis = %v, want market (40 samples)", pred.Basis)
+	}
+	if pred.Samples != 40 {
+		t.Errorf("samples = %d, want 40", pred.Samples)
+	}
+	if math.Abs(pred.Probability-0.25) > 1e-9 {
+		t.Errorf("probability = %v, want 0.25", pred.Probability)
+	}
+}
+
+func TestPredictOutageFallsBackToRegion(t *testing.T) {
+	e, db := seededEngine(t)
+	to := t0.Add(60 * 24 * time.Hour)
+	// Only 5 spikes on mktA itself (insufficient), but 35 more on a
+	// sibling market in the same region: the region level has support.
+	seedPredictionHistory(db, mktA, t0, 5, 3, 1) // all correlated
+	sibling := market.SpotID{Zone: "us-east-1a", Type: "m4.large", Product: market.ProductLinux}
+	seedPredictionHistory(db, sibling, t0, 35, 3, 0) // none correlated
+
+	pred, err := e.PredictOutage(mktA, 2, 900*time.Second, t0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Basis != BasisRegion {
+		t.Errorf("basis = %v, want region", pred.Basis)
+	}
+	if pred.Samples != 40 {
+		t.Errorf("samples = %d, want 40", pred.Samples)
+	}
+	if math.Abs(pred.Probability-5.0/40) > 1e-9 {
+		t.Errorf("probability = %v, want 0.125", pred.Probability)
+	}
+}
+
+func TestPredictOutageGlobalFallback(t *testing.T) {
+	e, db := seededEngine(t)
+	to := t0.Add(60 * 24 * time.Hour)
+	// All history lives in another region.
+	other := market.SpotID{Zone: "sa-east-1a", Type: "m3.large", Product: market.ProductLinux}
+	seedPredictionHistory(db, other, t0, 30, 3, 3)
+	pred, err := e.PredictOutage(mktA, 2, 900*time.Second, t0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Basis != BasisGlobal {
+		t.Errorf("basis = %v, want global", pred.Basis)
+	}
+	if pred.Samples != 30 {
+		t.Errorf("samples = %d, want 30", pred.Samples)
+	}
+	if pred.Probability <= 0.2 || pred.Probability >= 0.5 {
+		t.Errorf("probability = %v, want ~1/3", pred.Probability)
+	}
+}
+
+func TestPredictOutageRatioFilter(t *testing.T) {
+	e, db := seededEngine(t)
+	to := t0.Add(60 * 24 * time.Hour)
+	// Interleave the two spike populations far apart in time so the big
+	// spikes' outages cannot bleed into the small spikes' windows.
+	seedPredictionHistory(db, mktA, t0, 30, 1.5, 0)                  // small spikes, no outages
+	seedPredictionHistory(db, mktA, t0.Add(720*time.Hour), 30, 5, 1) // big spikes, all outages
+	// Asking above 4x must only see the big spikes.
+	pred, err := e.PredictOutage(mktA, 4, 900*time.Second, t0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Samples != 30 || math.Abs(pred.Probability-1) > 1e-9 {
+		t.Errorf("pred = %+v, want 30 samples at P=1", pred)
+	}
+	// Asking above 1x sees both populations.
+	pred, err = e.PredictOutage(mktA, 1, 900*time.Second, t0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Samples != 60 || math.Abs(pred.Probability-0.5) > 1e-9 {
+		t.Errorf("pred = %+v, want 60 samples at P=0.5", pred)
+	}
+	if _, err := e.PredictOutage(mktA, 1, 0, to, t0); err != ErrBadWindow {
+		t.Errorf("err = %v, want ErrBadWindow", err)
+	}
+}
+
+func TestPredictOutageEmptyHistory(t *testing.T) {
+	e, _ := seededEngine(t)
+	pred, err := e.PredictOutage(mktA, 2, 900*time.Second, t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Samples != 0 || pred.Probability != 0 || pred.Basis != BasisGlobal {
+		t.Errorf("empty-history pred = %+v", pred)
+	}
+	_ = fmt.Sprintf("%v", pred) // the type prints cleanly
+}

@@ -1,0 +1,86 @@
+package query
+
+import (
+	"time"
+
+	"spotlight/internal/market"
+)
+
+// The paper's opening motivation (§1, §2.2): "determining whether the
+// reserved instance is worth it requires knowing how frequently on-demand
+// instances are unavailable — if their availability is near 100% then an
+// on-demand instance may offer similar performance at a much lower cost",
+// and §5.2.2's conclusion that "a reserved server in Brazil is worth more
+// than in the U.S. East". This query turns SpotLight's measured
+// availability into that purchasing decision.
+
+// DefaultReservedDiscount is the effective hourly discount of a fully
+// utilized reservation (§2.1.2: "reserved servers cost 25-60% less than
+// on-demand servers if they are fully utilized"; midpoint).
+const DefaultReservedDiscount = 0.42
+
+// ReservedValue is the reserved-vs-on-demand assessment for one market.
+type ReservedValue struct {
+	Market market.SpotID `json:"market"`
+	// ODHourly is the on-demand price per hour.
+	ODHourly float64 `json:"odHourly"`
+	// ReservedEffectiveHourly is the reservation's amortized hourly cost
+	// at full utilization.
+	ReservedEffectiveHourly float64 `json:"reservedEffectiveHourly"`
+	// BreakEvenUtilization is the fraction of the term the server must
+	// run for the reservation to cost less than pay-as-you-go on-demand.
+	BreakEvenUtilization float64 `json:"breakEvenUtilization"`
+	// ODUnavailability is the measured on-demand outage fraction over
+	// the assessment window.
+	ODUnavailability float64 `json:"odUnavailability"`
+	// PlannedUtilization echoes the caller's expected duty cycle.
+	PlannedUtilization float64 `json:"plannedUtilization"`
+	// Reserve is the recommendation: reserve when the planned duty cycle
+	// clears break-even, or when the measured unavailability makes the
+	// obtainability guarantee itself worth paying for.
+	Reserve bool `json:"reserve"`
+	// Reason explains the recommendation.
+	Reason string `json:"reason"`
+}
+
+// UnavailabilityWorthReserving is the measured on-demand outage fraction
+// above which the reservation's obtainability guarantee is recommended
+// regardless of cost (1% unavailability ~ hours per month of being locked
+// out at uncontrollable times).
+const UnavailabilityWorthReserving = 0.01
+
+// ReservedValue assesses whether to reserve market m given the planned
+// utilization (0..1 duty cycle over the term) and the measured window.
+func (e *Engine) ReservedValue(m market.SpotID, plannedUtilization float64, from, to time.Time) (ReservedValue, error) {
+	if !to.After(from) {
+		return ReservedValue{}, ErrBadWindow
+	}
+	od, err := e.cat.SpotODPrice(m)
+	if err != nil {
+		return ReservedValue{}, err
+	}
+	unav, err := e.ODUnavailability(m, from, to)
+	if err != nil {
+		return ReservedValue{}, err
+	}
+	rv := ReservedValue{
+		Market:                  m,
+		ODHourly:                od,
+		ReservedEffectiveHourly: od * (1 - DefaultReservedDiscount),
+		BreakEvenUtilization:    1 - DefaultReservedDiscount,
+		ODUnavailability:        unav,
+		PlannedUtilization:      plannedUtilization,
+	}
+	switch {
+	case plannedUtilization >= rv.BreakEvenUtilization:
+		rv.Reserve = true
+		rv.Reason = "planned utilization clears the cost break-even"
+	case unav >= UnavailabilityWorthReserving:
+		rv.Reserve = true
+		rv.Reason = "measured on-demand unavailability makes the obtainability guarantee worth it"
+	default:
+		rv.Reserve = false
+		rv.Reason = "on-demand is cheaper at this duty cycle and its measured availability is high"
+	}
+	return rv, nil
+}

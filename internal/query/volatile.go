@@ -1,0 +1,126 @@
+package query
+
+import (
+	"sort"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+// VolatileMarket is one row of a volatility ranking. Chapter 4's
+// Revocation probing function targets "selected markets by users with
+// high volatility"; this query is how a user selects them.
+type VolatileMarket struct {
+	Market market.SpotID `json:"market"`
+	// Crossings counts spikes past the on-demand price in the window.
+	Crossings int `json:"crossings"`
+	// MaxRatio is the largest observed spike multiple.
+	MaxRatio float64 `json:"maxRatio"`
+	// MeanHeld is the observed mean time-to-revocation from the
+	// revocation watches, when any exist for this market.
+	MeanHeld time.Duration `json:"meanHeldNanos"`
+	// Watches is the number of completed revocation observations.
+	Watches int `json:"watches"`
+}
+
+// TopVolatileMarkets ranks markets by spike count (descending) within the
+// window, enriched with revocation-watch observations. Region/product
+// filter as in TopStableMarkets; n bounds the result.
+func (e *Engine) TopVolatileMarkets(region market.Region, product market.Product, n int, from, to time.Time) ([]VolatileMarket, error) {
+	if !to.After(from) {
+		return nil, ErrBadWindow
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	agg := make(map[market.SpotID]*VolatileMarket)
+	for _, sp := range e.db.Spikes() {
+		if sp.At.Before(from) || sp.At.After(to) || sp.Ratio < 1 {
+			continue
+		}
+		if region != "" && sp.Market.Region() != region {
+			continue
+		}
+		if product != "" && sp.Market.Product != product {
+			continue
+		}
+		row, ok := agg[sp.Market]
+		if !ok {
+			row = &VolatileMarket{Market: sp.Market}
+			agg[sp.Market] = row
+		}
+		row.Crossings++
+		if sp.Ratio > row.MaxRatio {
+			row.MaxRatio = sp.Ratio
+		}
+	}
+
+	heldSum := make(map[market.SpotID]time.Duration)
+	for _, rv := range e.db.Revocations() {
+		if rv.At.Before(from) || rv.At.After(to) {
+			continue
+		}
+		row, ok := agg[rv.Market]
+		if !ok {
+			continue
+		}
+		row.Watches++
+		heldSum[rv.Market] += rv.Held
+	}
+	var rows []VolatileMarket
+	for id, row := range agg {
+		if row.Watches > 0 {
+			row.MeanHeld = heldSum[id] / time.Duration(row.Watches)
+		}
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Crossings != rows[j].Crossings {
+			return rows[i].Crossings > rows[j].Crossings
+		}
+		if rows[i].MaxRatio != rows[j].MaxRatio {
+			return rows[i].MaxRatio > rows[j].MaxRatio
+		}
+		return rows[i].Market.String() < rows[j].Market.String()
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows, nil
+}
+
+// OutageView is one detected outage row returned by the outages query.
+type OutageView struct {
+	Market market.SpotID `json:"market"`
+	Kind   string        `json:"kind"`
+	Start  time.Time     `json:"start"`
+	End    time.Time     `json:"end,omitempty"`
+	// DurationNanos is measured to `now` for ongoing outages.
+	Duration time.Duration `json:"durationNanos"`
+}
+
+// Outages returns the detected outages of one market overlapping
+// [from, to], both contract kinds, oldest first.
+func (e *Engine) Outages(m market.SpotID, from, to time.Time) ([]OutageView, error) {
+	if !to.After(from) {
+		return nil, ErrBadWindow
+	}
+	var out []OutageView
+	for _, kind := range []store.ProbeKind{store.ProbeOnDemand, store.ProbeSpot} {
+		for _, o := range e.db.OutagesFor(m, kind) {
+			if !o.Overlaps(from, to) {
+				continue
+			}
+			out = append(out, OutageView{
+				Market:   o.Market,
+				Kind:     kind.String(),
+				Start:    o.Start,
+				End:      o.End,
+				Duration: o.Duration(to),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out, nil
+}

@@ -1,0 +1,232 @@
+package spotcheck
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+var (
+	mkt     = market.SpotID{Zone: "us-east-1e", Type: "d2.2xlarge", Product: market.ProductLinux}
+	fallMkt = market.SpotID{Zone: "us-east-1e", Type: "m4.large", Product: market.ProductLinux}
+	t0      = time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	odPrice = 1.0
+)
+
+// scriptedPlatform answers availability from scripted outage windows.
+type scriptedPlatform struct {
+	outages map[market.SpotID][][2]time.Time
+}
+
+func (p *scriptedPlatform) ODAvailable(m market.SpotID, t time.Time) bool {
+	for _, o := range p.outages[m] {
+		if !t.Before(o[0]) && t.Before(o[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// trace builds a step-function price history from (offsetHours, price)
+// pairs.
+func trace(pairs ...float64) []store.PricePoint {
+	var out []store.PricePoint
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, store.PricePoint{
+			At:    t0.Add(time.Duration(pairs[i] * float64(time.Hour))),
+			Price: pairs[i+1],
+		})
+	}
+	return out
+}
+
+func TestValidation(t *testing.T) {
+	plat := &scriptedPlatform{}
+	bad := []Config{
+		{},                                     // empty trace
+		{Trace: trace(0, 0.5)},                 // nil platform
+		{Trace: trace(0, 0.5), Platform: plat}, // zero od price
+		{Trace: trace(0, 0.5), Platform: plat, ODPrice: 1, From: t0, To: t0}, // empty window
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestNoRevocationsFullAvailability(t *testing.T) {
+	res, err := Run(Config{
+		Market:   mkt,
+		ODPrice:  odPrice,
+		Trace:    trace(0, 0.3, 24, 0.3),
+		Platform: &scriptedPlatform{},
+		To:       t0.Add(24 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revocations != 0 {
+		t.Errorf("revocations = %d, want 0", res.Revocations)
+	}
+	if math.Abs(res.AvailabilityPct-100) > 1e-9 {
+		t.Errorf("availability = %v, want 100", res.AvailabilityPct)
+	}
+	if math.Abs(res.OnSpotFraction-1) > 1e-9 {
+		t.Errorf("on-spot fraction = %v, want 1", res.OnSpotFraction)
+	}
+}
+
+func TestRevocationWithAvailableFallback(t *testing.T) {
+	// Price above od during hours [6, 8): one revocation, fallback works,
+	// downtime is only the two migration pauses.
+	res, err := Run(Config{
+		Market:   mkt,
+		ODPrice:  odPrice,
+		Trace:    trace(0, 0.3, 6, 1.5, 8, 0.3),
+		Platform: &scriptedPlatform{},
+		To:       t0.Add(24 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revocations != 1 {
+		t.Errorf("revocations = %d, want 1", res.Revocations)
+	}
+	if res.FailedFailovers != 0 {
+		t.Errorf("failed failovers = %d, want 0", res.FailedFailovers)
+	}
+	if res.Downtime != 2*time.Second {
+		t.Errorf("downtime = %v, want 2s (two migrations)", res.Downtime)
+	}
+	if res.AvailabilityPct < 99.99 {
+		t.Errorf("availability = %v, want ~100", res.AvailabilityPct)
+	}
+	// ~2h of 24h on-demand: on-spot fraction ~22/24.
+	if math.Abs(res.OnSpotFraction-22.0/24) > 0.01 {
+		t.Errorf("on-spot fraction = %v, want ~%v", res.OnSpotFraction, 22.0/24)
+	}
+}
+
+func TestRevocationDuringODOutage(t *testing.T) {
+	// The paper's core finding: the spot spike [6, 8) coincides with an
+	// on-demand outage [6, 7): the VM is down until the outage ends.
+	plat := &scriptedPlatform{outages: map[market.SpotID][][2]time.Time{
+		mkt: {{t0.Add(6 * time.Hour), t0.Add(7 * time.Hour)}},
+	}}
+	res, err := Run(Config{
+		Market:   mkt,
+		ODPrice:  odPrice,
+		Trace:    trace(0, 0.3, 6, 1.5, 8, 0.3),
+		Platform: plat,
+		To:       t0.Add(24 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedFailovers != 1 {
+		t.Errorf("failed failovers = %d, want 1", res.FailedFailovers)
+	}
+	// Down for the ~1h od outage out of 24h: availability ~95.8%.
+	wantAvail := 100 * (1 - 1.0/24)
+	if math.Abs(res.AvailabilityPct-wantAvail) > 0.5 {
+		t.Errorf("availability = %.2f, want ~%.2f", res.AvailabilityPct, wantAvail)
+	}
+}
+
+func TestSpotLightFallbackRestoresAvailability(t *testing.T) {
+	// Same coincident outage, but the fallback policy picks an
+	// uncorrelated market that stays available.
+	plat := &scriptedPlatform{outages: map[market.SpotID][][2]time.Time{
+		mkt: {{t0.Add(6 * time.Hour), t0.Add(7 * time.Hour)}},
+	}}
+	res, err := Run(Config{
+		Market:   mkt,
+		ODPrice:  odPrice,
+		Trace:    trace(0, 0.3, 6, 1.5, 8, 0.3),
+		Platform: plat,
+		Fallback: func(time.Time) market.SpotID { return fallMkt },
+		To:       t0.Add(24 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedFailovers != 0 {
+		t.Errorf("failed failovers = %d, want 0 with uncorrelated fallback", res.FailedFailovers)
+	}
+	if res.AvailabilityPct < 99.99 {
+		t.Errorf("availability = %v, want ~100", res.AvailabilityPct)
+	}
+}
+
+func TestDownVMRecoversViaSpot(t *testing.T) {
+	// OD stays out for the whole spike; the VM must come back when the
+	// spot price drops below the bid.
+	plat := &scriptedPlatform{outages: map[market.SpotID][][2]time.Time{
+		mkt: {{t0, t0.Add(24 * time.Hour)}},
+	}}
+	res, err := Run(Config{
+		Market:   mkt,
+		ODPrice:  odPrice,
+		Trace:    trace(0, 0.3, 6, 1.5, 8, 0.3),
+		Platform: plat,
+		To:       t0.Add(24 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down exactly during the 2-hour spike.
+	wantAvail := 100 * (1 - 2.0/24)
+	if math.Abs(res.AvailabilityPct-wantAvail) > 0.5 {
+		t.Errorf("availability = %.2f, want ~%.2f", res.AvailabilityPct, wantAvail)
+	}
+	if res.OnSpotFraction < 0.9 {
+		t.Errorf("on-spot fraction = %v, want >0.9", res.OnSpotFraction)
+	}
+}
+
+func TestMeanHourlyCostNearSpot(t *testing.T) {
+	// The paper's cost claim: mostly-spot operation keeps the mean
+	// hourly cost near the spot price, far below on-demand.
+	res, err := Run(Config{
+		Market:   mkt,
+		ODPrice:  odPrice,
+		Trace:    trace(0, 0.3, 6, 1.5, 8, 0.3), // 2h above od out of 24h
+		Platform: &scriptedPlatform{},
+		To:       t0.Add(24 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 22h at $0.3 + 2h at $1.0 over 24h = $0.358/h.
+	want := (22*0.3 + 2*1.0) / 24
+	if math.Abs(res.MeanHourlyCost-want) > 0.02 {
+		t.Errorf("mean hourly cost = %v, want ~%v", res.MeanHourlyCost, want)
+	}
+	if res.MeanHourlyCost >= odPrice {
+		t.Errorf("mean hourly cost %v not below on-demand %v", res.MeanHourlyCost, odPrice)
+	}
+}
+
+func TestMultipleRevocations(t *testing.T) {
+	res, err := Run(Config{
+		Market:  mkt,
+		ODPrice: odPrice,
+		Trace: trace(
+			0, 0.3, 2, 1.5, 3, 0.3, // spike 1
+			10, 2.0, 11, 0.3, // spike 2
+			20, 5.0, 21, 0.3, // spike 3
+		),
+		Platform: &scriptedPlatform{},
+		To:       t0.Add(24 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revocations != 3 {
+		t.Errorf("revocations = %d, want 3", res.Revocations)
+	}
+}

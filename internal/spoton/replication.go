@@ -1,0 +1,225 @@
+package spoton
+
+import (
+	"errors"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+// Replication is SpotOn's second fault-tolerance mechanism (§6.2): "to
+// ensure progress despite revocations, SpotOn either replicates a batch
+// job across multiple spot servers or periodically checkpoints". A
+// replicated job runs simultaneously on several spot markets and
+// completes when the first replica finishes; only if *all* replicas are
+// revoked does the job restart on an on-demand server — which is exactly
+// where the always-available assumption bites again.
+
+// Replica describes one replica placement.
+type Replica struct {
+	// Market hosts this replica's spot server.
+	Market market.SpotID
+	// ODPrice is the market's on-demand price (the replica's bid).
+	ODPrice float64
+	// Trace is the market's published price history.
+	Trace []store.PricePoint
+}
+
+// ReplicatedJobConfig describes one replicated batch job run.
+type ReplicatedJobConfig struct {
+	Replicas []Replica
+	// Platform answers on-demand obtainability for the restart path.
+	Platform Platform
+	// Fallback picks the restart market when every replica is gone;
+	// nil restarts on the first replica's market.
+	Fallback FallbackPolicy
+	// RunningTime is the job's useful work.
+	RunningTime time.Duration
+	// Start is when the job begins.
+	Start time.Time
+	// Tick is the simulation granularity. Default 1 minute.
+	Tick time.Duration
+	// Deadline bounds the simulation. Default 10x running time + a day.
+	Deadline time.Duration
+}
+
+// ReplicatedJobResult is the outcome of one replicated run.
+type ReplicatedJobResult struct {
+	// Completion is wall-clock from start to the first finishing
+	// replica (or the on-demand restart's completion).
+	Completion time.Duration
+	// Restarts counts full losses (all replicas revoked at once).
+	Restarts int
+	// WaitedForOD is time spent blocked on an unavailable restart
+	// market.
+	WaitedForOD time.Duration
+	// Finished is false if the deadline elapsed first.
+	Finished bool
+	// SpotCost is the total dollars paid for replica spot time; a
+	// replicated job trades money for resilience.
+	SpotCost float64
+}
+
+// ReplicatedTrialStats aggregates repeated replicated runs.
+type ReplicatedTrialStats struct {
+	Trials         int
+	MeanCompletion time.Duration
+	MaxCompletion  time.Duration
+	MeanWaited     time.Duration
+	MeanSpotCost   float64
+	Restarts       int
+	Unfinished     int
+}
+
+// RunReplicatedTrials runs the replicated job at each start time and
+// aggregates, mirroring RunTrials for the checkpointing mechanism.
+func RunReplicatedTrials(cfg ReplicatedJobConfig, starts []time.Time) (ReplicatedTrialStats, error) {
+	if len(starts) == 0 {
+		return ReplicatedTrialStats{}, errors.New("spoton: no trial start times")
+	}
+	var st ReplicatedTrialStats
+	var totalCompletion, totalWaited time.Duration
+	var totalCost float64
+	for _, s := range starts {
+		run := cfg
+		run.Start = s
+		res, err := RunReplicatedJob(run)
+		if err != nil {
+			return ReplicatedTrialStats{}, err
+		}
+		st.Trials++
+		totalCompletion += res.Completion
+		totalWaited += res.WaitedForOD
+		totalCost += res.SpotCost
+		st.Restarts += res.Restarts
+		if res.Completion > st.MaxCompletion {
+			st.MaxCompletion = res.Completion
+		}
+		if !res.Finished {
+			st.Unfinished++
+		}
+	}
+	st.MeanCompletion = totalCompletion / time.Duration(st.Trials)
+	st.MeanWaited = totalWaited / time.Duration(st.Trials)
+	st.MeanSpotCost = totalCost / float64(st.Trials)
+	return st, nil
+}
+
+// replicaRt is one replica's runtime state.
+type replicaRt struct {
+	cfg      Replica
+	done     time.Duration
+	alive    bool
+	traceIdx int
+}
+
+func (r *replicaRt) priceAt(t time.Time) float64 {
+	for r.traceIdx+1 < len(r.cfg.Trace) && !r.cfg.Trace[r.traceIdx+1].At.After(t) {
+		r.traceIdx++
+	}
+	return r.cfg.Trace[r.traceIdx].Price
+}
+
+// RunReplicatedJob simulates one replicated batch job.
+func RunReplicatedJob(cfg ReplicatedJobConfig) (ReplicatedJobResult, error) {
+	if len(cfg.Replicas) == 0 {
+		return ReplicatedJobResult{}, errors.New("spoton: no replicas")
+	}
+	for i, rep := range cfg.Replicas {
+		if len(rep.Trace) == 0 {
+			return ReplicatedJobResult{}, errors.New("spoton: replica with empty price trace")
+		}
+		if rep.ODPrice <= 0 {
+			return ReplicatedJobResult{}, errors.New("spoton: replica with non-positive od price")
+		}
+		_ = i
+	}
+	if cfg.Platform == nil {
+		return ReplicatedJobResult{}, errors.New("spoton: nil platform")
+	}
+	if cfg.RunningTime <= 0 {
+		return ReplicatedJobResult{}, errors.New("spoton: non-positive running time")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Minute
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 10*cfg.RunningTime + 24*time.Hour
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = cfg.Replicas[0].Trace[0].At
+	}
+	fallback := cfg.Fallback
+	if fallback == nil {
+		home := cfg.Replicas[0].Market
+		fallback = func(time.Time) market.SpotID { return home }
+	}
+
+	reps := make([]*replicaRt, len(cfg.Replicas))
+	for i := range cfg.Replicas {
+		reps[i] = &replicaRt{cfg: cfg.Replicas[i], alive: true}
+	}
+
+	var (
+		res      ReplicatedJobResult
+		onOD     bool
+		odDone   time.Duration
+		waiting  bool
+		deadline = cfg.Start.Add(cfg.Deadline)
+		tickH    = cfg.Tick.Hours()
+	)
+	for t := cfg.Start; ; t = t.Add(cfg.Tick) {
+		if !t.Before(deadline) {
+			res.Completion = t.Sub(cfg.Start)
+			return res, nil
+		}
+		switch {
+		case waiting:
+			res.WaitedForOD += cfg.Tick
+			if cfg.Platform.ODAvailable(fallback(t), t) {
+				waiting = false
+				onOD = true
+			}
+		case onOD:
+			odDone += cfg.Tick
+			if odDone >= cfg.RunningTime {
+				res.Finished = true
+				res.Completion = t.Add(cfg.Tick).Sub(cfg.Start)
+				return res, nil
+			}
+		default:
+			anyAlive := false
+			for _, r := range reps {
+				if !r.alive {
+					continue
+				}
+				price := r.priceAt(t)
+				if price > r.cfg.ODPrice {
+					r.alive = false // revoked
+					continue
+				}
+				anyAlive = true
+				r.done += cfg.Tick
+				res.SpotCost += price * tickH
+				if r.done >= cfg.RunningTime {
+					res.Finished = true
+					res.Completion = t.Add(cfg.Tick).Sub(cfg.Start)
+					return res, nil
+				}
+			}
+			if !anyAlive {
+				// Total loss: restart from scratch on on-demand (the
+				// replication mechanism keeps no checkpoints).
+				res.Restarts++
+				odDone = 0
+				if cfg.Platform.ODAvailable(fallback(t), t) {
+					onOD = true
+				} else {
+					waiting = true
+					res.WaitedForOD += cfg.Tick
+				}
+			}
+		}
+	}
+}

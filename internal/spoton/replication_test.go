@@ -1,0 +1,172 @@
+package spoton
+
+import (
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+)
+
+var repMkt2 = market.SpotID{Zone: "us-east-1a", Type: "m4.large", Product: market.ProductLinux}
+
+func twoReplicas(traceA, traceB []float64) []Replica {
+	return []Replica{
+		{Market: mkt, ODPrice: 1.0, Trace: trace(traceA...)},
+		{Market: repMkt2, ODPrice: 1.0, Trace: trace(traceB...)},
+	}
+}
+
+func baseReplicated() ReplicatedJobConfig {
+	return ReplicatedJobConfig{
+		Replicas:    twoReplicas([]float64{0, 0.3, 48, 0.3}, []float64{0, 0.2, 48, 0.2}),
+		Platform:    &scriptedPlatform{},
+		RunningTime: time.Hour,
+		Start:       t0,
+	}
+}
+
+func TestReplicatedJobCompletesOnFirstReplica(t *testing.T) {
+	res, err := RunReplicatedJob(baseReplicated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("job did not finish")
+	}
+	// No checkpointing overhead: exactly the running time.
+	if res.Completion != time.Hour {
+		t.Errorf("completion = %v, want 1h", res.Completion)
+	}
+	if res.Restarts != 0 || res.WaitedForOD != 0 {
+		t.Errorf("restarts/waits = %d/%v, want 0/0", res.Restarts, res.WaitedForOD)
+	}
+	// Both replicas paid for their hour: ~0.3 + 0.2 dollars.
+	if res.SpotCost < 0.45 || res.SpotCost > 0.55 {
+		t.Errorf("spot cost = %v, want ~0.5 (both replicas billed)", res.SpotCost)
+	}
+}
+
+func TestReplicatedJobSurvivesOneRevocation(t *testing.T) {
+	cfg := baseReplicated()
+	// Replica A revoked at +30m; replica B survives and finishes.
+	cfg.Replicas = twoReplicas(
+		[]float64{0, 0.3, 0.5, 1.5, 48, 1.5},
+		[]float64{0, 0.2, 48, 0.2},
+	)
+	res, err := RunReplicatedJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished || res.Restarts != 0 {
+		t.Errorf("finished=%v restarts=%d, want survive via replica B", res.Finished, res.Restarts)
+	}
+	if res.Completion != time.Hour {
+		t.Errorf("completion = %v, want 1h", res.Completion)
+	}
+}
+
+func TestReplicatedJobTotalLossRestartsOnOD(t *testing.T) {
+	cfg := baseReplicated()
+	// Both replicas revoked at +30m; od available: restart from scratch.
+	cfg.Replicas = twoReplicas(
+		[]float64{0, 0.3, 0.5, 1.5, 48, 1.5},
+		[]float64{0, 0.2, 0.5, 1.4, 48, 1.4},
+	)
+	res, err := RunReplicatedJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("job did not finish")
+	}
+	if res.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", res.Restarts)
+	}
+	// 30 minutes of lost spot work + a full hour on-demand.
+	if res.Completion < 90*time.Minute {
+		t.Errorf("completion = %v, want >= 1.5h (work lost at total loss)", res.Completion)
+	}
+}
+
+func TestReplicatedJobWaitsDuringODOutage(t *testing.T) {
+	cfg := baseReplicated()
+	cfg.Replicas = twoReplicas(
+		[]float64{0, 0.3, 0.5, 1.5, 48, 1.5},
+		[]float64{0, 0.2, 0.5, 1.4, 48, 1.4},
+	)
+	cfg.Platform = &scriptedPlatform{outages: map[market.SpotID][][2]time.Time{
+		mkt: {{t0, t0.Add(3 * time.Hour)}},
+	}}
+	res, err := RunReplicatedJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("job did not finish")
+	}
+	if res.WaitedForOD < 2*time.Hour {
+		t.Errorf("waited = %v, want >= 2h (od outage until +3h)", res.WaitedForOD)
+	}
+	// With an uncorrelated fallback the wait disappears.
+	cfg.Fallback = func(time.Time) market.SpotID { return repMkt2 }
+	res, err = RunReplicatedJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WaitedForOD != 0 {
+		t.Errorf("waited = %v with uncorrelated fallback, want 0", res.WaitedForOD)
+	}
+}
+
+func TestReplicatedJobDeadline(t *testing.T) {
+	cfg := baseReplicated()
+	cfg.Replicas = twoReplicas([]float64{0, 5}, []float64{0, 5}) // both dead at start
+	cfg.Platform = &scriptedPlatform{outages: map[market.SpotID][][2]time.Time{
+		mkt:     {{t0, t0.Add(1000 * time.Hour)}},
+		repMkt2: {{t0, t0.Add(1000 * time.Hour)}},
+	}}
+	cfg.Deadline = 2 * time.Hour
+	res, err := RunReplicatedJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished {
+		t.Error("unfinishable job reported finished")
+	}
+}
+
+func TestRunReplicatedTrials(t *testing.T) {
+	cfg := baseReplicated()
+	starts := []time.Time{t0, t0.Add(2 * time.Hour), t0.Add(5 * time.Hour)}
+	st, err := RunReplicatedTrials(cfg, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trials != 3 || st.Unfinished != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MeanCompletion != time.Hour {
+		t.Errorf("mean completion = %v, want 1h", st.MeanCompletion)
+	}
+	if st.MeanSpotCost <= 0 {
+		t.Errorf("mean spot cost = %v, want positive", st.MeanSpotCost)
+	}
+	if _, err := RunReplicatedTrials(cfg, nil); err == nil {
+		t.Error("empty starts accepted")
+	}
+}
+
+func TestReplicatedJobValidation(t *testing.T) {
+	bad := []ReplicatedJobConfig{
+		{},
+		{Replicas: []Replica{{Market: mkt, ODPrice: 1}}},                                                      // empty trace
+		{Replicas: []Replica{{Market: mkt, Trace: trace(0, 0.3)}}},                                            // zero od price
+		{Replicas: []Replica{{Market: mkt, ODPrice: 1, Trace: trace(0, 0.3)}}},                                // nil platform
+		{Replicas: []Replica{{Market: mkt, ODPrice: 1, Trace: trace(0, 0.3)}}, Platform: &scriptedPlatform{}}, // no running time
+	}
+	for i, cfg := range bad {
+		if _, err := RunReplicatedJob(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package spoton
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+var (
+	mkt     = market.SpotID{Zone: "us-east-1e", Type: "d2.2xlarge", Product: market.ProductLinux}
+	fallMkt = market.SpotID{Zone: "us-east-1e", Type: "m4.large", Product: market.ProductLinux}
+	t0      = time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+)
+
+type scriptedPlatform struct {
+	outages map[market.SpotID][][2]time.Time
+}
+
+func (p *scriptedPlatform) ODAvailable(m market.SpotID, t time.Time) bool {
+	for _, o := range p.outages[m] {
+		if !t.Before(o[0]) && t.Before(o[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+func trace(pairs ...float64) []store.PricePoint {
+	var out []store.PricePoint
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, store.PricePoint{
+			At:    t0.Add(time.Duration(pairs[i] * float64(time.Hour))),
+			Price: pairs[i+1],
+		})
+	}
+	return out
+}
+
+func baseJob() JobConfig {
+	return JobConfig{
+		Market:             mkt,
+		ODPrice:            1.0,
+		Trace:              trace(0, 0.3, 48, 0.3),
+		Platform:           &scriptedPlatform{},
+		RunningTime:        time.Hour,
+		CheckpointTime:     6 * time.Minute,
+		CheckpointInterval: 15 * time.Minute,
+		Start:              t0,
+	}
+}
+
+func TestExpectedCostEq61(t *testing.T) {
+	// Hand-computed example: Pk=0.5, T=1h, E[Zk]=2h, TL=0.25h, tau=1h,
+	// Tc=0.1h, price=$0.2/h.
+	// numerator   = (0.5*1 + 0.5*2) * 0.2         = 0.3
+	// denominator = 0.5*1 + 0.5*(2-0.25) - 2*0.1  = 1.175
+	got, err := ExpectedCostPerUnitTime(ExpectedCostParams{
+		SpotPrice:              0.2,
+		RevocationProb:         0.5,
+		ExpectedRevocationTime: 2 * time.Hour,
+		RemainingTime:          time.Hour,
+		CheckpointTime:         6 * time.Minute,
+		CheckpointInterval:     time.Hour,
+		LostWork:               15 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.3 / 1.175
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Eq 6.1 = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedCostNoRevocationReducesToSpotPrice(t *testing.T) {
+	// With Pk=0 and no checkpointing overhead the cost per unit time is
+	// exactly the spot price.
+	got, err := ExpectedCostPerUnitTime(ExpectedCostParams{
+		SpotPrice:          0.25,
+		RemainingTime:      2 * time.Hour,
+		CheckpointInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("cost = %v, want 0.25", got)
+	}
+}
+
+func TestExpectedCostErrors(t *testing.T) {
+	if _, err := ExpectedCostPerUnitTime(ExpectedCostParams{CheckpointInterval: 0}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := ExpectedCostPerUnitTime(ExpectedCostParams{CheckpointInterval: time.Hour, RevocationProb: 1.5}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	// Overheads swallowing the work must error, not return garbage.
+	_, err := ExpectedCostPerUnitTime(ExpectedCostParams{
+		SpotPrice:              1,
+		RevocationProb:         0.99,
+		ExpectedRevocationTime: time.Minute,
+		RemainingTime:          time.Minute,
+		CheckpointTime:         time.Hour,
+		CheckpointInterval:     time.Minute,
+		LostWork:               time.Hour,
+	})
+	if err == nil {
+		t.Error("non-positive denominator accepted")
+	}
+}
+
+func TestJobWithoutRevocations(t *testing.T) {
+	res, err := RunJob(baseJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("job did not finish")
+	}
+	if res.Revocations != 0 {
+		t.Errorf("revocations = %d, want 0", res.Revocations)
+	}
+	// 1 hour of work + 3 checkpoints (at 15, 30, 45 min of work; the
+	// final one at 60 is skipped) x 6 min = 78 minutes.
+	want := 78 * time.Minute
+	if res.Completion != want {
+		t.Errorf("completion = %v, want %v", res.Completion, want)
+	}
+}
+
+func TestJobRevocationLosesUncheckpointedWork(t *testing.T) {
+	cfg := baseJob()
+	// Spike at +20 min: the job has checkpointed at 15 min of work, so it
+	// loses the work since then and restarts on-demand.
+	cfg.Trace = trace(0, 0.3, 20.0/60, 1.5, 1, 0.3)
+	res, err := RunJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("job did not finish")
+	}
+	if res.Revocations != 1 {
+		t.Errorf("revocations = %d, want 1", res.Revocations)
+	}
+	if res.LostWork == 0 {
+		t.Error("no lost work recorded at revocation")
+	}
+	if res.WaitedForOD != 0 {
+		t.Errorf("waited = %v, want 0 (od available)", res.WaitedForOD)
+	}
+	// Completion exceeds the no-revocation runtime.
+	if res.Completion <= 78*time.Minute {
+		t.Errorf("completion = %v, want > 78m", res.Completion)
+	}
+}
+
+func TestJobWaitsWhenFallbackUnavailable(t *testing.T) {
+	cfg := baseJob()
+	cfg.Trace = trace(0, 0.3, 0.5, 1.5, 3, 0.3) // spike from +30m to +3h
+	cfg.Platform = &scriptedPlatform{outages: map[market.SpotID][][2]time.Time{
+		mkt: {{t0, t0.Add(2 * time.Hour)}}, // od out for 2 hours
+	}}
+	res, err := RunJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("job did not finish")
+	}
+	if res.WaitedForOD == 0 {
+		t.Error("job never waited despite od outage")
+	}
+	// It must wait ~90 minutes (od recovers at +2h, spike ends at +3h).
+	if res.WaitedForOD < 60*time.Minute {
+		t.Errorf("waited = %v, want >= 1h", res.WaitedForOD)
+	}
+}
+
+func TestSpotLightFallbackAvoidsWait(t *testing.T) {
+	cfg := baseJob()
+	cfg.Trace = trace(0, 0.3, 0.5, 1.5, 3, 0.3)
+	cfg.Platform = &scriptedPlatform{outages: map[market.SpotID][][2]time.Time{
+		mkt: {{t0, t0.Add(2 * time.Hour)}},
+	}}
+	cfg.Fallback = func(time.Time) market.SpotID { return fallMkt }
+	res, err := RunJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WaitedForOD != 0 {
+		t.Errorf("waited = %v with uncorrelated fallback, want 0", res.WaitedForOD)
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	cfg := baseJob()
+	// Price permanently above od and od permanently out: cannot finish.
+	cfg.Trace = trace(0, 5)
+	cfg.Platform = &scriptedPlatform{outages: map[market.SpotID][][2]time.Time{
+		mkt: {{t0, t0.Add(1000 * time.Hour)}},
+	}}
+	cfg.Deadline = 2 * time.Hour
+	res, err := RunJob(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished {
+		t.Error("unfinishable job reported finished")
+	}
+	if res.Completion < 2*time.Hour {
+		t.Errorf("completion = %v, want >= deadline", res.Completion)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	bad := []JobConfig{
+		{},
+		{Trace: trace(0, 0.3)},
+		{Trace: trace(0, 0.3), Platform: &scriptedPlatform{}},
+		{Trace: trace(0, 0.3), Platform: &scriptedPlatform{}, ODPrice: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunJob(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	cfg := baseJob()
+	cfg.Trace = trace(0, 0.3, 6, 1.5, 7, 0.3, 48, 0.3)
+	starts := []time.Time{t0, t0.Add(5 * time.Hour), t0.Add(10 * time.Hour)}
+	st, err := RunTrials(cfg, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trials != 3 {
+		t.Errorf("trials = %d, want 3", st.Trials)
+	}
+	if st.MeanCompletion < 78*time.Minute {
+		t.Errorf("mean completion = %v, want >= 78m", st.MeanCompletion)
+	}
+	if st.MaxCompletion < st.MeanCompletion {
+		t.Errorf("max %v < mean %v", st.MaxCompletion, st.MeanCompletion)
+	}
+	if _, err := RunTrials(cfg, nil); err == nil {
+		t.Error("empty starts accepted")
+	}
+}
+
+func TestOptimalCheckpointInterval(t *testing.T) {
+	// sqrt(2 * 6m * 12h) = sqrt(2*360*43200) s = ~93.3 min.
+	got := OptimalCheckpointInterval(6*time.Minute, 12*time.Hour, 24*time.Hour)
+	want := time.Duration(math.Sqrt(2 * float64(6*time.Minute) * float64(12*time.Hour)))
+	if got != want {
+		t.Errorf("interval = %v, want %v", got, want)
+	}
+	// Clamps.
+	if got := OptimalCheckpointInterval(6*time.Minute, 1000*time.Hour, time.Hour); got != time.Hour {
+		t.Errorf("upper clamp = %v, want 1h", got)
+	}
+	if got := OptimalCheckpointInterval(time.Nanosecond, time.Microsecond, time.Hour); got != time.Minute {
+		t.Errorf("lower clamp = %v, want 1m", got)
+	}
+	if got := OptimalCheckpointInterval(0, time.Hour, time.Hour); got != time.Hour {
+		t.Errorf("zero checkpoint time = %v, want job length", got)
+	}
+}

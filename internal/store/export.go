@@ -1,0 +1,176 @@
+package store
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"spotlight/internal/market"
+)
+
+// Snapshot is the JSON-serializable view of the whole store, used to dump
+// a study's raw data to disk.
+type Snapshot struct {
+	Probes      []ProbeRecord           `json:"probes"`
+	Spikes      []SpikeEvent            `json:"spikes"`
+	BidSpreads  []BidSpreadRecord       `json:"bidSpreads"`
+	Revocations []RevocationRecord      `json:"revocations"`
+	Outages     []OutageRecord          `json:"outages"`
+	Prices      map[string][]PricePoint `json:"prices"`
+}
+
+// WriteJSON serializes the full store contents to w.
+func (s *Store) WriteJSON(w io.Writer) error {
+	s.mu.RLock()
+	snap := Snapshot{
+		Probes:      append([]ProbeRecord(nil), s.probes...),
+		Spikes:      append([]SpikeEvent(nil), s.spikes...),
+		BidSpreads:  append([]BidSpreadRecord(nil), s.bidSpreads...),
+		Revocations: append([]RevocationRecord(nil), s.revocations...),
+		Outages:     append([]OutageRecord(nil), s.outages...),
+		Prices:      make(map[string][]PricePoint, len(s.prices)),
+	}
+	for id, series := range s.prices {
+		snap.Prices[id.String()] = append([]PricePoint(nil), series...)
+	}
+	s.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON loads a snapshot previously produced by WriteJSON into a fresh
+// Store, rebuilding the derived outage intervals from the probe log. This
+// is the offline-analysis path: collect a study once, regenerate figures
+// from the dump as often as needed.
+func ReadJSON(r io.Reader) (*Store, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	s := New()
+	for _, p := range snap.Probes {
+		s.AppendProbe(p)
+	}
+	for _, sp := range snap.Spikes {
+		s.AppendSpike(sp)
+	}
+	for _, b := range snap.BidSpreads {
+		s.AppendBidSpread(b)
+	}
+	for _, rv := range snap.Revocations {
+		s.AppendRevocation(rv)
+	}
+	for idStr, series := range snap.Prices {
+		id, err := market.ParseSpotID(idStr)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot price key: %w", err)
+		}
+		for _, p := range series {
+			s.RecordPrice(id, p)
+		}
+	}
+	return s, nil
+}
+
+// WriteSpikesCSV writes the spike-event log as CSV with a header row.
+func (s *Store) WriteSpikesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at", "market", "price", "ratio", "probed"}); err != nil {
+		return fmt.Errorf("store: write csv header: %w", err)
+	}
+	for _, e := range s.Spikes() {
+		row := []string{
+			e.At.Format(time.RFC3339),
+			e.Market.String(),
+			formatFloat(e.Price),
+			formatFloat(e.Ratio),
+			strconv.FormatBool(e.Probed),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("store: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteOutagesCSV writes the detected outage intervals as CSV.
+func (s *Store) WriteOutagesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"market", "kind", "start", "end"}); err != nil {
+		return fmt.Errorf("store: write csv header: %w", err)
+	}
+	for _, o := range s.Outages() {
+		end := ""
+		if !o.End.IsZero() {
+			end = o.End.Format(time.RFC3339)
+		}
+		row := []string{o.Market.String(), o.Kind.String(), o.Start.Format(time.RFC3339), end}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("store: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteProbesCSV writes the probe log as CSV with a header row.
+func (s *Store) WriteProbesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"at", "market", "kind", "trigger", "trigger_market",
+		"spike_ratio", "price_ratio", "rejected", "code", "bid", "cost",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("store: write csv header: %w", err)
+	}
+	for _, r := range s.Probes() {
+		row := []string{
+			r.At.Format(time.RFC3339),
+			r.Market.String(),
+			r.Kind.String(),
+			r.Trigger.String(),
+			r.TriggerMarket.String(),
+			formatFloat(r.SpikeRatio),
+			formatFloat(r.PriceRatio),
+			strconv.FormatBool(r.Rejected),
+			r.Code,
+			formatFloat(r.Bid),
+			formatFloat(r.Cost),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("store: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePricesCSV writes every recorded price sample as CSV.
+func (s *Store) WritePricesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"market", "at", "price"}); err != nil {
+		return fmt.Errorf("store: write csv header: %w", err)
+	}
+	for _, id := range s.PricedMarkets() {
+		for _, p := range s.Prices(id) {
+			row := []string{id.String(), p.At.Format(time.RFC3339), formatFloat(p.Price)}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("store: write csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

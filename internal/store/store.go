@@ -1,0 +1,389 @@
+// Package store is SpotLight's database. Chapter 3 and Chapter 4 describe
+// SpotLight logging every probe, every spot-price trigger event, and every
+// request state change "into database"; this package is that database:
+// an in-memory, append-ordered, concurrency-safe log with the query
+// surface the analysis layer (Chapter 5) and the query API need.
+package store
+
+import (
+	"sync"
+	"time"
+
+	"spotlight/internal/market"
+)
+
+// ProbeKind distinguishes the two probe families of §2.2.
+type ProbeKind int
+
+// Probe kinds.
+const (
+	// ProbeOnDemand is a request for an on-demand server.
+	ProbeOnDemand ProbeKind = iota + 1
+	// ProbeSpot is a bid for a spot server.
+	ProbeSpot
+)
+
+// String names the probe kind.
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeOnDemand:
+		return "on-demand"
+	case ProbeSpot:
+		return "spot"
+	default:
+		return "unknown"
+	}
+}
+
+// Trigger records why SpotLight issued a probe (Chapter 3's policy tree
+// and Chapter 4's five probing functions).
+type Trigger int
+
+// Probe triggers.
+const (
+	// TriggerSpike: the market's spot price spiked past the threshold
+	// (the RequestOnDemand probing function).
+	TriggerSpike Trigger = iota + 1
+	// TriggerRelatedSameZone: fan-out to the same family in the same
+	// zone after a detected rejection (§3.2.1).
+	TriggerRelatedSameZone
+	// TriggerRelatedOtherZone: fan-out across availability zones
+	// (§3.2.2).
+	TriggerRelatedOtherZone
+	// TriggerRecheck: the periodic re-probe of an unavailable market
+	// until it recovers (the RequestInsufficiency loop).
+	TriggerRecheck
+	// TriggerPeriodicSpot: the periodic CheckCapacity spot probe (§3.3).
+	TriggerPeriodicSpot
+	// TriggerCross: a probe of the *other* contract type in the same
+	// market after a rejection (od→spot or spot→od, §5.4).
+	TriggerCross
+	// TriggerBidSpread: part of a BidSpread intrinsic-price search.
+	TriggerBidSpread
+	// TriggerRevocation: a volatile-market revocation experiment probe.
+	TriggerRevocation
+	// TriggerPeriodicOD: the naive round-robin on-demand probe used by
+	// the ablation baseline (probing without the market signal).
+	TriggerPeriodicOD
+)
+
+// String names the trigger.
+func (tr Trigger) String() string {
+	switch tr {
+	case TriggerSpike:
+		return "spike"
+	case TriggerRelatedSameZone:
+		return "related-same-zone"
+	case TriggerRelatedOtherZone:
+		return "related-other-zone"
+	case TriggerRecheck:
+		return "recheck"
+	case TriggerPeriodicSpot:
+		return "periodic-spot"
+	case TriggerCross:
+		return "cross"
+	case TriggerBidSpread:
+		return "bid-spread"
+	case TriggerRevocation:
+		return "revocation"
+	case TriggerPeriodicOD:
+		return "periodic-od"
+	default:
+		return "unknown"
+	}
+}
+
+// ProbeRecord is one logged probe: the request, why it was sent, and how
+// the platform answered.
+type ProbeRecord struct {
+	At      time.Time     `json:"at"`
+	Market  market.SpotID `json:"market"`
+	Kind    ProbeKind     `json:"kind"`
+	Trigger Trigger       `json:"trigger"`
+
+	// TriggerMarket is the market whose event caused this probe (equal
+	// to Market for direct spike probes).
+	TriggerMarket market.SpotID `json:"triggerMarket"`
+	// SourceKind is the contract kind whose event triggered this probe:
+	// for related and cross probes it distinguishes the four pairs of
+	// Fig 5.12 (od-od, od-spot, spot-od, spot-spot).
+	SourceKind ProbeKind `json:"sourceKind"`
+	// SpikeRatio is spot price / on-demand price at the originating
+	// trigger, the x-axis of Figs 5.4-5.8.
+	SpikeRatio float64 `json:"spikeRatio"`
+	// PriceRatio is the probed market's own spot/on-demand ratio at
+	// probe time, the x-axis of Figs 5.10-5.11.
+	PriceRatio float64 `json:"priceRatio"`
+
+	Rejected bool    `json:"rejected"`
+	Code     string  `json:"code"` // platform error/status code when rejected
+	Bid      float64 `json:"bid"`  // spot probes only
+	Cost     float64 `json:"cost"` // dollars charged for this probe
+}
+
+// SpikeEvent is one threshold crossing of a market's spot price, recorded
+// whether or not it was sampled for probing.
+type SpikeEvent struct {
+	At     time.Time     `json:"at"`
+	Market market.SpotID `json:"market"`
+	Price  float64       `json:"price"`
+	Ratio  float64       `json:"ratio"` // price / on-demand price
+	Probed bool          `json:"probed"`
+}
+
+// OutageRecord is a detected unavailability period for one market and
+// contract kind, derived from the probe stream: it opens at the first
+// rejected probe and closes at the first subsequent fulfilled probe.
+type OutageRecord struct {
+	Market market.SpotID `json:"market"`
+	Kind   ProbeKind     `json:"kind"`
+	Start  time.Time     `json:"start"`
+	End    time.Time     `json:"end"` // zero while ongoing
+}
+
+// Duration returns the outage length; ongoing outages are measured up to
+// now.
+func (o OutageRecord) Duration(now time.Time) time.Duration {
+	end := o.End
+	if end.IsZero() {
+		end = now
+	}
+	return end.Sub(o.Start)
+}
+
+// Overlaps reports whether the outage intersects [from, to].
+func (o OutageRecord) Overlaps(from, to time.Time) bool {
+	if o.Start.After(to) {
+		return false
+	}
+	return o.End.IsZero() || o.End.After(from)
+}
+
+// BidSpreadRecord is the outcome of one intrinsic-price search (§5.1.2,
+// Chapter 4's BidSpread probing function).
+type BidSpreadRecord struct {
+	At        time.Time     `json:"at"`
+	Market    market.SpotID `json:"market"`
+	Published float64       `json:"published"`
+	Intrinsic float64       `json:"intrinsic"` // lowest bid that actually wins
+	Attempts  int           `json:"attempts"`  // spot requests consumed
+}
+
+// PricePoint is one observed published price sample.
+type PricePoint struct {
+	At    time.Time `json:"at"`
+	Price float64   `json:"price"`
+}
+
+// RevocationRecord is one completed revocation-watch observation
+// (Chapter 4's Revocation probing function): SpotLight held a spot
+// instance at the given bid until the platform revoked it.
+type RevocationRecord struct {
+	At     time.Time     `json:"at"` // when the revocation landed
+	Market market.SpotID `json:"market"`
+	Bid    float64       `json:"bid"`
+	Held   time.Duration `json:"held"` // how long the instance survived
+}
+
+type outageKey struct {
+	m market.SpotID
+	k ProbeKind
+}
+
+// Store is the append-ordered database. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu sync.RWMutex
+
+	probes      []ProbeRecord
+	spikes      []SpikeEvent
+	bidSpreads  []BidSpreadRecord
+	revocations []RevocationRecord
+
+	prices map[market.SpotID][]PricePoint
+
+	openOutages map[outageKey]int // index into outages
+	outages     []OutageRecord
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		prices:      make(map[market.SpotID][]PricePoint),
+		openOutages: make(map[outageKey]int),
+	}
+}
+
+// AppendProbe logs one probe and folds it into the derived outage
+// intervals.
+func (s *Store) AppendProbe(r ProbeRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probes = append(s.probes, r)
+
+	key := outageKey{m: r.Market, k: r.Kind}
+	idx, open := s.openOutages[key]
+	switch {
+	case r.Rejected && !open:
+		s.outages = append(s.outages, OutageRecord{
+			Market: r.Market, Kind: r.Kind, Start: r.At,
+		})
+		s.openOutages[key] = len(s.outages) - 1
+	case !r.Rejected && open:
+		s.outages[idx].End = r.At
+		delete(s.openOutages, key)
+	}
+}
+
+// AppendSpike logs one threshold-crossing event.
+func (s *Store) AppendSpike(e SpikeEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spikes = append(s.spikes, e)
+}
+
+// AppendBidSpread logs one intrinsic-price search result.
+func (s *Store) AppendBidSpread(r BidSpreadRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bidSpreads = append(s.bidSpreads, r)
+}
+
+// AppendRevocation logs one completed revocation watch.
+func (s *Store) AppendRevocation(r RevocationRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revocations = append(s.revocations, r)
+}
+
+// Revocations returns a copy of all revocation-watch observations.
+func (s *Store) Revocations() []RevocationRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]RevocationRecord, len(s.revocations))
+	copy(out, s.revocations)
+	return out
+}
+
+// RecordPrice appends one price observation for a market. Callers decide
+// which markets to track densely (watched markets) versus sample.
+func (s *Store) RecordPrice(id market.SpotID, p PricePoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prices[id] = append(s.prices[id], p)
+}
+
+// Probes returns a copy of all probes, oldest first.
+func (s *Store) Probes() []ProbeRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ProbeRecord, len(s.probes))
+	copy(out, s.probes)
+	return out
+}
+
+// ProbesWhere returns copies of probes matching keep.
+func (s *Store) ProbesWhere(keep func(ProbeRecord) bool) []ProbeRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ProbeRecord
+	for _, r := range s.probes {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ProbeCount returns the number of logged probes.
+func (s *Store) ProbeCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.probes)
+}
+
+// Spikes returns a copy of all spike events.
+func (s *Store) Spikes() []SpikeEvent {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SpikeEvent, len(s.spikes))
+	copy(out, s.spikes)
+	return out
+}
+
+// SpikesFor returns the spike events of one market within [from, to].
+func (s *Store) SpikesFor(id market.SpotID, from, to time.Time) []SpikeEvent {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []SpikeEvent
+	for _, e := range s.spikes {
+		if e.Market == id && !e.At.Before(from) && !e.At.After(to) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// BidSpreads returns a copy of all intrinsic-price search results.
+func (s *Store) BidSpreads() []BidSpreadRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]BidSpreadRecord, len(s.bidSpreads))
+	copy(out, s.bidSpreads)
+	return out
+}
+
+// Outages returns all detected outage intervals; ongoing ones keep a zero
+// End.
+func (s *Store) Outages() []OutageRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]OutageRecord, len(s.outages))
+	copy(out, s.outages)
+	return out
+}
+
+// OutagesFor returns detected outages for one market and contract kind.
+func (s *Store) OutagesFor(id market.SpotID, kind ProbeKind) []OutageRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []OutageRecord
+	for _, o := range s.outages {
+		if o.Market == id && o.Kind == kind {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Prices returns a copy of the recorded price series of a market.
+func (s *Store) Prices(id market.SpotID) []PricePoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	series := s.prices[id]
+	out := make([]PricePoint, len(series))
+	copy(out, series)
+	return out
+}
+
+// PricedMarkets returns the markets with at least one recorded price.
+func (s *Store) PricedMarkets() []market.SpotID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]market.SpotID, 0, len(s.prices))
+	for id := range s.prices {
+		out = append(out, id)
+	}
+	return out
+}
+
+// TotalProbeCost sums the dollars charged across all probes.
+func (s *Store) TotalProbeCost() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0.0
+	for _, r := range s.probes {
+		total += r.Cost
+	}
+	return total
+}
