@@ -1,0 +1,30 @@
+# Mirrors .github/workflows/ci.yml: `make ci` is what CI runs.
+
+GO ?= go
+
+.PHONY: all build test vet fmt-check bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+# Benchmark smoke: compile and run each perf-critical query path once.
+bench:
+	$(GO) test -bench=BenchmarkQueryStable -benchtime=1x -run='^$$' .
+
+ci: build fmt-check vet test bench

@@ -15,7 +15,9 @@
 package spotlight_test
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -545,4 +547,105 @@ func BenchmarkQueryFallback(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Sharded-store benchmarks -------------------------------------------------
+//
+// The per-market sharding of internal/store exists for two reasons: writes
+// to different markets must not contend on one lock (SpotLight ingests
+// every probe/spike/price of ~4500 markets), and availability queries must
+// not rescan the global log. These benchmarks measure both.
+
+// benchMarkets builds n distinct synthetic spot markets.
+func benchMarkets(n int) []market.SpotID {
+	zones := []market.Zone{"us-east-1a", "us-east-1b", "us-east-1d", "eu-west-1a"}
+	out := make([]market.SpotID, n)
+	for i := range out {
+		out[i] = market.SpotID{
+			Zone:    zones[i%len(zones)],
+			Type:    market.InstanceType(fmt.Sprintf("c%d.%dxlarge", i/len(zones)+1, i%8+1)),
+			Product: market.ProductLinux,
+		}
+	}
+	return out
+}
+
+// storeAppendParallel drives concurrent appenders spread across nMarkets
+// shards: each goroutine owns a slice of markets and round-robins its
+// writes over them.
+func storeAppendParallel(b *testing.B, nMarkets int) {
+	b.Helper()
+	db := store.New()
+	mkts := benchMarkets(nMarkets)
+	base := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(next.Add(1)) - 1
+		i := 0
+		for pb.Next() {
+			id := mkts[(g+i)%len(mkts)]
+			db.AppendProbe(store.ProbeRecord{
+				At:     base.Add(time.Duration(i) * time.Second),
+				Market: id, Kind: store.ProbeOnDemand,
+				Trigger: store.TriggerSpike, Rejected: i%8 == 0, Cost: 0.1,
+			})
+			i++
+		}
+	})
+	b.ReportMetric(float64(nMarkets), "markets")
+}
+
+// BenchmarkStoreAppendParallel measures concurrent ingestion with a small
+// market set (high per-shard contention — the old flat log's worst case
+// was equivalent to nMarkets=1 for every workload).
+func BenchmarkStoreAppendParallel(b *testing.B) { storeAppendParallel(b, 8) }
+
+// BenchmarkStoreAppendParallelManyMarkets spreads the same write load over
+// ~4k markets, the paper's full catalog scale: appenders virtually never
+// share a shard lock.
+func BenchmarkStoreAppendParallelManyMarkets(b *testing.B) { storeAppendParallel(b, 4096) }
+
+// BenchmarkQueryStableParallel measures concurrent readers running the
+// paper's example query against the shared study store — the serving
+// pattern of an Engine answering many SpotCheck/SpotOn clients at once.
+func BenchmarkQueryStableParallel(b *testing.B) {
+	st := benchStudy(b)
+	from, to := st.Window()
+	engine := query.NewEngine(st.DB, st.Cat)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := engine.TopStableMarkets("us-east-1", market.ProductLinux, 10, from, to); err != nil {
+				// Fatal is not allowed off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkQueryUnavailabilityParallel measures the per-market
+// availability lookup (the hot path of automated placement decisions):
+// pure shard-local window arithmetic.
+func BenchmarkQueryUnavailabilityParallel(b *testing.B) {
+	st := benchStudy(b)
+	from, to := st.Window()
+	engine := query.NewEngine(st.DB, st.Cat)
+	ids := st.Cat.SpotMarkets()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(next.Add(1)) - 1
+		i := 0
+		for pb.Next() {
+			id := ids[(g*7919+i)%len(ids)]
+			if _, err := engine.ODUnavailability(id, from, to); err != nil {
+				// Fatal is not allowed off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
 }

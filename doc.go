@@ -13,7 +13,10 @@
 //   - internal/cloud       — the EC2 simulator substrate (Fig 2.2 model)
 //   - internal/demand      — seeded demand processes driving the simulator
 //   - internal/market      — the 9-region / 26-zone / 53-type catalog
-//   - internal/store       — SpotLight's database
+//   - internal/store       — SpotLight's database, sharded per spot market:
+//     each market's history lives behind its own lock with incremental
+//     indexes and aggregates, so ingestion scales across markets and
+//     availability queries are shard-local lookups instead of log scans
 //   - internal/query       — query engine + HTTP API
 //   - internal/analysis    — one function per paper table/figure
 //   - internal/experiment  — study harness and the Chapter 6 case studies
@@ -27,5 +30,10 @@
 // The root-level benchmarks (bench_test.go) regenerate each table and
 // figure of the paper's evaluation; see EXPERIMENTS.md for paper-vs-
 // measured values and DESIGN.md for the system inventory and the
-// simulator-substitution rationale.
+// simulator-substitution rationale. The BenchmarkStoreAppendParallel and
+// BenchmarkQuery*Parallel families measure the sharded store's concurrent
+// ingestion and query serving.
+//
+// Development: `make ci` runs the same build / gofmt / vet / race-test /
+// benchmark-smoke pipeline as .github/workflows/ci.yml.
 package spotlight

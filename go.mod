@@ -1,0 +1,3 @@
+module spotlight
+
+go 1.22

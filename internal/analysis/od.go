@@ -31,8 +31,9 @@ func correlateSpikes(db *store.Store, window time.Duration) []spikeOutcome {
 		outagesByMarket[o.Market] = append(outagesByMarket[o.Market], o)
 	}
 
+	// The sharded store's Spikes() already merges across shards in
+	// timestamp order.
 	spikes := db.Spikes()
-	sort.Slice(spikes, func(i, j int) bool { return spikes[i].At.Before(spikes[j].At) })
 
 	lastCounted := make(map[market.SpotID]time.Time)
 	var out []spikeOutcome

@@ -33,13 +33,7 @@ func Fig21PriceTrace(db *store.Store, cat *market.Catalog, id market.SpotID, fro
 	if err != nil {
 		return PriceTrace{}, err
 	}
-	var pts []store.PricePoint
-	for _, p := range db.Prices(id) {
-		if p.At.Before(from) || p.At.After(to) {
-			continue
-		}
-		pts = append(pts, p)
-	}
+	pts := db.PricesIn(id, from, to)
 	if len(pts) == 0 {
 		return PriceTrace{}, ErrNoTrace
 	}
@@ -98,14 +92,10 @@ type Fig52 struct {
 	PremiumFraction float64
 }
 
-// Fig52IntrinsicPrice computes Fig 5.2 for one market.
+// Fig52IntrinsicPrice computes Fig 5.2 for one market, reading only that
+// market's shard.
 func Fig52IntrinsicPrice(db *store.Store, id market.SpotID) Fig52 {
-	var recs []store.BidSpreadRecord
-	for _, r := range db.BidSpreads() {
-		if r.Market == id {
-			recs = append(recs, r)
-		}
-	}
+	recs := db.BidSpreadsFor(id)
 	res := Fig52{Market: id, Records: recs}
 	if len(recs) == 0 {
 		return res

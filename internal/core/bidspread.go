@@ -80,7 +80,7 @@ func (s *Service) bidSpreadSearch(mon *marketMon, now time.Time) {
 	}
 
 	s.stats.BidSpreadRuns++
-	s.db.AppendBidSpread(store.BidSpreadRecord{
+	mon.app.AppendBidSpread(store.BidSpreadRecord{
 		At:        now,
 		Market:    mon.id,
 		Published: published,

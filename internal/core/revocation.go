@@ -76,7 +76,7 @@ func (s *Service) watchRevocationInstance(mon *marketMon, now time.Time) {
 	case cloud.InstanceTerminated:
 		if inst.Revoked {
 			s.stats.Revocations++
-			s.db.AppendRevocation(store.RevocationRecord{
+			mon.app.AppendRevocation(store.RevocationRecord{
 				At:     inst.End,
 				Market: mon.id,
 				Bid:    mon.revBid,

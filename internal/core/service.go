@@ -34,6 +34,10 @@ type marketMon struct {
 	above   bool // currently above the spike threshold
 	watched bool
 
+	// app writes straight to this market's store shard, skipping the
+	// store-level shard lookup on every ingested record.
+	app *store.Appender
+
 	lastSample        time.Time
 	lastRecordedPrice float64
 
@@ -155,6 +159,7 @@ func New(prov Provider, db *store.Store, cfg Config) (*Service, error) {
 			watched:    watched[id],
 			bidSpread:  bidSpread[id],
 			revocation: revocation[id],
+			app:        s.db.Appender(id),
 		}
 		s.mons[id] = mon
 		s.monsByReg[r] = append(s.monsByReg[r], mon)
@@ -257,7 +262,7 @@ func (s *Service) scanRegion(r market.Region, now time.Time) {
 					spikeRatio:    ratio,
 				})
 			}
-			s.db.AppendSpike(store.SpikeEvent{
+			mon.app.AppendSpike(store.SpikeEvent{
 				At: now, Market: mon.id, Price: mon.price, Ratio: ratio, Probed: probed,
 			})
 		case ratio <= s.cfg.Threshold && mon.above:
@@ -272,12 +277,12 @@ func (s *Service) recordPrice(mon *marketMon, now time.Time) {
 	switch {
 	case mon.watched:
 		if mon.price != mon.lastRecordedPrice || mon.lastSample.IsZero() {
-			s.db.RecordPrice(mon.id, store.PricePoint{At: now, Price: mon.price})
+			mon.app.RecordPrice(store.PricePoint{At: now, Price: mon.price})
 			mon.lastRecordedPrice = mon.price
 			mon.lastSample = now
 		}
 	case mon.lastSample.IsZero() || now.Sub(mon.lastSample) >= s.cfg.PriceSampleEvery:
-		s.db.RecordPrice(mon.id, store.PricePoint{At: now, Price: mon.price})
+		mon.app.RecordPrice(store.PricePoint{At: now, Price: mon.price})
 		mon.lastRecordedPrice = mon.price
 		mon.lastSample = now
 	}

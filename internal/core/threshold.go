@@ -58,22 +58,15 @@ func EstimateThreshold(db *store.Store, cat *market.Catalog, budgetPerDay float6
 		return ThresholdPlan{}, errors.New("core: empty calibration window")
 	}
 
-	var spikes []store.SpikeEvent
-	for _, sp := range db.Spikes() {
-		if sp.At.Before(from) || sp.At.After(to) {
-			continue
-		}
-		spikes = append(spikes, sp)
-	}
+	spikes := db.SpikesInWindow(from, to, nil)
 	if len(spikes) == 0 {
 		return ThresholdPlan{}, ErrNoHistory
 	}
 
 	// Detection rate: how often a trigger probe hits an unavailable
 	// market (these probes are free, but they trigger the fan-out).
-	trigger := db.ProbesWhere(func(r store.ProbeRecord) bool {
-		return r.Kind == store.ProbeOnDemand && r.Trigger == store.TriggerSpike &&
-			!r.At.Before(from) && !r.At.After(to)
+	trigger := db.ProbesInWindow(from, to, func(r store.ProbeRecord) bool {
+		return r.Kind == store.ProbeOnDemand && r.Trigger == store.TriggerSpike
 	})
 	detectionRate := 0.0
 	if len(trigger) > 0 {

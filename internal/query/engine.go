@@ -30,34 +30,14 @@ func NewEngine(db *store.Store, cat *market.Catalog) *Engine {
 	return &Engine{db: db, cat: cat}
 }
 
-// overlap returns how much of [from, to] the interval [start, end] covers;
-// a zero end means the interval is still open.
-func overlap(start, end, from, to time.Time) time.Duration {
-	if end.IsZero() {
-		end = to
-	}
-	if start.Before(from) {
-		start = from
-	}
-	if end.After(to) {
-		end = to
-	}
-	if !end.After(start) {
-		return 0
-	}
-	return end.Sub(start)
-}
-
 // unavailability computes the fraction of [from, to] covered by detected
-// outages of the given contract kind.
+// outages of the given contract kind. The window arithmetic runs inside
+// the market's shard (store.OutageOverlap): no interval list is copied.
 func (e *Engine) unavailability(m market.SpotID, kind store.ProbeKind, from, to time.Time) (float64, error) {
 	if !to.After(from) {
 		return 0, ErrBadWindow
 	}
-	total := time.Duration(0)
-	for _, o := range e.db.OutagesFor(m, kind) {
-		total += overlap(o.Start, o.End, from, to)
-	}
+	total := e.db.OutageOverlap(m, kind, from, to)
 	return float64(total) / float64(to.Sub(from)), nil
 }
 
@@ -101,16 +81,7 @@ func (e *Engine) TopStableMarkets(region market.Region, product market.Product, 
 	if n <= 0 {
 		return nil, nil
 	}
-	crossings := make(map[market.SpotID]int)
-	for _, sp := range e.db.Spikes() {
-		if sp.At.Before(from) || sp.At.After(to) {
-			continue
-		}
-		if sp.Ratio < 1 {
-			continue
-		}
-		crossings[sp.Market]++
-	}
+	crossings := e.db.SpikeCrossings(from, to)
 	window := to.Sub(from)
 	var rows []StableMarket
 	for _, id := range e.cat.SpotMarkets() {
@@ -120,7 +91,7 @@ func (e *Engine) TopStableMarkets(region market.Region, product market.Product, 
 		if product != "" && id.Product != product {
 			continue
 		}
-		c := crossings[id]
+		c := crossings[id].Crossings
 		unav, err := e.ODUnavailability(id, from, to)
 		if err != nil {
 			return nil, err
@@ -169,13 +140,7 @@ func (e *Engine) RecommendFallback(m market.SpotID, n int, from, to time.Time) (
 	if n <= 0 {
 		return nil, nil
 	}
-	crossings := make(map[market.SpotID]int)
-	for _, sp := range e.db.Spikes() {
-		if sp.At.Before(from) || sp.At.After(to) || sp.Ratio < 1 {
-			continue
-		}
-		crossings[sp.Market]++
-	}
+	crossings := e.db.SpikeCrossings(from, to)
 	var rows []Fallback
 	for _, cand := range e.cat.UncorrelatedCandidates(m) {
 		unav, err := e.ODUnavailability(cand, from, to)
@@ -185,7 +150,7 @@ func (e *Engine) RecommendFallback(m market.SpotID, n int, from, to time.Time) (
 		rows = append(rows, Fallback{
 			Market:           cand,
 			ODUnavailability: unav,
-			Crossings:        crossings[cand],
+			Crossings:        crossings[cand].Crossings,
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -218,7 +183,8 @@ type RegionSummary struct {
 }
 
 // Summary aggregates the store per region at instant now (used to close
-// ongoing outages).
+// ongoing outages). It folds the per-market shard aggregates — one O(markets)
+// walk instead of rescanning every probe, spike, and outage record.
 func (e *Engine) Summary(now time.Time) []RegionSummary {
 	byRegion := make(map[market.Region]*RegionSummary)
 	get := func(r market.Region) *RegionSummary {
@@ -230,37 +196,21 @@ func (e *Engine) Summary(now time.Time) []RegionSummary {
 		return s
 	}
 	odDur := make(map[market.Region]time.Duration)
-	for _, o := range e.db.Outages() {
-		s := get(o.Market.Region())
-		switch o.Kind {
-		case store.ProbeOnDemand:
-			s.ODOutages++
-			odDur[o.Market.Region()] += o.Duration(now)
-		case store.ProbeSpot:
-			s.SpotOutages++
+	for _, agg := range e.db.Aggregates(now) {
+		if agg.TotalProbes == 0 && agg.Spikes == 0 {
+			continue // markets with only price/bid-spread/revocation history
 		}
-	}
-	for _, p := range e.db.Probes() {
-		s := get(p.Market.Region())
-		switch p.Kind {
-		case store.ProbeOnDemand:
-			s.TotalODProbes++
-			if p.Rejected {
-				s.RejectedODProbes++
-			}
-		case store.ProbeSpot:
-			s.TotalSpotProbes++
-			if p.Rejected {
-				s.RejectedSpotPcnt++ // count; normalized below
-			}
-		}
-	}
-	for _, sp := range e.db.Spikes() {
-		s := get(sp.Market.Region())
-		s.ObservedSpikesAll++
-		if sp.Ratio >= 1 {
-			s.SpikesAboveOD++
-		}
+		region := agg.Market.Region()
+		s := get(region)
+		s.ODOutages += agg.ODOutages
+		s.SpotOutages += agg.SpotOutages
+		odDur[region] += agg.ODOutageDur
+		s.TotalODProbes += agg.ODProbes
+		s.RejectedODProbes += agg.ODRejected
+		s.TotalSpotProbes += agg.SpotProbes
+		s.RejectedSpotPcnt += float64(agg.SpotRejected) // count; normalized below
+		s.ObservedSpikesAll += agg.Spikes
+		s.SpikesAboveOD += agg.SpikesAboveOD
 	}
 	var out []RegionSummary
 	for r, s := range byRegion {
@@ -359,19 +309,13 @@ type PriceStats struct {
 	Max     float64       `json:"max"`
 }
 
-// Prices returns the recorded price points of a market within the window.
+// Prices returns the recorded price points of a market within the window,
+// sliced out of the market's shard by binary search.
 func (e *Engine) Prices(m market.SpotID, from, to time.Time) ([]store.PricePoint, error) {
 	if !to.After(from) {
 		return nil, ErrBadWindow
 	}
-	var out []store.PricePoint
-	for _, p := range e.db.Prices(m) {
-		if p.At.Before(from) || p.At.After(to) {
-			continue
-		}
-		out = append(out, p)
-	}
-	return out, nil
+	return e.db.PricesIn(m, from, to), nil
 }
 
 // PriceSummary computes min/mean/max of the recorded series in a window.

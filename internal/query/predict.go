@@ -55,15 +55,16 @@ func (e *Engine) PredictOutage(m market.SpotID, ratio float64, window time.Durat
 		window = 900 * time.Second
 	}
 
+	// Outage intervals are fetched per market on demand — each lookup
+	// reads only that market's shard — and memoized across levels.
 	outagesByMarket := make(map[market.SpotID][]store.OutageRecord)
-	for _, o := range e.db.Outages() {
-		if o.Kind != store.ProbeOnDemand {
-			continue
-		}
-		outagesByMarket[o.Market] = append(outagesByMarket[o.Market], o)
-	}
 	correlated := func(sp store.SpikeEvent) bool {
-		for _, o := range outagesByMarket[sp.Market] {
+		outs, ok := outagesByMarket[sp.Market]
+		if !ok {
+			outs = e.db.OutagesFor(sp.Market, store.ProbeOnDemand)
+			outagesByMarket[sp.Market] = outs
+		}
+		for _, o := range outs {
 			if o.Overlaps(sp.At, sp.At.Add(window)) {
 				return true
 			}
@@ -71,12 +72,11 @@ func (e *Engine) PredictOutage(m market.SpotID, ratio float64, window time.Durat
 		return false
 	}
 
-	count := func(keep func(store.SpikeEvent) bool) (total, hits int) {
-		for _, sp := range e.db.Spikes() {
-			if sp.At.Before(from) || sp.At.After(to) || sp.Ratio <= ratio {
-				continue
-			}
-			if !keep(sp) {
+	// count pulls only the shards the level's market filter accepts, and
+	// only the [from, to] slice of each.
+	count := func(keep func(market.SpotID) bool) (total, hits int) {
+		for _, sp := range e.db.SpikesInWindow(from, to, keep) {
+			if sp.Ratio <= ratio {
 				continue
 			}
 			total++
@@ -89,11 +89,11 @@ func (e *Engine) PredictOutage(m market.SpotID, ratio float64, window time.Durat
 
 	levels := []struct {
 		basis PredictionBasis
-		keep  func(store.SpikeEvent) bool
+		keep  func(market.SpotID) bool
 	}{
-		{BasisMarket, func(sp store.SpikeEvent) bool { return sp.Market == m }},
-		{BasisRegion, func(sp store.SpikeEvent) bool { return sp.Market.Region() == m.Region() }},
-		{BasisGlobal, func(store.SpikeEvent) bool { return true }},
+		{BasisMarket, func(id market.SpotID) bool { return id == m }},
+		{BasisRegion, func(id market.SpotID) bool { return id.Region() == m.Region() }},
+		{BasisGlobal, nil},
 	}
 	pred := OutagePrediction{Market: m, SpikeRatio: ratio, Basis: BasisGlobal}
 	for _, lv := range levels {

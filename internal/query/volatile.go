@@ -34,46 +34,26 @@ func (e *Engine) TopVolatileMarkets(region market.Region, product market.Product
 	if n <= 0 {
 		return nil, nil
 	}
-	agg := make(map[market.SpotID]*VolatileMarket)
-	for _, sp := range e.db.Spikes() {
-		if sp.At.Before(from) || sp.At.After(to) || sp.Ratio < 1 {
-			continue
-		}
-		if region != "" && sp.Market.Region() != region {
-			continue
-		}
-		if product != "" && sp.Market.Product != product {
-			continue
-		}
-		row, ok := agg[sp.Market]
-		if !ok {
-			row = &VolatileMarket{Market: sp.Market}
-			agg[sp.Market] = row
-		}
-		row.Crossings++
-		if sp.Ratio > row.MaxRatio {
-			row.MaxRatio = sp.Ratio
-		}
-	}
-
-	heldSum := make(map[market.SpotID]time.Duration)
-	for _, rv := range e.db.Revocations() {
-		if rv.At.Before(from) || rv.At.After(to) {
-			continue
-		}
-		row, ok := agg[rv.Market]
-		if !ok {
-			continue
-		}
-		row.Watches++
-		heldSum[rv.Market] += rv.Held
-	}
+	// The per-shard crossings index answers "how many crossings, how big"
+	// per market without touching the raw spike logs.
 	var rows []VolatileMarket
-	for id, row := range agg {
-		if row.Watches > 0 {
-			row.MeanHeld = heldSum[id] / time.Duration(row.Watches)
+	for id, cs := range e.db.SpikeCrossings(from, to) {
+		if region != "" && id.Region() != region {
+			continue
 		}
-		rows = append(rows, *row)
+		if product != "" && id.Product != product {
+			continue
+		}
+		row := VolatileMarket{Market: id, Crossings: cs.Crossings, MaxRatio: cs.MaxRatio}
+		heldSum := time.Duration(0)
+		for _, rv := range e.db.RevocationsFor(id, from, to) {
+			row.Watches++
+			heldSum += rv.Held
+		}
+		if row.Watches > 0 {
+			row.MeanHeld = heldSum / time.Duration(row.Watches)
+		}
+		rows = append(rows, row)
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Crossings != rows[j].Crossings {

@@ -22,21 +22,21 @@ type Snapshot struct {
 	Prices      map[string][]PricePoint `json:"prices"`
 }
 
-// WriteJSON serializes the full store contents to w.
+// WriteJSON serializes the full store contents to w. Each record stream is
+// a consistent timestamp-ordered merge across shards; concurrent appends
+// that race the dump may land in some streams and not others.
 func (s *Store) WriteJSON(w io.Writer) error {
-	s.mu.RLock()
 	snap := Snapshot{
-		Probes:      append([]ProbeRecord(nil), s.probes...),
-		Spikes:      append([]SpikeEvent(nil), s.spikes...),
-		BidSpreads:  append([]BidSpreadRecord(nil), s.bidSpreads...),
-		Revocations: append([]RevocationRecord(nil), s.revocations...),
-		Outages:     append([]OutageRecord(nil), s.outages...),
-		Prices:      make(map[string][]PricePoint, len(s.prices)),
+		Probes:      s.Probes(),
+		Spikes:      s.Spikes(),
+		BidSpreads:  s.BidSpreads(),
+		Revocations: s.Revocations(),
+		Outages:     s.Outages(),
+		Prices:      make(map[string][]PricePoint),
 	}
-	for id, series := range s.prices {
-		snap.Prices[id.String()] = append([]PricePoint(nil), series...)
+	for _, id := range s.PricedMarkets() {
+		snap.Prices[id.String()] = s.Prices(id)
 	}
-	s.mu.RUnlock()
 
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(snap); err != nil {

@@ -1,0 +1,330 @@
+package store
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"spotlight/internal/market"
+)
+
+// probeKinds is the number of contract kinds a shard indexes separately
+// (ProbeOnDemand and ProbeSpot).
+const probeKinds = 2
+
+// kindIndex maps a ProbeKind to its aggregate slot; records with an
+// unknown kind are logged but excluded from per-kind indexes.
+func kindIndex(k ProbeKind) (int, bool) {
+	if k == ProbeOnDemand || k == ProbeSpot {
+		return int(k) - 1, true
+	}
+	return 0, false
+}
+
+// kindAgg is the incrementally-maintained per-kind summary of one shard.
+type kindAgg struct {
+	probes   int
+	rejected int
+	// outages counts every derived outage interval, including an open one.
+	outages int
+	// closedOutageDur sums End-Start over closed outages.
+	closedOutageDur time.Duration
+	// openOutageStart is the start of the ongoing outage; zero when the
+	// kind is currently available.
+	openOutageStart time.Time
+}
+
+// outageDur returns the total detected outage time measured to now,
+// ongoing outage included.
+func (a *kindAgg) outageDur(now time.Time) time.Duration {
+	d := a.closedOutageDur
+	if !a.openOutageStart.IsZero() {
+		d += now.Sub(a.openOutageStart)
+	}
+	return d
+}
+
+// shardAgg holds one shard's running summaries, updated on every append so
+// aggregate queries never rescan the log.
+type shardAgg struct {
+	byKind     [probeKinds]kindAgg
+	probeCount int // all kinds, unknown included
+	probeCost  float64
+
+	spikes        int
+	spikesAboveOD int
+
+	priceCount         int
+	priceSum           float64
+	priceMin, priceMax float64
+}
+
+// shard holds every record of one spot market behind its own lock, so
+// writes to different markets never contend and per-market queries never
+// scan other markets' history.
+type shard struct {
+	mu  sync.RWMutex
+	id  market.SpotID
+	key string // id.String(), cached for deterministic shard ordering
+
+	probes      []ProbeRecord
+	spikes      []SpikeEvent
+	bidSpreads  []BidSpreadRecord
+	revocations []RevocationRecord
+	prices      []PricePoint
+	outages     []OutageRecord
+
+	// crossings is the incremental index of spikes with Ratio >= 1 (the
+	// on-demand price crossings behind every stability/volatility query),
+	// stored compactly — queries only need when and how big.
+	crossings []crossing
+
+	// Ordered flags track whether the corresponding slice is appended in
+	// non-decreasing time order; while true, window queries binary-search
+	// instead of scanning.
+	probesOrdered      bool
+	spikesOrdered      bool
+	crossingsOrdered   bool
+	pricesOrdered      bool
+	revocationsOrdered bool
+	bidSpreadsOrdered  bool
+	outagesOrdered     bool // by Start; follows probesOrdered in practice
+
+	// openOutage[k] is 1+index into outages of kind k's ongoing outage;
+	// 0 means the kind is currently available.
+	openOutage [probeKinds]int
+
+	agg shardAgg
+}
+
+func newShard(id market.SpotID) *shard {
+	return &shard{
+		id:                 id,
+		key:                id.String(),
+		probesOrdered:      true,
+		spikesOrdered:      true,
+		crossingsOrdered:   true,
+		pricesOrdered:      true,
+		revocationsOrdered: true,
+		bidSpreadsOrdered:  true,
+		outagesOrdered:     true,
+	}
+}
+
+func (sh *shard) appendProbe(r ProbeRecord) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n := len(sh.probes); n > 0 && r.At.Before(sh.probes[n-1].At) {
+		sh.probesOrdered = false
+	}
+	sh.probes = append(sh.probes, r)
+	sh.agg.probeCount++
+	sh.agg.probeCost += r.Cost
+
+	ki, ok := kindIndex(r.Kind)
+	if !ok {
+		return
+	}
+	ka := &sh.agg.byKind[ki]
+	ka.probes++
+	if r.Rejected {
+		ka.rejected++
+	}
+	switch {
+	case r.Rejected && sh.openOutage[ki] == 0:
+		if n := len(sh.outages); n > 0 && r.At.Before(sh.outages[n-1].Start) {
+			sh.outagesOrdered = false
+		}
+		sh.outages = append(sh.outages, OutageRecord{
+			Market: r.Market, Kind: r.Kind, Start: r.At,
+		})
+		sh.openOutage[ki] = len(sh.outages)
+		ka.outages++
+		ka.openOutageStart = r.At
+	case !r.Rejected && sh.openOutage[ki] != 0:
+		o := &sh.outages[sh.openOutage[ki]-1]
+		o.End = r.At
+		ka.closedOutageDur += o.End.Sub(o.Start)
+		ka.openOutageStart = time.Time{}
+		sh.openOutage[ki] = 0
+	}
+}
+
+func (sh *shard) appendSpike(e SpikeEvent) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n := len(sh.spikes); n > 0 && e.At.Before(sh.spikes[n-1].At) {
+		sh.spikesOrdered = false
+	}
+	sh.spikes = append(sh.spikes, e)
+	sh.agg.spikes++
+	if e.Ratio >= 1 {
+		if n := len(sh.crossings); n > 0 && e.At.Before(sh.crossings[n-1].at) {
+			sh.crossingsOrdered = false
+		}
+		sh.crossings = append(sh.crossings, crossing{at: e.At, ratio: e.Ratio})
+		sh.agg.spikesAboveOD++
+	}
+}
+
+// crossing is one compact entry of the price-crossing index.
+type crossing struct {
+	at    time.Time
+	ratio float64
+}
+
+func (sh *shard) appendBidSpread(r BidSpreadRecord) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n := len(sh.bidSpreads); n > 0 && r.At.Before(sh.bidSpreads[n-1].At) {
+		sh.bidSpreadsOrdered = false
+	}
+	sh.bidSpreads = append(sh.bidSpreads, r)
+}
+
+func (sh *shard) appendRevocation(r RevocationRecord) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n := len(sh.revocations); n > 0 && r.At.Before(sh.revocations[n-1].At) {
+		sh.revocationsOrdered = false
+	}
+	sh.revocations = append(sh.revocations, r)
+}
+
+func (sh *shard) appendPrice(p PricePoint) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n := len(sh.prices); n > 0 && p.At.Before(sh.prices[n-1].At) {
+		sh.pricesOrdered = false
+	}
+	sh.prices = append(sh.prices, p)
+	sh.agg.priceCount++
+	sh.agg.priceSum += p.Price
+	if sh.agg.priceCount == 1 || p.Price < sh.agg.priceMin {
+		sh.agg.priceMin = p.Price
+	}
+	if sh.agg.priceCount == 1 || p.Price > sh.agg.priceMax {
+		sh.agg.priceMax = p.Price
+	}
+}
+
+// windowBounds returns the half-open index range [lo, hi) of the elements
+// whose timestamp falls inside [from, to], assuming at(i) is
+// non-decreasing in i.
+func windowBounds(n int, at func(int) time.Time, from, to time.Time) (int, int) {
+	lo := sort.Search(n, func(i int) bool { return !at(i).Before(from) })
+	hi := sort.Search(n, func(i int) bool { return at(i).After(to) })
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// windowSlice copies the elements of src with timestamps in [from, to]
+// into dst. When ordered, the range is located by binary search; otherwise
+// the slice is scanned.
+func windowSlice[T any](dst []T, src []T, ordered bool, at func(T) time.Time, from, to time.Time) []T {
+	if ordered {
+		lo, hi := windowBounds(len(src), func(i int) time.Time { return at(src[i]) }, from, to)
+		return append(dst, src[lo:hi]...)
+	}
+	for _, v := range src {
+		t := at(v)
+		if t.Before(from) || t.After(to) {
+			continue
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+func (sh *shard) spikesIn(dst []SpikeEvent, from, to time.Time) []SpikeEvent {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return windowSlice(dst, sh.spikes, sh.spikesOrdered, spikeAt, from, to)
+}
+
+func (sh *shard) pricesIn(dst []PricePoint, from, to time.Time) []PricePoint {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return windowSlice(dst, sh.prices, sh.pricesOrdered, priceAt, from, to)
+}
+
+func (sh *shard) probesIn(dst []ProbeRecord, from, to time.Time) []ProbeRecord {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return windowSlice(dst, sh.probes, sh.probesOrdered, probeAt, from, to)
+}
+
+func (sh *shard) revocationsIn(dst []RevocationRecord, from, to time.Time) []RevocationRecord {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return windowSlice(dst, sh.revocations, sh.revocationsOrdered, revocationAt, from, to)
+}
+
+// crossingStats counts the on-demand price crossings inside [from, to] and
+// their largest spike ratio, using the incremental crossings index.
+func (sh *shard) crossingStats(from, to time.Time) (count int, maxRatio float64) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.crossingsOrdered {
+		lo, hi := windowBounds(len(sh.crossings), func(i int) time.Time { return sh.crossings[i].at }, from, to)
+		for _, e := range sh.crossings[lo:hi] {
+			count++
+			if e.ratio > maxRatio {
+				maxRatio = e.ratio
+			}
+		}
+		return count, maxRatio
+	}
+	for _, e := range sh.crossings {
+		if e.at.Before(from) || e.at.After(to) {
+			continue
+		}
+		count++
+		if e.ratio > maxRatio {
+			maxRatio = e.ratio
+		}
+	}
+	return count, maxRatio
+}
+
+// outageOverlap sums how much of [from, to] the shard's detected outages of
+// one kind cover, without copying the interval list.
+func (sh *shard) outageOverlap(kind ProbeKind, from, to time.Time) time.Duration {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	total := time.Duration(0)
+	for _, o := range sh.outages {
+		if o.Kind == kind {
+			total += overlapWindow(o.Start, o.End, from, to)
+		}
+	}
+	return total
+}
+
+// overlapWindow returns how much of [from, to] the interval [start, end]
+// covers; a zero end means the interval is still open.
+func overlapWindow(start, end, from, to time.Time) time.Duration {
+	if end.IsZero() {
+		end = to
+	}
+	if start.Before(from) {
+		start = from
+	}
+	if end.After(to) {
+		end = to
+	}
+	if !end.After(start) {
+		return 0
+	}
+	return end.Sub(start)
+}
+
+// Timestamp accessors shared by the window helpers.
+func probeAt(r ProbeRecord) time.Time           { return r.At }
+func spikeAt(e SpikeEvent) time.Time            { return e.At }
+func priceAt(p PricePoint) time.Time            { return p.At }
+func revocationAt(r RevocationRecord) time.Time { return r.At }
+func bidSpreadAt(r BidSpreadRecord) time.Time   { return r.At }
+func outageAt(o OutageRecord) time.Time         { return o.Start }

@@ -1,11 +1,38 @@
 // Package store is SpotLight's database. Chapter 3 and Chapter 4 describe
 // SpotLight logging every probe, every spot-price trigger event, and every
-// request state change "into database"; this package is that database:
-// an in-memory, append-ordered, concurrency-safe log with the query
-// surface the analysis layer (Chapter 5) and the query API need.
+// request state change "into database"; this package is that database,
+// with the query surface the analysis layer (Chapter 5) and the query API
+// need.
+//
+// # Sharded design
+//
+// The store is sharded per spot market (market.SpotID). Each shard owns
+// its market's probe, spike, outage, price, bid-spread, and revocation
+// history behind its own RWMutex, so ingestion of different markets never
+// contends on a global lock, and every per-market query (OutagesFor,
+// SpikesFor, Prices, OutageOverlap, ...) touches exactly one shard.
+//
+// Shards additionally maintain incremental indexes and aggregates on the
+// write path:
+//
+//   - per-kind probe counters, rejection counters, and probe cost;
+//   - derived outage intervals with running totals of closed-outage
+//     duration and the open outage's start;
+//   - an index of on-demand price crossings (spikes with Ratio >= 1),
+//     the events behind every stability/volatility ranking;
+//   - running price min/mean/max;
+//   - time-ordered flags per slice, so window queries binary-search the
+//     affected range instead of scanning whole histories.
+//
+// Aggregate queries (Aggregates, SpikeCrossings, ProbeCount,
+// TotalProbeCost) read those summaries in O(markets) instead of
+// O(records). Global iteration methods (Probes, Spikes, Outages, ...)
+// remain available for export and offline analysis: they merge across
+// shards in timestamp order, resolving ties by market-ID order.
 package store
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -185,205 +212,502 @@ type RevocationRecord struct {
 	Held   time.Duration `json:"held"` // how long the instance survived
 }
 
-type outageKey struct {
-	m market.SpotID
-	k ProbeKind
-}
-
-// Store is the append-ordered database. All methods are safe for
-// concurrent use.
+// Store is the sharded database: every market's records live in their own
+// shard behind their own lock, with incrementally-maintained aggregates.
+// Writes to different markets never contend, per-market queries touch only
+// their shard, and the global iteration methods merge across shards in
+// timestamp order. All methods are safe for concurrent use.
 type Store struct {
-	mu sync.RWMutex
-
-	probes      []ProbeRecord
-	spikes      []SpikeEvent
-	bidSpreads  []BidSpreadRecord
-	revocations []RevocationRecord
-
-	prices map[market.SpotID][]PricePoint
-
-	openOutages map[outageKey]int // index into outages
-	outages     []OutageRecord
+	mu     sync.RWMutex
+	shards map[market.SpotID]*shard
+	// sorted caches the shards in market-ID order for deterministic
+	// global iteration; nil when a new shard invalidated it.
+	sorted []*shard
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{
-		prices:      make(map[market.SpotID][]PricePoint),
-		openOutages: make(map[outageKey]int),
-	}
+	return &Store{shards: make(map[market.SpotID]*shard)}
 }
 
-// AppendProbe logs one probe and folds it into the derived outage
-// intervals.
-func (s *Store) AppendProbe(r ProbeRecord) {
+// shardFor returns the shard of id, creating it on first write.
+func (s *Store) shardFor(id market.SpotID) *shard {
+	s.mu.RLock()
+	sh := s.shards[id]
+	s.mu.RUnlock()
+	if sh != nil {
+		return sh
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.probes = append(s.probes, r)
+	if sh = s.shards[id]; sh == nil {
+		sh = newShard(id)
+		s.shards[id] = sh
+		s.sorted = nil
+	}
+	return sh
+}
 
-	key := outageKey{m: r.Market, k: r.Kind}
-	idx, open := s.openOutages[key]
+// lookup returns the shard of id without creating it.
+func (s *Store) lookup(id market.SpotID) *shard {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shards[id]
+}
+
+// shardList returns every shard in market-ID order. The returned slice is
+// rebuilt (never mutated) when shards are added, so it is safe to iterate
+// without holding the store lock.
+func (s *Store) shardList() []*shard {
+	s.mu.RLock()
+	sorted := s.sorted
+	s.mu.RUnlock()
+	if sorted != nil {
+		return sorted
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sorted == nil {
+		list := make([]*shard, 0, len(s.shards))
+		for _, sh := range s.shards {
+			list = append(list, sh)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].key < list[j].key })
+		s.sorted = list
+	}
+	return s.sorted
+}
+
+// mergeByTime collects per-shard record slices and merges them into one
+// timestamp-ordered slice: records of one shard keep their append order
+// and ties across shards resolve by market-ID order. In the common case —
+// every shard appended in time order — this is an O(N log k) k-way merge
+// over k shards; only when some shard saw out-of-order appends does it
+// fall back to concatenating and stable-sorting.
+func mergeByTime[T any](shards []*shard, collect func(*shard) ([]T, bool), at func(T) time.Time) []T {
+	runs := make([][]T, 0, len(shards))
+	total, allOrdered := 0, true
+	for _, sh := range shards {
+		run, ordered := collect(sh)
+		if len(run) == 0 {
+			continue
+		}
+		runs = append(runs, run)
+		total += len(run)
+		allOrdered = allOrdered && ordered
+	}
 	switch {
-	case r.Rejected && !open:
-		s.outages = append(s.outages, OutageRecord{
-			Market: r.Market, Kind: r.Kind, Start: r.At,
-		})
-		s.openOutages[key] = len(s.outages) - 1
-	case !r.Rejected && open:
-		s.outages[idx].End = r.At
-		delete(s.openOutages, key)
+	case len(runs) == 0:
+		return nil
+	case len(runs) == 1 && allOrdered:
+		return runs[0]
+	case allOrdered:
+		return mergeOrderedRuns(runs, at, total)
 	}
+	out := make([]T, 0, total)
+	for _, run := range runs {
+		out = append(out, run...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return at(out[i]).Before(at(out[j])) })
+	return out
 }
 
-// AppendSpike logs one threshold-crossing event.
+// mergeOrderedRuns merges k time-ordered runs with a binary min-heap of
+// run cursors. Ties order by run index, which mergeByTime's callers build
+// in market-ID order.
+func mergeOrderedRuns[T any](runs [][]T, at func(T) time.Time, total int) []T {
+	pos := make([]int, len(runs))
+	less := func(a, b int) bool {
+		ta, tb := at(runs[a][pos[a]]), at(runs[b][pos[b]])
+		if !ta.Equal(tb) {
+			return ta.Before(tb)
+		}
+		return a < b
+	}
+	// heap holds run indices, min at heap[0].
+	heap := make([]int, len(runs))
+	for i := range runs {
+		heap[i] = i
+	}
+	siftDown := func(i, n int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < n && less(heap[l], heap[m]) {
+				m = l
+			}
+			if r < n && less(heap[r], heap[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+	}
+	n := len(heap)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n)
+	}
+	out := make([]T, 0, total)
+	for n > 0 {
+		r := heap[0]
+		out = append(out, runs[r][pos[r]])
+		pos[r]++
+		if pos[r] == len(runs[r]) {
+			heap[0] = heap[n-1]
+			n--
+		}
+		siftDown(0, n)
+	}
+	return out
+}
+
+// AppendProbe logs one probe and folds it into the market's derived outage
+// intervals and running aggregates.
+func (s *Store) AppendProbe(r ProbeRecord) {
+	s.shardFor(r.Market).appendProbe(r)
+}
+
+// AppendSpike logs one threshold-crossing event and indexes on-demand
+// price crossings (Ratio >= 1) incrementally.
 func (s *Store) AppendSpike(e SpikeEvent) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.spikes = append(s.spikes, e)
+	s.shardFor(e.Market).appendSpike(e)
 }
 
 // AppendBidSpread logs one intrinsic-price search result.
 func (s *Store) AppendBidSpread(r BidSpreadRecord) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.bidSpreads = append(s.bidSpreads, r)
+	s.shardFor(r.Market).appendBidSpread(r)
 }
 
 // AppendRevocation logs one completed revocation watch.
 func (s *Store) AppendRevocation(r RevocationRecord) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.revocations = append(s.revocations, r)
-}
-
-// Revocations returns a copy of all revocation-watch observations.
-func (s *Store) Revocations() []RevocationRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]RevocationRecord, len(s.revocations))
-	copy(out, s.revocations)
-	return out
+	s.shardFor(r.Market).appendRevocation(r)
 }
 
 // RecordPrice appends one price observation for a market. Callers decide
 // which markets to track densely (watched markets) versus sample.
 func (s *Store) RecordPrice(id market.SpotID, p PricePoint) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.prices[id] = append(s.prices[id], p)
+	s.shardFor(id).appendPrice(p)
 }
 
-// Probes returns a copy of all probes, oldest first.
-func (s *Store) Probes() []ProbeRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]ProbeRecord, len(s.probes))
-	copy(out, s.probes)
+// Markets returns every market with at least one record of any kind, in
+// market-ID order.
+func (s *Store) Markets() []market.SpotID {
+	shards := s.shardList()
+	out := make([]market.SpotID, len(shards))
+	for i, sh := range shards {
+		out[i] = sh.id
+	}
 	return out
 }
 
-// ProbesWhere returns copies of probes matching keep.
+// Revocations returns all revocation-watch observations merged across
+// shards, oldest first.
+func (s *Store) Revocations() []RevocationRecord {
+	return mergeByTime(s.shardList(), func(sh *shard) ([]RevocationRecord, bool) {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return append([]RevocationRecord(nil), sh.revocations...), sh.revocationsOrdered
+	}, revocationAt)
+}
+
+// RevocationsFor returns one market's revocation observations within
+// [from, to], oldest first when appends were time-ordered.
+func (s *Store) RevocationsFor(id market.SpotID, from, to time.Time) []RevocationRecord {
+	sh := s.lookup(id)
+	if sh == nil {
+		return nil
+	}
+	return sh.revocationsIn(nil, from, to)
+}
+
+// Probes returns all probes merged across shards, oldest first.
+func (s *Store) Probes() []ProbeRecord {
+	return mergeByTime(s.shardList(), func(sh *shard) ([]ProbeRecord, bool) {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return append([]ProbeRecord(nil), sh.probes...), sh.probesOrdered
+	}, probeAt)
+}
+
+// ProbesWhere returns copies of probes matching keep, oldest first.
 func (s *Store) ProbesWhere(keep func(ProbeRecord) bool) []ProbeRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []ProbeRecord
-	for _, r := range s.probes {
-		if keep(r) {
-			out = append(out, r)
+	return mergeByTime(s.shardList(), func(sh *shard) ([]ProbeRecord, bool) {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		var run []ProbeRecord
+		for _, r := range sh.probes {
+			if keep(r) {
+				run = append(run, r)
+			}
 		}
+		return run, sh.probesOrdered // filtering preserves order
+	}, probeAt)
+}
+
+// ProbesInWindow returns the probes with At inside [from, to], optionally
+// filtered by keep, using each shard's time index. Results are grouped by
+// market in market-ID order.
+func (s *Store) ProbesInWindow(from, to time.Time, keep func(ProbeRecord) bool) []ProbeRecord {
+	var out []ProbeRecord
+	for _, sh := range s.shardList() {
+		start := len(out)
+		out = sh.probesIn(out, from, to)
+		if keep == nil {
+			continue
+		}
+		kept := out[:start]
+		for _, r := range out[start:] {
+			if keep(r) {
+				kept = append(kept, r)
+			}
+		}
+		out = kept
 	}
 	return out
 }
 
 // ProbeCount returns the number of logged probes.
 func (s *Store) ProbeCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.probes)
+	total := 0
+	for _, sh := range s.shardList() {
+		sh.mu.RLock()
+		total += sh.agg.probeCount
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
-// Spikes returns a copy of all spike events.
+// Spikes returns all spike events merged across shards, oldest first.
 func (s *Store) Spikes() []SpikeEvent {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]SpikeEvent, len(s.spikes))
-	copy(out, s.spikes)
-	return out
+	return mergeByTime(s.shardList(), func(sh *shard) ([]SpikeEvent, bool) {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return append([]SpikeEvent(nil), sh.spikes...), sh.spikesOrdered
+	}, spikeAt)
 }
 
 // SpikesFor returns the spike events of one market within [from, to].
 func (s *Store) SpikesFor(id market.SpotID, from, to time.Time) []SpikeEvent {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.lookup(id)
+	if sh == nil {
+		return nil
+	}
+	return sh.spikesIn(nil, from, to)
+}
+
+// SpikesInWindow returns the spike events with At inside [from, to] of
+// every market accepted by keep (all markets when keep is nil), using each
+// shard's time index. Results are grouped by market in market-ID order.
+func (s *Store) SpikesInWindow(from, to time.Time, keep func(market.SpotID) bool) []SpikeEvent {
 	var out []SpikeEvent
-	for _, e := range s.spikes {
-		if e.Market == id && !e.At.Before(from) && !e.At.After(to) {
-			out = append(out, e)
+	for _, sh := range s.shardList() {
+		if keep != nil && !keep(sh.id) {
+			continue
+		}
+		out = sh.spikesIn(out, from, to)
+	}
+	return out
+}
+
+// CrossingStats summarizes one market's on-demand price crossings
+// (spikes with Ratio >= 1) inside a window.
+type CrossingStats struct {
+	// Crossings is how many times the spot price crossed the on-demand
+	// price in the window.
+	Crossings int
+	// MaxRatio is the largest crossing ratio observed in the window.
+	MaxRatio float64
+}
+
+// SpikeCrossings returns per-market crossing statistics for [from, to],
+// computed from each shard's incremental crossings index. Markets with no
+// crossings in the window are absent.
+func (s *Store) SpikeCrossings(from, to time.Time) map[market.SpotID]CrossingStats {
+	out := make(map[market.SpotID]CrossingStats)
+	for _, sh := range s.shardList() {
+		count, maxRatio := sh.crossingStats(from, to)
+		if count > 0 {
+			out[sh.id] = CrossingStats{Crossings: count, MaxRatio: maxRatio}
 		}
 	}
 	return out
 }
 
-// BidSpreads returns a copy of all intrinsic-price search results.
+// BidSpreads returns all intrinsic-price search results merged across
+// shards, oldest first.
 func (s *Store) BidSpreads() []BidSpreadRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]BidSpreadRecord, len(s.bidSpreads))
-	copy(out, s.bidSpreads)
-	return out
+	return mergeByTime(s.shardList(), func(sh *shard) ([]BidSpreadRecord, bool) {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return append([]BidSpreadRecord(nil), sh.bidSpreads...), sh.bidSpreadsOrdered
+	}, bidSpreadAt)
 }
 
-// Outages returns all detected outage intervals; ongoing ones keep a zero
-// End.
+// BidSpreadsFor returns one market's intrinsic-price search results.
+func (s *Store) BidSpreadsFor(id market.SpotID) []BidSpreadRecord {
+	sh := s.lookup(id)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]BidSpreadRecord(nil), sh.bidSpreads...)
+}
+
+// Outages returns all detected outage intervals merged across shards,
+// ordered by start time; ongoing ones keep a zero End.
 func (s *Store) Outages() []OutageRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]OutageRecord, len(s.outages))
-	copy(out, s.outages)
-	return out
+	return mergeByTime(s.shardList(), func(sh *shard) ([]OutageRecord, bool) {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return append([]OutageRecord(nil), sh.outages...), sh.outagesOrdered
+	}, outageAt)
 }
 
 // OutagesFor returns detected outages for one market and contract kind.
 func (s *Store) OutagesFor(id market.SpotID, kind ProbeKind) []OutageRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.lookup(id)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	var out []OutageRecord
-	for _, o := range s.outages {
-		if o.Market == id && o.Kind == kind {
+	for _, o := range sh.outages {
+		if o.Kind == kind {
 			out = append(out, o)
 		}
 	}
 	return out
 }
 
+// OutageOverlap returns how much of [from, to] is covered by the market's
+// detected outages of the given kind — the window arithmetic behind every
+// unavailability query, computed inside the shard without copying.
+func (s *Store) OutageOverlap(id market.SpotID, kind ProbeKind, from, to time.Time) time.Duration {
+	sh := s.lookup(id)
+	if sh == nil {
+		return 0
+	}
+	return sh.outageOverlap(kind, from, to)
+}
+
 // Prices returns a copy of the recorded price series of a market.
 func (s *Store) Prices(id market.SpotID) []PricePoint {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	series := s.prices[id]
-	out := make([]PricePoint, len(series))
-	copy(out, series)
+	sh := s.lookup(id)
+	if sh == nil {
+		return []PricePoint{}
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]PricePoint, len(sh.prices))
+	copy(out, sh.prices)
 	return out
 }
 
-// PricedMarkets returns the markets with at least one recorded price.
+// PricesIn returns the recorded price points of a market inside [from, to],
+// located by binary search when the series is time-ordered.
+func (s *Store) PricesIn(id market.SpotID, from, to time.Time) []PricePoint {
+	sh := s.lookup(id)
+	if sh == nil {
+		return nil
+	}
+	return sh.pricesIn(nil, from, to)
+}
+
+// PricedMarkets returns the markets with at least one recorded price, in
+// market-ID order.
 func (s *Store) PricedMarkets() []market.SpotID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]market.SpotID, 0, len(s.prices))
-	for id := range s.prices {
-		out = append(out, id)
+	var out []market.SpotID
+	for _, sh := range s.shardList() {
+		sh.mu.RLock()
+		n := sh.agg.priceCount
+		sh.mu.RUnlock()
+		if n > 0 {
+			out = append(out, sh.id)
+		}
 	}
 	return out
 }
 
-// TotalProbeCost sums the dollars charged across all probes.
+// TotalProbeCost sums the dollars charged across all probes, from the
+// shard aggregates.
 func (s *Store) TotalProbeCost() float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	total := 0.0
-	for _, r := range s.probes {
-		total += r.Cost
+	for _, sh := range s.shardList() {
+		sh.mu.RLock()
+		total += sh.agg.probeCost
+		sh.mu.RUnlock()
 	}
 	return total
+}
+
+// MarketAggregates is the incrementally-maintained summary of one market's
+// shard: counters the old flat log could only produce by rescanning every
+// record.
+type MarketAggregates struct {
+	Market market.SpotID
+
+	// TotalProbes counts every logged probe, including unknown kinds;
+	// ODProbes and SpotProbes break down the known ones.
+	TotalProbes  int
+	ODProbes     int
+	ODRejected   int
+	SpotProbes   int
+	SpotRejected int
+	ProbeCost    float64
+
+	// ODOutages / SpotOutages count detected outage intervals, ongoing
+	// included; ODOutageDur measures total on-demand outage time to `now`.
+	ODOutages   int
+	SpotOutages int
+	ODOutageDur time.Duration
+
+	Spikes        int
+	SpikesAboveOD int
+
+	PriceSamples int
+	PriceMin     float64
+	PriceMean    float64
+	PriceMax     float64
+}
+
+// Aggregates returns every shard's running summary at instant now (used to
+// measure ongoing outages), in market-ID order. This is an O(markets)
+// walk; no record is copied or rescanned.
+func (s *Store) Aggregates(now time.Time) []MarketAggregates {
+	shards := s.shardList()
+	out := make([]MarketAggregates, 0, len(shards))
+	for _, sh := range shards {
+		sh.mu.RLock()
+		a := sh.agg
+		sh.mu.RUnlock()
+		od := a.byKind[ProbeOnDemand-1]
+		spot := a.byKind[ProbeSpot-1]
+		m := MarketAggregates{
+			Market:        sh.id,
+			TotalProbes:   a.probeCount,
+			ODProbes:      od.probes,
+			ODRejected:    od.rejected,
+			SpotProbes:    spot.probes,
+			SpotRejected:  spot.rejected,
+			ProbeCost:     a.probeCost,
+			ODOutages:     od.outages,
+			SpotOutages:   spot.outages,
+			ODOutageDur:   od.outageDur(now),
+			Spikes:        a.spikes,
+			SpikesAboveOD: a.spikesAboveOD,
+			PriceSamples:  a.priceCount,
+			PriceMin:      a.priceMin,
+			PriceMax:      a.priceMax,
+		}
+		if a.priceCount > 0 {
+			m.PriceMean = a.priceSum / float64(a.priceCount)
+		}
+		out = append(out, m)
+	}
+	return out
 }
