@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench ci
+.PHONY: all build test vet fmt-check bench smoke ci
 
 all: build
 
@@ -23,8 +23,16 @@ fmt-check:
 		exit 1; \
 	fi
 
-# Benchmark smoke: compile and run each perf-critical query path once.
+# Benchmark smoke: compile and run each perf-critical query path once
+# (BenchmarkQueryStable matches the cached variant too). Capture-then-cat
+# instead of tee so the exit status survives /bin/sh.
 bench:
-	$(GO) test -bench=BenchmarkQueryStable -benchtime=1x -run='^$$' .
+	@$(GO) test -bench=BenchmarkQueryStable -benchtime=1x -run='^$$' . >bench-smoke.txt 2>&1; \
+	rc=$$?; cat bench-smoke.txt; exit $$rc
 
-ci: build fmt-check vet test bench
+# HTTP smoke: boot spotlightd on an ephemeral port, issue one v2 batch
+# query against it through the pkg/client SDK, and exit.
+smoke:
+	$(GO) run ./cmd/spotlightd -addr 127.0.0.1:0 -smoke
+
+ci: build fmt-check vet test smoke bench

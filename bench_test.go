@@ -521,8 +521,26 @@ func BenchmarkServiceTick(b *testing.B) {
 }
 
 // BenchmarkQueryStable measures the paper's example query over a seeded
-// store.
+// store, with the response cache disabled: this is the raw cost of one
+// ranking computation.
 func BenchmarkQueryStable(b *testing.B) {
+	st := benchStudy(b)
+	from, to := st.Window()
+	engine := query.NewEngine(st.DB, st.Cat)
+	engine.SetCaching(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.TopStableMarkets("us-east-1", market.ProductLinux, 10, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryStableCached measures the same query with the
+// generation-keyed response cache on: after the first computation every
+// repeat is a scope-generation walk plus a map hit — the serving cost of
+// a dashboard polling an unchanged window.
+func BenchmarkQueryStableCached(b *testing.B) {
 	st := benchStudy(b)
 	from, to := st.Window()
 	engine := query.NewEngine(st.DB, st.Cat)
@@ -532,6 +550,10 @@ func BenchmarkQueryStable(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	hits, misses := engine.CacheStats()
+	b.ReportMetric(float64(hits), "cache_hits")
+	b.ReportMetric(float64(misses), "cache_misses")
 }
 
 // BenchmarkQueryFallback measures the uncorrelated-fallback
@@ -606,13 +628,48 @@ func BenchmarkStoreAppendParallel(b *testing.B) { storeAppendParallel(b, 8) }
 // share a shard lock.
 func BenchmarkStoreAppendParallelManyMarkets(b *testing.B) { storeAppendParallel(b, 4096) }
 
+// BenchmarkStoreAppendProbesBatchParallel measures the batched ingestion
+// path: concurrent appenders each flush 64-record batches to their bound
+// market through Appender.AppendProbes, paying one lock round per batch
+// instead of per record (the replay / ReadJSON bulk-load pattern).
+func BenchmarkStoreAppendProbesBatchParallel(b *testing.B) {
+	const batchSize = 64
+	db := store.New()
+	mkts := benchMarkets(8)
+	base := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(next.Add(1)) - 1
+		app := db.Appender(mkts[g%len(mkts)])
+		batch := make([]store.ProbeRecord, 0, batchSize)
+		i := 0
+		for pb.Next() {
+			batch = append(batch, store.ProbeRecord{
+				At:     base.Add(time.Duration(i) * time.Second),
+				Market: app.Market(), Kind: store.ProbeOnDemand,
+				Trigger: store.TriggerSpike, Rejected: i%8 == 0, Cost: 0.1,
+			})
+			if len(batch) == batchSize {
+				app.AppendProbes(batch)
+				batch = batch[:0]
+			}
+			i++
+		}
+		app.AppendProbes(batch)
+	})
+	b.ReportMetric(batchSize, "batch_size")
+}
+
 // BenchmarkQueryStableParallel measures concurrent readers running the
 // paper's example query against the shared study store — the serving
 // pattern of an Engine answering many SpotCheck/SpotOn clients at once.
+// Caching is off: every reader recomputes.
 func BenchmarkQueryStableParallel(b *testing.B) {
 	st := benchStudy(b)
 	from, to := st.Window()
 	engine := query.NewEngine(st.DB, st.Cat)
+	engine.SetCaching(false)
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {

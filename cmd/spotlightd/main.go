@@ -6,16 +6,33 @@
 //
 // Usage:
 //
-//	spotlightd [-addr :8080] [-seed 42] [-tick 5m] [-speed 300]
+//	spotlightd [-addr :8080] [-seed 42] [-tick 5m] [-speed 300] [-smoke]
 //
 // With -speed 300, five simulated minutes (one tick) pass per wall-clock
-// second. Endpoints:
+// second. The service exposes two API surfaces (see docs/api.md for the
+// full reference):
 //
-//	GET /v1/unavailability?market=zone:type:product&kind=od|spot&from=...&to=...
-//	GET /v1/stable?region=...&n=10&from=...&to=...
-//	GET /v1/fallback?market=...&n=5&from=...&to=...
-//	GET /v1/prices?market=...&from=...&to=...
-//	GET /v1/summary
+//	GET  /v1/unavailability?market=zone:type:product&kind=od|spot&window=24h
+//	GET  /v1/stable?region=...&n=10&from=...&to=...
+//	GET  /v1/volatile?region=...&n=10&window=24h
+//	GET  /v1/fallback?market=...&n=5&window=24h
+//	GET  /v1/prices?market=...&window=24h
+//	GET  /v1/outages?market=...&window=24h
+//	GET  /v1/predict?market=...&ratio=1.5&window=24h
+//	GET  /v1/reserved-value?market=...&utilization=0.5&window=24h
+//	GET  /v1/markets?region=...
+//	GET  /v1/summary
+//	POST /v2/query   — a batch of typed query specs answered in one round
+//	                   trip; request and response DTOs live in pkg/api and
+//	                   the Go SDK in pkg/client
+//
+// Windows are absolute (from/to, RFC3339) or relative (window=24h,
+// resolved against the simulation clock). Errors use the machine-readable
+// {code, message, details} envelope.
+//
+// With -smoke the daemon starts, issues one v2 batch query against itself
+// through the pkg/client SDK, prints the result, and exits — the CI
+// health check for the whole serving path.
 package main
 
 import (
@@ -24,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +50,8 @@ import (
 
 	"spotlight/internal/experiment"
 	"spotlight/internal/query"
+	"spotlight/pkg/api"
+	"spotlight/pkg/client"
 )
 
 func main() {
@@ -47,6 +67,7 @@ func run(args []string) error {
 		seed  = fs.Uint64("seed", 42, "simulation seed")
 		tick  = fs.Duration("tick", 5*time.Minute, "simulation tick")
 		speed = fs.Float64("speed", 300, "simulated seconds per wall second")
+		smoke = fs.Bool("smoke", false, "serve, query self once via the client SDK, and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,27 +110,72 @@ func run(args []string) error {
 	}()
 
 	engine := query.NewEngine(st.DB, st.Cat)
-	api := query.NewAPI(engine, func() time.Time {
+	apiSrv := query.NewAPI(engine, func() time.Time {
 		mu.Lock()
 		defer mu.Unlock()
 		return st.Sim.Now()
 	})
 
+	// Listen explicitly so ":0" resolves to a concrete port before the
+	// smoke check (and tests) need the base URL.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           api.Handler(),
+		Handler:           apiSrv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("spotlightd: serving on %s (tick %v, %gx real time)\n", *addr, *tick, *speed)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Printf("spotlightd: serving on %s (tick %v, %gx real time)\n", ln.Addr(), *tick, *speed)
+
+	shutdown := func() error {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+
+	if *smoke {
+		serr := smokeCheck(ctx, "http://"+ln.Addr().String())
+		if herr := shutdown(); serr == nil {
+			serr = herr
+		}
+		return serr
+	}
 
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-		defer cancel()
-		return srv.Shutdown(shutCtx)
+		return shutdown()
 	}
+}
+
+// smokeCheck exercises the full serving path end to end: one v2 batch of
+// three distinct query kinds issued through the client SDK, every result
+// required to succeed.
+func smokeCheck(ctx context.Context, baseURL string) error {
+	c, err := client.New(baseURL, nil)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	resp, err := c.Batch(ctx,
+		api.Query{Kind: api.KindStable, Region: "us-east-1", N: 5, Window: api.Last(24 * time.Hour)},
+		api.Query{Kind: api.KindMarkets, Region: "us-east-1", Product: "Linux/UNIX"},
+		api.Query{Kind: api.KindSummary},
+	)
+	if err != nil {
+		return fmt.Errorf("smoke: batch query failed: %w", err)
+	}
+	for i, res := range resp.Results {
+		if res.Error != nil {
+			return fmt.Errorf("smoke: query %d (%s) failed: %v", i, res.Kind, res.Error)
+		}
+	}
+	fmt.Printf("smoke: ok — v2 batch at sim clock %s: %d stable rows, %d markets, %d region summaries\n",
+		resp.Now.Format(time.RFC3339), len(resp.Results[0].Stable), len(resp.Results[1].Markets), len(resp.Results[2].Summary))
+	return nil
 }

@@ -18,9 +18,22 @@ func TestRunRejectsBadAddr(t *testing.T) {
 	if testing.Short() {
 		t.Skip("daemon startup test skipped in -short mode")
 	}
-	// ListenAndServe fails immediately on an unusable address and run
+	// net.Listen fails immediately on an unusable address and run
 	// returns the error.
 	if err := run([]string{"-addr", "256.256.256.256:99999"}); err == nil {
 		t.Error("unusable address accepted")
+	}
+}
+
+// TestSmokeServesV2Batch boots the daemon on an ephemeral port and runs
+// the -smoke path: a three-kind v2 batch issued against the live server
+// through the pkg/client SDK. This is the same check CI runs as a
+// workflow step.
+func TestSmokeServesV2Batch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon smoke test skipped in -short mode")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-smoke"}); err != nil {
+		t.Fatalf("smoke run failed: %v", err)
 	}
 }

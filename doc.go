@@ -17,15 +17,24 @@
 //     each market's history lives behind its own lock with incremental
 //     indexes and aggregates, so ingestion scales across markets and
 //     availability queries are shard-local lookups instead of log scans
-//   - internal/query       — query engine + HTTP API
+//   - internal/query       — query engine (with a generation-keyed
+//     response cache) + the versioned HTTP API: GET /v1/* adapters and
+//     the POST /v2/query batch endpoint, both over the typed DTOs of
+//     pkg/api (full reference in docs/api.md)
+//   - pkg/api              — the public wire contract: request/response
+//     DTOs per query kind, the batch envelope, and the machine-readable
+//     error envelope
+//   - pkg/client           — the Go client SDK over both API surfaces
 //   - internal/analysis    — one function per paper table/figure
 //   - internal/experiment  — study harness and the Chapter 6 case studies
 //   - internal/spotcheck   — SpotCheck case study (Fig 6.1)
 //   - internal/spoton      — SpotOn case study + Eq 6.1 (Fig 6.2)
 //   - cmd/spotlight-study  — regenerate every table and figure
-//   - cmd/spotlightd       — run the service as an HTTP daemon
+//   - cmd/spotlightd       — run the service as an HTTP daemon (-smoke
+//     self-checks a v2 batch through pkg/client and exits)
 //   - cmd/ec2sim           — inspect the simulator standalone
-//   - examples/            — runnable API walkthroughs
+//   - examples/            — runnable walkthroughs; each serves a study
+//     over HTTP and consumes it through pkg/client
 //
 // The root-level benchmarks (bench_test.go) regenerate each table and
 // figure of the paper's evaluation; see EXPERIMENTS.md for paper-vs-

@@ -3,12 +3,18 @@
 // paper's Eq 6.1), then measures real completion times with and without
 // SpotLight's availability data (the Fig 6.2 effect).
 //
+// The scheduler consumes SpotLight the way an external service would:
+// over HTTP through the Go client SDK, fetching every candidate's price
+// history in one POST /v2/query batch instead of hand-rolled URLs.
+//
 //	go run ./examples/batch-scheduler
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"sort"
 	"time"
 
@@ -16,6 +22,8 @@ import (
 	"spotlight/internal/market"
 	"spotlight/internal/query"
 	"spotlight/internal/spoton"
+	"spotlight/pkg/api"
+	"spotlight/pkg/client"
 )
 
 func main() {
@@ -30,11 +38,30 @@ func run() error {
 		return err
 	}
 	from, to := st.Window()
-	engine := query.NewEngine(st.DB, st.Cat)
 
-	// Step 1: rank candidate spot markets by Eq 6.1's expected cost for a
-	// 1-hour job with a 6-minute checkpoint, estimating the revocation
-	// statistics from SpotLight's spike log.
+	apiSrv := query.NewAPI(query.NewEngine(st.DB, st.Cat), func() time.Time { return to })
+	srv := httptest.NewServer(apiSrv.Handler())
+	defer srv.Close()
+	c, err := client.New(srv.URL, nil)
+	if err != nil {
+		return err
+	}
+
+	// Step 1: fetch every candidate's price series in one batch round
+	// trip, then rank by Eq 6.1's expected cost for a 1-hour job with a
+	// 6-minute checkpoint, estimating revocation statistics from
+	// SpotLight's spike log.
+	candidates := experiment.CaseStudyMarkets()
+	window := api.Between(from, to)
+	queries := make([]api.Query, len(candidates))
+	for i, id := range candidates {
+		queries[i] = api.Query{Kind: api.KindPrices, Market: id.String(), Window: window}
+	}
+	resp, err := c.Batch(context.Background(), queries...)
+	if err != nil {
+		return err
+	}
+
 	fmt.Println("Eq 6.1 expected cost per useful hour (1h job, 6m checkpoints):")
 	type scored struct {
 		id   market.SpotID
@@ -42,24 +69,29 @@ func run() error {
 		mttr time.Duration
 	}
 	var ranked []scored
-	for _, id := range experiment.CaseStudyMarkets() {
+	for i, id := range candidates {
+		if resp.Results[i].Error != nil {
+			return fmt.Errorf("prices query for %s: %v", id, resp.Results[i].Error)
+		}
+		pts := resp.Results[i].Prices
+		if len(pts) == 0 {
+			continue
+		}
 		od, err := st.Cat.SpotODPrice(id)
 		if err != nil {
 			return err
 		}
-		stats, err := engine.PriceSummary(id, from, to)
-		if err != nil {
-			return err
+		mean := 0.0
+		for _, p := range pts {
+			mean += p.Price
 		}
-		if stats.Samples == 0 {
-			continue
-		}
+		mean /= float64(len(pts))
 		crossings := len(st.DB.SpikesFor(id, from, to))
 		mttr := to.Sub(from) / time.Duration(crossings+1)
 		tau := spoton.OptimalCheckpointInterval(6*time.Minute, mttr, time.Hour)
 		pRevoke := 1 - float64(mttr)/(float64(mttr)+float64(time.Hour))
 		cost, err := spoton.ExpectedCostPerUnitTime(spoton.ExpectedCostParams{
-			SpotPrice:              stats.Mean,
+			SpotPrice:              mean,
 			RevocationProb:         pRevoke,
 			ExpectedRevocationTime: mttr / 2,
 			RemainingTime:          time.Hour,

@@ -1,20 +1,27 @@
 // BidSpread example: discover the *intrinsic* price of a volatile spot
 // market — the lowest bid that actually wins an instance right now, which
 // can sit above the published price because the published feed lags the
-// true clearing price (§5.1.2, Fig 5.2).
+// true clearing price (§5.1.2, Fig 5.2). The target's volatility ranking
+// is first confirmed against the live query service through the Go client
+// SDK, the way a user would pick a market to aim BidSpread at.
 //
 //	go run ./examples/bidspread
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"time"
 
 	"spotlight/internal/analysis"
 	"spotlight/internal/core"
 	"spotlight/internal/experiment"
 	"spotlight/internal/market"
+	"spotlight/internal/query"
+	"spotlight/pkg/api"
+	"spotlight/pkg/client"
 )
 
 func main() {
@@ -36,6 +43,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	from, to := st.Window()
+
+	// Chapter 4: the Revocation/BidSpread probing functions target
+	// "selected markets by users with high volatility" — so ask the
+	// service for the volatility ranking the selection would come from.
+	apiSrv := query.NewAPI(query.NewEngine(st.DB, st.Cat), func() time.Time { return to })
+	srv := httptest.NewServer(apiSrv.Handler())
+	defer srv.Close()
+	c, err := client.New(srv.URL, nil)
+	if err != nil {
+		return err
+	}
+	volatile, err := c.Volatile(context.Background(), string(target.Region()), string(target.Product), 5, api.Between(from, to))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("most volatile %s %s markets over the study:\n", target.Region(), target.Product)
+	for i, v := range volatile {
+		marker := " "
+		if v.Market == target.String() {
+			marker = "*"
+		}
+		fmt.Printf("%s %d. %-42s crossings=%d maxRatio=%.2f\n", marker, i+1, v.Market, v.Crossings, v.MaxRatio)
+	}
+	fmt.Println()
 
 	res := analysis.Fig52IntrinsicPrice(st.DB, target)
 	fmt.Printf("BidSpread on %s over 5 simulated days\n", target)

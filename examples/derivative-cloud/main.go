@@ -3,16 +3,23 @@
 // on revocation. It compares the naive fallback (same market, assumed
 // always obtainable — the assumption the paper debunks) against a
 // SpotLight-informed fallback to an uncorrelated family, reproducing the
-// Fig 6.1 effect.
+// Fig 6.1 effect. The fallback recommendations and the closing region
+// summary are fetched from the live service through the Go client SDK.
 //
 //	go run ./examples/derivative-cloud
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
+	"time"
 
 	"spotlight/internal/experiment"
+	"spotlight/internal/query"
+	"spotlight/pkg/api"
+	"spotlight/pkg/client"
 )
 
 func main() {
@@ -26,6 +33,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	from, to := st.Window()
+
+	apiSrv := query.NewAPI(query.NewEngine(st.DB, st.Cat), func() time.Time { return to })
+	srv := httptest.NewServer(apiSrv.Handler())
+	defer srv.Close()
+	c, err := client.New(srv.URL, nil)
+	if err != nil {
+		return err
+	}
 
 	rows, err := st.RunSpotCheck()
 	if err != nil {
@@ -36,6 +52,7 @@ func run() error {
 	fmt.Println("(naive = fall back to the same market's on-demand tier; informed =")
 	fmt.Println(" fall back to the uncorrelated market SpotLight recommends)")
 	fmt.Println()
+	ctx := context.Background()
 	for _, r := range rows {
 		verdict := "ok"
 		if r.FailedFails > 0 {
@@ -43,10 +60,33 @@ func run() error {
 		}
 		fmt.Printf("%-42s naive %6.2f%%  informed %6.2f%%  (%d revocations; %s)\n",
 			r.Market, r.SpotCheckPct, r.SpotLightPct, r.Revocations, verdict)
+
+		// The recommendation an operator would fetch before deploying:
+		// the service's top uncorrelated fail-over market.
+		fbs, err := c.Fallback(ctx, r.Market.String(), 1, api.Between(from, to))
+		if err != nil {
+			return err
+		}
+		if len(fbs) > 0 {
+			fmt.Printf("%-42s   service recommends failing over to %s (od-unavailability %.4f%%)\n",
+				"", fbs[0].Market, 100*fbs[0].ODUnavailability)
+		}
 	}
 	fmt.Println()
 	fmt.Println("The paper's observation: revocations happen exactly when the spot price")
 	fmt.Println("spikes past the on-demand price — which is exactly when the same pool's")
 	fmt.Println("on-demand tier is most likely to be sold out (§6.1).")
+
+	// Close with the service's own per-region accounting of the week.
+	sums, err := c.Summary(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("per-region availability summary (from GET /v1/summary):")
+	for _, s := range sums {
+		fmt.Printf("  %-16s od outages %4d (mean %v), spot outages %4d\n",
+			s.Region, s.ODOutages, s.MeanODOutage.Round(time.Minute), s.SpotOutages)
+	}
 	return nil
 }

@@ -1,19 +1,25 @@
-// Quickstart: run a short SpotLight study against the simulated cloud and
-// ask the information service the paper's canonical question — which spot
-// markets were the most stable over the past week, and how available was a
-// given market's on-demand tier?
+// Quickstart: run a short SpotLight study against the simulated cloud,
+// serve it over HTTP, and ask the information service the paper's
+// canonical questions through the Go client SDK — which spot markets were
+// the most stable over the past week, how available was a given market's
+// on-demand tier, and where should an application there fail over to?
+// All three questions travel in ONE POST /v2/query round trip.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"time"
 
 	"spotlight/internal/experiment"
 	"spotlight/internal/market"
 	"spotlight/internal/query"
+	"spotlight/pkg/api"
+	"spotlight/pkg/client"
 )
 
 func main() {
@@ -32,36 +38,48 @@ func run() error {
 	fmt.Printf("monitored %d markets for %v: %d probes, %d price spikes, $%.0f spent\n\n",
 		len(st.Cat.SpotMarkets()), to.Sub(from), st.DB.ProbeCount(), len(st.DB.Spikes()), st.Svc.Spent())
 
-	engine := query.NewEngine(st.DB, st.Cat)
-
-	// The paper's example query (Chapter 3): "the top ten server types
-	// with the longest mean-time-to-revocation for a bid price equal to
-	// the corresponding on-demand price over the past week".
-	stable, err := engine.TopStableMarkets("us-east-1", market.ProductLinux, 10, from, to)
+	// Serve the study over HTTP and talk to it like any external consumer:
+	// through pkg/client, never with hand-rolled URLs.
+	apiSrv := query.NewAPI(query.NewEngine(st.DB, st.Cat), func() time.Time { return to })
+	srv := httptest.NewServer(apiSrv.Handler())
+	defer srv.Close()
+	c, err := client.New(srv.URL, nil)
 	if err != nil {
 		return err
 	}
+
+	target := market.SpotID{Zone: "sa-east-1a", Type: "d2.8xlarge", Product: market.ProductLinux}
+	week := api.Last(to.Sub(from))
+
+	// Three distinct query kinds, one round trip. The first is the
+	// paper's example query (Chapter 3): "the top ten server types with
+	// the longest mean-time-to-revocation for a bid price equal to the
+	// corresponding on-demand price over the past week".
+	resp, err := c.Batch(context.Background(),
+		api.Query{Kind: api.KindStable, Region: "us-east-1", Product: string(market.ProductLinux), N: 10, Window: week},
+		api.Query{Kind: api.KindUnavailability, Market: target.String(), Window: week},
+		api.Query{Kind: api.KindFallback, Market: target.String(), N: 3, Window: week},
+	)
+	if err != nil {
+		return err
+	}
+	for i, res := range resp.Results {
+		if res.Error != nil {
+			return fmt.Errorf("batch query %d (%s): %v", i, res.Kind, res.Error)
+		}
+	}
+
 	fmt.Println("most stable us-east-1 Linux spot markets (bid = on-demand price):")
-	for i, row := range stable {
+	for i, row := range resp.Results[0].Stable {
 		fmt.Printf("%2d. %-42s mttr>=%v crossings=%d\n",
 			i+1, row.Market, row.MTTR.Round(time.Hour), row.Crossings)
 	}
 
-	// How available was a specific on-demand market?
-	target := market.SpotID{Zone: "sa-east-1a", Type: "d2.8xlarge", Product: market.ProductLinux}
-	unav, err := engine.ODUnavailability(target, from, to)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("\non-demand availability of %s: %.3f%%\n", target, 100*(1-unav))
+	unav := resp.Results[1].Unavailability
+	fmt.Printf("\non-demand availability of %s: %.3f%%\n", unav.Market, 100*unav.Availability)
 
-	// And where should an application running there fail over to?
-	fallbacks, err := engine.RecommendFallback(target, 3, from, to)
-	if err != nil {
-		return err
-	}
 	fmt.Println("recommended uncorrelated fallback markets:")
-	for _, fb := range fallbacks {
+	for _, fb := range resp.Results[2].Fallbacks {
 		fmt.Printf("  %-42s od-unavailability=%.4f%%\n", fb.Market, 100*fb.ODUnavailability)
 	}
 	return nil

@@ -1,21 +1,27 @@
 // Reserved-planner example: the paper's opening motivation made
 // executable. "Determining whether the reserved instance is worth it
 // requires knowing how frequently on-demand instances are unavailable"
-// (§1) — so run a study, measure availability per market, and decide
-// where reservations are worth buying. §5.2.2's punchline falls out: a
-// reserved server in an under-provisioned region is worth more than the
-// same server in us-east-1.
+// (§1) — so run a study, serve it, and ask the information service per
+// market whether a reservation is worth buying. §5.2.2's punchline falls
+// out: a reserved server in an under-provisioned region is worth more
+// than the same server in us-east-1. The three assessments travel as one
+// v2 batch through the Go client SDK.
 //
 //	go run ./examples/reserved-planner
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
+	"time"
 
 	"spotlight/internal/experiment"
 	"spotlight/internal/market"
 	"spotlight/internal/query"
+	"spotlight/pkg/api"
+	"spotlight/pkg/client"
 )
 
 func main() {
@@ -30,7 +36,14 @@ func run() error {
 		return err
 	}
 	from, to := st.Window()
-	engine := query.NewEngine(st.DB, st.Cat)
+
+	apiSrv := query.NewAPI(query.NewEngine(st.DB, st.Cat), func() time.Time { return to })
+	srv := httptest.NewServer(apiSrv.Handler())
+	defer srv.Close()
+	c, err := client.New(srv.URL, nil)
+	if err != nil {
+		return err
+	}
 
 	// The same server type in a healthy and an unhealthy region, plus a
 	// known-hot market; a moderate 50% planned duty cycle for all.
@@ -47,17 +60,27 @@ func run() error {
 	fmt.Printf(" obtainability guarantee regardless of cost: %.1f%%)\n\n",
 		100*query.UnavailabilityWorthReserving)
 
-	for _, m := range candidates {
-		rv, err := engine.ReservedValue(m, duty, from, to)
-		if err != nil {
-			return err
+	// One round trip for all three assessments.
+	week := api.Last(to.Sub(from))
+	queries := make([]api.Query, len(candidates))
+	for i, m := range candidates {
+		queries[i] = api.Query{Kind: api.KindReservedValue, Market: m.String(), Utilization: duty, Window: week}
+	}
+	resp, err := c.Batch(context.Background(), queries...)
+	if err != nil {
+		return err
+	}
+	for i, res := range resp.Results {
+		if res.Error != nil {
+			return fmt.Errorf("reserved-value query %d: %v", i, res.Error)
 		}
+		rv := res.ReservedValue
 		decision := "stay on-demand"
 		if rv.Reserve {
 			decision = "RESERVE"
 		}
 		fmt.Printf("%-44s od $%.4f/h, reserved $%.4f/h, measured od-unavailability %.3f%%\n",
-			m, rv.ODHourly, rv.ReservedEffectiveHourly, 100*rv.ODUnavailability)
+			rv.Market, rv.ODHourly, rv.ReservedEffectiveHourly, 100*rv.ODUnavailability)
 		fmt.Printf("  -> %s (%s)\n\n", decision, rv.Reason)
 	}
 

@@ -8,6 +8,7 @@ package query
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -19,15 +20,59 @@ import (
 // ErrBadWindow is returned when a query window is empty or inverted.
 var ErrBadWindow = errors.New("query: to must be after from")
 
-// Engine answers availability queries from a SpotLight store.
+// Engine answers availability queries from a SpotLight store. The
+// expensive multi-market queries (TopStableMarkets, Summary) are memoized
+// in a generation-keyed response cache: a result is reused until some
+// shard in the query's scope sees an append, so repeated dashboard-style
+// queries cost a scope-generation walk plus a map lookup instead of a
+// recomputation. Cached results are shared between callers — treat the
+// returned slices as read-only.
 type Engine struct {
-	db  *store.Store
-	cat *market.Catalog
+	db    *store.Store
+	cat   *market.Catalog
+	cache *resultCache
 }
 
-// NewEngine builds a query engine over db and the catalog.
+// NewEngine builds a query engine over db and the catalog, with response
+// caching enabled.
 func NewEngine(db *store.Store, cat *market.Catalog) *Engine {
-	return &Engine{db: db, cat: cat}
+	return &Engine{db: db, cat: cat, cache: newResultCache(0)}
+}
+
+// SetCaching enables or disables the response cache (it is on by
+// default). Disabling exists for benchmarks that measure the raw query
+// path and for callers that mutate returned slices.
+func (e *Engine) SetCaching(on bool) {
+	if on {
+		if e.cache == nil {
+			e.cache = newResultCache(0)
+		}
+		return
+	}
+	e.cache = nil
+}
+
+// CacheStats returns the response cache's hit/miss counters (zeros when
+// caching is disabled).
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.stats()
+}
+
+// scopeKeep returns the shard filter of a region/product-scoped query, or
+// nil when unfiltered (meaning: every shard).
+func scopeKeep(region market.Region, product market.Product) func(market.SpotID) bool {
+	if region == "" && product == "" {
+		return nil
+	}
+	return func(id market.SpotID) bool {
+		if region != "" && id.Region() != region {
+			return false
+		}
+		return product == "" || id.Product == product
+	}
 }
 
 // unavailability computes the fraction of [from, to] covered by detected
@@ -73,7 +118,9 @@ type StableMarket struct {
 
 // TopStableMarkets ranks the spot markets of a region (all regions when
 // empty) by fewest on-demand-price crossings and returns the n most
-// stable. Product filters to one platform when non-empty.
+// stable. Product filters to one platform when non-empty. Results are
+// cached per (filter, n, window) until an append lands in a matching
+// shard; the returned slice is shared — do not modify it.
 func (e *Engine) TopStableMarkets(region market.Region, product market.Product, n int, from, to time.Time) ([]StableMarket, error) {
 	if !to.After(from) {
 		return nil, ErrBadWindow
@@ -81,7 +128,20 @@ func (e *Engine) TopStableMarkets(region market.Region, product market.Product, 
 	if n <= 0 {
 		return nil, nil
 	}
-	crossings := e.db.SpikeCrossings(from, to)
+	keep := scopeKeep(region, product)
+	var key string
+	var gen uint64
+	if e.cache != nil {
+		// Generation first, result second: an append racing the
+		// computation leaves the entry keyed at the older generation, so
+		// the next lookup recomputes rather than serving stale data.
+		gen = e.db.ScopeGeneration(keep)
+		key = fmt.Sprintf("stable|%s|%s|%d|%d|%d", region, product, n, from.UnixNano(), to.UnixNano())
+		if v, ok := e.cache.get(key, gen); ok {
+			return v.([]StableMarket), nil
+		}
+	}
+	crossings := e.db.SpikeCrossingsWhere(from, to, keep)
 	window := to.Sub(from)
 	var rows []StableMarket
 	for _, id := range e.cat.SpotMarkets() {
@@ -115,6 +175,9 @@ func (e *Engine) TopStableMarkets(region market.Region, product market.Product, 
 	if len(rows) > n {
 		rows = rows[:n]
 	}
+	if e.cache != nil {
+		e.cache.put(key, gen, rows)
+	}
 	return rows, nil
 }
 
@@ -140,17 +203,19 @@ func (e *Engine) RecommendFallback(m market.SpotID, n int, from, to time.Time) (
 	if n <= 0 {
 		return nil, nil
 	}
-	crossings := e.db.SpikeCrossings(from, to)
 	var rows []Fallback
 	for _, cand := range e.cat.UncorrelatedCandidates(m) {
 		unav, err := e.ODUnavailability(cand, from, to)
 		if err != nil {
 			return nil, err
 		}
+		// Per-candidate index lookups: the candidate set is a handful of
+		// markets, so touching only their shards beats a full
+		// SpikeCrossings walk over every shard in the store.
 		rows = append(rows, Fallback{
 			Market:           cand,
 			ODUnavailability: unav,
-			Crossings:        crossings[cand].Crossings,
+			Crossings:        e.db.CrossingStatsFor(cand, from, to).Crossings,
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -184,8 +249,28 @@ type RegionSummary struct {
 
 // Summary aggregates the store per region at instant now (used to close
 // ongoing outages). It folds the per-market shard aggregates — one O(markets)
-// walk instead of rescanning every probe, spike, and outage record.
+// walk instead of rescanning every probe, spike, and outage record — and
+// memoizes the fold per (now, global generation): repeated summary queries
+// between appends (and between ticks of the service clock) are a cache
+// hit. The returned slice is shared — do not modify it.
 func (e *Engine) Summary(now time.Time) []RegionSummary {
+	// The summary depends on `now` (open outages are measured to it), so
+	// a cached fold is only valid at the exact instant it was computed —
+	// but under an advancing clock (the live daemon ticks every wall
+	// second) keying the map by `now` would accumulate one dead entry
+	// per tick. Instead the summary occupies a single slot whose value
+	// remembers its instant: each new `now` overwrites it, repeated
+	// queries within one instant hit.
+	var gen uint64
+	if e.cache != nil {
+		gen = e.db.ScopeGeneration(nil)
+		if v, ok := e.cache.get("summary", gen); ok {
+			if se := v.(summarySlot); se.now.Equal(now) {
+				return se.rows
+			}
+			e.cache.demoteHit() // same generation, different instant
+		}
+	}
 	byRegion := make(map[market.Region]*RegionSummary)
 	get := func(r market.Region) *RegionSummary {
 		s, ok := byRegion[r]
@@ -223,7 +308,17 @@ func (e *Engine) Summary(now time.Time) []RegionSummary {
 		out = append(out, *s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
+	if e.cache != nil {
+		e.cache.put("summary", gen, summarySlot{now: now, rows: out})
+	}
 	return out
+}
+
+// summarySlot is the single cached Summary fold plus the instant it was
+// computed at.
+type summarySlot struct {
+	now  time.Time
+	rows []RegionSummary
 }
 
 // MarketInfo is one row of the market-discovery listing.

@@ -6,22 +6,41 @@ import (
 	"strconv"
 	"time"
 
-	"spotlight/internal/market"
+	"spotlight/pkg/api"
 )
 
-// API serves the query engine over HTTP/JSON. Endpoints:
+// API serves the query engine over HTTP/JSON. Two surfaces share one
+// typed execution path (see v2.go):
 //
-//	GET /v1/unavailability?market=Z:T:P&kind=od|spot&from=RFC3339&to=RFC3339
+//	GET  /v1/<kind>   — one query per round trip, parameters in the URL
+//	POST /v2/query    — a batch of up to api.MaxBatchQueries typed specs
+//
+// The v1 endpoints are thin adapters: each URL is parsed into the same
+// api.Query spec the batch envelope carries, so both versions accept
+// relative windows (window=24h resolved against the service clock) as
+// well as absolute from/to (RFC3339), and both return the api.Error
+// envelope {code, message, details} on failure.
+//
+// Endpoints (market IDs use the "zone:type:product" form):
+//
+//	GET /v1/unavailability?market=Z:T:P&kind=od|spot&window=24h
 //	GET /v1/stable?region=R&product=P&n=10&from=...&to=...
-//	GET /v1/fallback?market=Z:T:P&n=5&from=...&to=...
-//	GET /v1/prices?market=Z:T:P&from=...&to=...
+//	GET /v1/volatile?region=R&product=P&n=10&window=24h
+//	GET /v1/fallback?market=Z:T:P&n=5&window=24h
+//	GET /v1/prices?market=Z:T:P&window=24h
+//	GET /v1/outages?market=Z:T:P&window=24h
+//	GET /v1/predict?market=Z:T:P&ratio=1.5&horizon=15m&window=24h
+//	GET /v1/reserved-value?market=Z:T:P&utilization=0.5&window=24h
+//	GET /v1/markets?region=R&product=P
 //	GET /v1/summary
+//	POST /v2/query            {"queries": [{"kind": ..., ...}, ...]}
 //
-// Market IDs use the "zone:type:product" form of market.SpotID.String.
+// See docs/api.md for the full schema reference.
 type API struct {
 	engine *Engine
-	// Now supplies the "current" instant for summary queries; the
-	// daemon wires it to the simulation clock.
+	// Now supplies the "current" instant: the clock summary queries
+	// aggregate at and relative windows resolve against. The daemon wires
+	// it to the simulation clock.
 	Now func() time.Time
 }
 
@@ -36,258 +55,112 @@ func NewAPI(engine *Engine, now func() time.Time) *API {
 // Handler returns the routed HTTP handler.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/unavailability", a.handleUnavailability)
-	mux.HandleFunc("GET /v1/stable", a.handleStable)
-	mux.HandleFunc("GET /v1/volatile", a.handleVolatile)
-	mux.HandleFunc("GET /v1/fallback", a.handleFallback)
-	mux.HandleFunc("GET /v1/prices", a.handlePrices)
-	mux.HandleFunc("GET /v1/outages", a.handleOutages)
-	mux.HandleFunc("GET /v1/predict", a.handlePredict)
-	mux.HandleFunc("GET /v1/reserved-value", a.handleReservedValue)
-	mux.HandleFunc("GET /v1/markets", a.handleMarkets)
-	mux.HandleFunc("GET /v1/summary", a.handleSummary)
+	mux.HandleFunc("GET /v1/unavailability", a.v1(api.KindUnavailability, func(r api.Result) any { return r.Unavailability }))
+	mux.HandleFunc("GET /v1/stable", a.v1(api.KindStable, func(r api.Result) any { return r.Stable }))
+	mux.HandleFunc("GET /v1/volatile", a.v1(api.KindVolatile, func(r api.Result) any { return r.Volatile }))
+	mux.HandleFunc("GET /v1/fallback", a.v1(api.KindFallback, func(r api.Result) any { return r.Fallbacks }))
+	mux.HandleFunc("GET /v1/prices", a.v1(api.KindPrices, func(r api.Result) any { return r.Prices }))
+	mux.HandleFunc("GET /v1/outages", a.v1(api.KindOutages, func(r api.Result) any { return r.Outages }))
+	mux.HandleFunc("GET /v1/predict", a.v1(api.KindPredict, func(r api.Result) any { return r.Prediction }))
+	mux.HandleFunc("GET /v1/reserved-value", a.v1(api.KindReservedValue, func(r api.Result) any { return r.ReservedValue }))
+	mux.HandleFunc("GET /v1/markets", a.v1(api.KindMarkets, func(r api.Result) any { return r.Markets }))
+	mux.HandleFunc("GET /v1/summary", a.v1(api.KindSummary, func(r api.Result) any { return r.Summary }))
+	mux.HandleFunc("POST /v2/query", a.handleBatch)
 	return mux
 }
 
-type httpError struct {
-	status int
-	msg    string
+// v1 adapts one query kind to a GET endpoint: parse the URL into the
+// typed spec, evaluate it on the shared exec path, and answer with the
+// kind's bare payload (v1 responses carry the result directly, without
+// the batch Result wrapper).
+func (a *API) v1(kind api.Kind, pick func(api.Result) any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q, aerr := queryFromURL(r, kind)
+		if aerr == nil {
+			res := a.exec(q, a.Now())
+			if res.Error == nil {
+				writeJSON(w, pick(res))
+				return
+			}
+			aerr = res.Error
+		}
+		writeAPIErr(w, aerr)
+	}
 }
 
-func (e *httpError) Error() string { return e.msg }
+// queryFromURL parses a v1 GET URL into the typed query spec. Malformed
+// values fail here with the field's error code; range/combination rules
+// are enforced by exec, identically for both API versions. Presence is
+// the one v1-only strictness: predict requires 'ratio' and
+// reserved-value requires 'utilization' on the URL, while a v2 JSON spec
+// cannot distinguish an omitted number from an explicit zero, so there
+// the zero values are accepted as documented in pkg/api.
+func queryFromURL(r *http.Request, kind api.Kind) (api.Query, *api.Error) {
+	qs := r.URL.Query()
+	q := api.Query{
+		Kind:     kind,
+		Window:   api.Window{Rel: qs.Get("window")},
+		Market:   qs.Get("market"),
+		Region:   qs.Get("region"),
+		Product:  qs.Get("product"),
+		Contract: qs.Get("kind"),
+		Horizon:  qs.Get("horizon"),
+	}
+	if s := qs.Get("from"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return q, api.Errorf(api.CodeBadWindow, "bad 'from' %q (want RFC3339)", s)
+		}
+		q.From = t
+	}
+	if s := qs.Get("to"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return q, api.Errorf(api.CodeBadWindow, "bad 'to' %q (want RFC3339)", s)
+		}
+		q.To = t
+	}
+	if s := qs.Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			return q, api.Errorf(api.CodeBadParam, "n must be a positive integer, got %q", s).WithDetail("param", "n")
+		}
+		q.N = n
+	}
+	if s := qs.Get("ratio"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return q, api.Errorf(api.CodeBadParam, "bad ratio %q (want a spike multiple)", s).WithDetail("param", "ratio")
+		}
+		q.Ratio = v
+	} else if kind == api.KindPredict {
+		return q, api.Errorf(api.CodeBadParam, "missing 'ratio' (spike multiple)").WithDetail("param", "ratio")
+	}
+	if s := qs.Get("utilization"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return q, api.Errorf(api.CodeBadParam, "bad utilization %q (want a fraction in [0,1])", s).WithDetail("param", "utilization")
+		}
+		q.Utilization = v
+	} else if kind == api.KindReservedValue {
+		return q, api.Errorf(api.CodeBadParam, "missing 'utilization' in [0,1]").WithDetail("param", "utilization")
+	}
+	return q, nil
+}
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+// writeAPIErr writes the machine-readable error envelope with the status
+// its code implies.
+func writeAPIErr(w http.ResponseWriter, e *api.Error) {
 	status := http.StatusBadRequest
-	if he, ok := err.(*httpError); ok {
-		status = he.status
+	if e.Code == api.CodeInternal {
+		status = http.StatusInternalServerError
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}
-
-// parseWindow reads from/to query parameters; both are required.
-func parseWindow(r *http.Request) (from, to time.Time, err error) {
-	from, err = time.Parse(time.RFC3339, r.URL.Query().Get("from"))
-	if err != nil {
-		return from, to, &httpError{http.StatusBadRequest, "bad or missing 'from' (RFC3339)"}
-	}
-	to, err = time.Parse(time.RFC3339, r.URL.Query().Get("to"))
-	if err != nil {
-		return from, to, &httpError{http.StatusBadRequest, "bad or missing 'to' (RFC3339)"}
-	}
-	return from, to, nil
-}
-
-func parseMarket(r *http.Request) (market.SpotID, error) {
-	id, err := market.ParseSpotID(r.URL.Query().Get("market"))
-	if err != nil {
-		return market.SpotID{}, &httpError{http.StatusBadRequest, "bad or missing 'market' (zone:type:product)"}
-	}
-	return id, nil
-}
-
-func parseN(r *http.Request, def int) int {
-	n, err := strconv.Atoi(r.URL.Query().Get("n"))
-	if err != nil || n <= 0 {
-		return def
-	}
-	return n
-}
-
-func (a *API) handleUnavailability(w http.ResponseWriter, r *http.Request) {
-	id, err := parseMarket(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	from, to, err := parseWindow(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	var frac float64
-	switch r.URL.Query().Get("kind") {
-	case "", "od", "on-demand":
-		frac, err = a.engine.ODUnavailability(id, from, to)
-	case "spot":
-		frac, err = a.engine.SpotUnavailability(id, from, to)
-	default:
-		writeErr(w, &httpError{http.StatusBadRequest, "kind must be od or spot"})
-		return
-	}
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, map[string]any{
-		"market":         id.String(),
-		"unavailability": frac,
-		"availability":   1 - frac,
-	})
-}
-
-func (a *API) handleStable(w http.ResponseWriter, r *http.Request) {
-	from, to, err := parseWindow(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	region := market.Region(r.URL.Query().Get("region"))
-	product := market.Product(r.URL.Query().Get("product"))
-	rows, err := a.engine.TopStableMarkets(region, product, parseN(r, 10), from, to)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, rows)
-}
-
-func (a *API) handleFallback(w http.ResponseWriter, r *http.Request) {
-	id, err := parseMarket(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	from, to, err := parseWindow(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	rows, err := a.engine.RecommendFallback(id, parseN(r, 5), from, to)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, rows)
-}
-
-func (a *API) handlePrices(w http.ResponseWriter, r *http.Request) {
-	id, err := parseMarket(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	from, to, err := parseWindow(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	pts, err := a.engine.Prices(id, from, to)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, pts)
-}
-
-func (a *API) handleVolatile(w http.ResponseWriter, r *http.Request) {
-	from, to, err := parseWindow(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	region := market.Region(r.URL.Query().Get("region"))
-	product := market.Product(r.URL.Query().Get("product"))
-	rows, err := a.engine.TopVolatileMarkets(region, product, parseN(r, 10), from, to)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, rows)
-}
-
-func (a *API) handleOutages(w http.ResponseWriter, r *http.Request) {
-	id, err := parseMarket(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	from, to, err := parseWindow(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	rows, err := a.engine.Outages(id, from, to)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, rows)
-}
-
-func (a *API) handlePredict(w http.ResponseWriter, r *http.Request) {
-	id, err := parseMarket(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	from, to, err := parseWindow(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	ratio, err := strconv.ParseFloat(r.URL.Query().Get("ratio"), 64)
-	if err != nil || ratio < 0 {
-		writeErr(w, &httpError{http.StatusBadRequest, "bad or missing 'ratio' (spike multiple)"})
-		return
-	}
-	horizon := 900 * time.Second
-	if hs := r.URL.Query().Get("horizon"); hs != "" {
-		horizon, err = time.ParseDuration(hs)
-		if err != nil || horizon <= 0 {
-			writeErr(w, &httpError{http.StatusBadRequest, "bad 'horizon' duration"})
-			return
-		}
-	}
-	pred, err := a.engine.PredictOutage(id, ratio, horizon, from, to)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, pred)
-}
-
-func (a *API) handleReservedValue(w http.ResponseWriter, r *http.Request) {
-	id, err := parseMarket(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	from, to, err := parseWindow(r)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	util, err := strconv.ParseFloat(r.URL.Query().Get("utilization"), 64)
-	if err != nil || util < 0 || util > 1 {
-		writeErr(w, &httpError{http.StatusBadRequest, "bad or missing 'utilization' in [0,1]"})
-		return
-	}
-	rv, err := a.engine.ReservedValue(id, util, from, to)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, rv)
-}
-
-func (a *API) handleMarkets(w http.ResponseWriter, r *http.Request) {
-	region := market.Region(r.URL.Query().Get("region"))
-	product := market.Product(r.URL.Query().Get("product"))
-	rows, err := a.engine.Markets(region, product)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, rows)
-}
-
-func (a *API) handleSummary(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, a.engine.Summary(a.Now()))
+	_ = json.NewEncoder(w).Encode(e)
 }

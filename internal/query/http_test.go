@@ -10,6 +10,7 @@ import (
 
 	"spotlight/internal/market"
 	"spotlight/internal/store"
+	"spotlight/pkg/api"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *store.Store) {
@@ -86,19 +87,54 @@ func TestHTTPBadRequests(t *testing.T) {
 	tests := []struct {
 		path string
 		q    url.Values
+		code string
 	}{
-		{"/v1/unavailability", url.Values{}},                          // no market
-		{"/v1/unavailability", url.Values{"market": {mktA.String()}}}, // no window
-		{"/v1/unavailability", func() url.Values { q := window(); q.Set("market", mktA.String()); q.Set("kind", "weird"); return q }()},
-		{"/v1/fallback", window()}, // no market
-		{"/v1/prices", window()},   // no market
-		{"/v1/stable", url.Values{"from": {"garbage"}, "to": {"garbage"}}},
+		{"/v1/unavailability", url.Values{}, api.CodeBadMarket},                          // no market
+		{"/v1/unavailability", url.Values{"market": {mktA.String()}}, api.CodeBadWindow}, // no window
+		{"/v1/unavailability", func() url.Values { q := window(); q.Set("market", mktA.String()); q.Set("kind", "weird"); return q }(), api.CodeBadParam},
+		{"/v1/fallback", window(), api.CodeBadMarket}, // no market
+		{"/v1/prices", window(), api.CodeBadMarket},   // no market
+		{"/v1/stable", url.Values{"from": {"garbage"}, "to": {"garbage"}}, api.CodeBadWindow},
+		{"/v1/stable", url.Values{"window": {"later"}}, api.CodeBadWindow},
+		{"/v1/stable", func() url.Values { q := window(); q.Set("n", "abc"); return q }(), api.CodeBadParam},
+		{"/v1/stable", func() url.Values { q := window(); q.Set("n", "0"); return q }(), api.CodeBadParam},
+		{"/v1/stable", func() url.Values { q := window(); q.Set("n", "-2"); return q }(), api.CodeBadParam},
+		{"/v1/predict", func() url.Values { q := window(); q.Set("market", mktA.String()); return q }(), api.CodeBadParam}, // no ratio
+		{"/v1/reserved-value", func() url.Values { q := window(); q.Set("market", mktA.String()); return q }(), api.CodeBadParam},
 	}
 	for _, tt := range tests {
-		resp, _ := get(t, srv, tt.path, tt.q)
+		resp, body := get(t, srv, tt.path, tt.q)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s?%s status = %d, want 400", tt.path, tt.q.Encode(), resp.StatusCode)
+			continue
 		}
+		var e api.Error
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Errorf("%s?%s: error body is not an envelope: %v (%s)", tt.path, tt.q.Encode(), err, body)
+			continue
+		}
+		if e.Code != tt.code || e.Message == "" {
+			t.Errorf("%s?%s error = %+v, want code %s", tt.path, tt.q.Encode(), e, tt.code)
+		}
+	}
+}
+
+// TestHTTPV1RelativeWindow: the v1 adapters accept window=24h resolved
+// against the service clock, equivalent to from/to.
+func TestHTTPV1RelativeWindow(t *testing.T) {
+	srv, db := testServer(t)
+	addOutage(db, mktA, store.ProbeOnDemand, t0, t0.Add(6*time.Hour))
+	q := url.Values{"market": {mktA.String()}, "window": {"24h"}}
+	resp, body := get(t, srv, "/v1/unavailability", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d body=%s", resp.StatusCode, body)
+	}
+	var out api.Unavailability
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Unavailability != 0.25 {
+		t.Errorf("relative-window unavailability = %v, want 0.25", out.Unavailability)
 	}
 }
 

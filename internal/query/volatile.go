@@ -35,15 +35,10 @@ func (e *Engine) TopVolatileMarkets(region market.Region, product market.Product
 		return nil, nil
 	}
 	// The per-shard crossings index answers "how many crossings, how big"
-	// per market without touching the raw spike logs.
+	// per market without touching the raw spike logs; the scope filter
+	// skips shards outside the requested region/product entirely.
 	var rows []VolatileMarket
-	for id, cs := range e.db.SpikeCrossings(from, to) {
-		if region != "" && id.Region() != region {
-			continue
-		}
-		if product != "" && id.Product != product {
-			continue
-		}
+	for id, cs := range e.db.SpikeCrossingsWhere(from, to, scopeKeep(region, product)) {
 		row := VolatileMarket{Market: id, Crossings: cs.Crossings, MaxRatio: cs.MaxRatio}
 		heldSum := time.Duration(0)
 		for _, rv := range e.db.RevocationsFor(id, from, to) {

@@ -45,6 +45,16 @@ func (a *Appender) shard() *shard {
 // AppendProbe logs one probe of the bound market.
 func (a *Appender) AppendProbe(r ProbeRecord) { a.shard().appendProbe(r) }
 
+// AppendProbes logs a batch of probes of the bound market under a single
+// shard-lock acquisition, preserving input order. Use it on replay and
+// bulk-load paths where many records for one market arrive together.
+func (a *Appender) AppendProbes(rs []ProbeRecord) {
+	if len(rs) == 0 {
+		return
+	}
+	a.shard().appendProbes(rs)
+}
+
 // AppendSpike logs one threshold crossing of the bound market.
 func (a *Appender) AppendSpike(e SpikeEvent) { a.shard().appendSpike(e) }
 

@@ -55,9 +55,9 @@ func ReadJSON(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("store: decode snapshot: %w", err)
 	}
 	s := New()
-	for _, p := range snap.Probes {
-		s.AppendProbe(p)
-	}
+	// The probe log dominates a snapshot; batch-append it so each shard's
+	// lock is taken once per market instead of once per record.
+	s.AppendProbes(snap.Probes)
 	for _, sp := range snap.Spikes {
 		s.AppendSpike(sp)
 	}

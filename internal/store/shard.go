@@ -3,6 +3,7 @@ package store
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spotlight/internal/market"
@@ -67,6 +68,14 @@ type shard struct {
 	id  market.SpotID
 	key string // id.String(), cached for deterministic shard ordering
 
+	// gen counts every record ever appended to this shard (probes, spikes,
+	// bid spreads, revocations, prices). It is the per-shard invalidation
+	// signal for response caches: any append that could change a query
+	// result bumps the generation of exactly one shard, so a cache entry is
+	// valid iff the generations of the shards in its scope are unchanged.
+	// Atomic so readers never take the shard lock.
+	gen atomic.Uint64
+
 	probes      []ProbeRecord
 	spikes      []SpikeEvent
 	bidSpreads  []BidSpreadRecord
@@ -114,6 +123,25 @@ func newShard(id market.SpotID) *shard {
 func (sh *shard) appendProbe(r ProbeRecord) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.appendProbeLocked(r)
+}
+
+// appendProbes logs a batch of probes under one lock acquisition,
+// amortizing the lock and the cache-line traffic of the aggregate updates
+// across the batch (bulk loads, simulator replay).
+func (sh *shard) appendProbes(rs []ProbeRecord) {
+	if len(rs) == 0 {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, r := range rs {
+		sh.appendProbeLocked(r)
+	}
+}
+
+func (sh *shard) appendProbeLocked(r ProbeRecord) {
+	sh.gen.Add(1)
 	if n := len(sh.probes); n > 0 && r.At.Before(sh.probes[n-1].At) {
 		sh.probesOrdered = false
 	}
@@ -153,6 +181,7 @@ func (sh *shard) appendProbe(r ProbeRecord) {
 func (sh *shard) appendSpike(e SpikeEvent) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.gen.Add(1)
 	if n := len(sh.spikes); n > 0 && e.At.Before(sh.spikes[n-1].At) {
 		sh.spikesOrdered = false
 	}
@@ -176,6 +205,7 @@ type crossing struct {
 func (sh *shard) appendBidSpread(r BidSpreadRecord) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.gen.Add(1)
 	if n := len(sh.bidSpreads); n > 0 && r.At.Before(sh.bidSpreads[n-1].At) {
 		sh.bidSpreadsOrdered = false
 	}
@@ -185,6 +215,7 @@ func (sh *shard) appendBidSpread(r BidSpreadRecord) {
 func (sh *shard) appendRevocation(r RevocationRecord) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.gen.Add(1)
 	if n := len(sh.revocations); n > 0 && r.At.Before(sh.revocations[n-1].At) {
 		sh.revocationsOrdered = false
 	}
@@ -194,6 +225,7 @@ func (sh *shard) appendRevocation(r RevocationRecord) {
 func (sh *shard) appendPrice(p PricePoint) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.gen.Add(1)
 	if n := len(sh.prices); n > 0 && p.At.Before(sh.prices[n-1].At) {
 		sh.pricesOrdered = false
 	}

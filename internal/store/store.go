@@ -370,6 +370,31 @@ func (s *Store) AppendProbe(r ProbeRecord) {
 	s.shardFor(r.Market).appendProbe(r)
 }
 
+// AppendProbes logs a batch of probes, grouping records by market so each
+// affected shard's lock is acquired once per group instead of once per
+// record. Within one market the input order is preserved (the outage
+// derivation depends on it); ordering across markets is irrelevant because
+// every derived structure is shard-local.
+func (s *Store) AppendProbes(rs []ProbeRecord) {
+	switch len(rs) {
+	case 0:
+		return
+	case 1:
+		s.AppendProbe(rs[0])
+		return
+	}
+	// Bulk loads are usually a timestamp-ordered interleaving of many
+	// markets; group index runs per market first so the per-shard batch
+	// append pays one lock round per market, not per record.
+	groups := make(map[market.SpotID][]ProbeRecord)
+	for _, r := range rs {
+		groups[r.Market] = append(groups[r.Market], r)
+	}
+	for id, group := range groups {
+		s.shardFor(id).appendProbes(group)
+	}
+}
+
 // AppendSpike logs one threshold-crossing event and indexes on-demand
 // price crossings (Ratio >= 1) incrementally.
 func (s *Store) AppendSpike(e SpikeEvent) {
@@ -526,14 +551,37 @@ type CrossingStats struct {
 // computed from each shard's incremental crossings index. Markets with no
 // crossings in the window are absent.
 func (s *Store) SpikeCrossings(from, to time.Time) map[market.SpotID]CrossingStats {
+	return s.SpikeCrossingsWhere(from, to, nil)
+}
+
+// SpikeCrossingsWhere is SpikeCrossings restricted to the markets accepted
+// by keep (all markets when nil): shards outside the scope are skipped
+// entirely, so a region- or product-filtered ranking touches only the
+// matching shards' crossing indexes.
+func (s *Store) SpikeCrossingsWhere(from, to time.Time, keep func(market.SpotID) bool) map[market.SpotID]CrossingStats {
 	out := make(map[market.SpotID]CrossingStats)
 	for _, sh := range s.shardList() {
+		if keep != nil && !keep(sh.id) {
+			continue
+		}
 		count, maxRatio := sh.crossingStats(from, to)
 		if count > 0 {
 			out[sh.id] = CrossingStats{Crossings: count, MaxRatio: maxRatio}
 		}
 	}
 	return out
+}
+
+// CrossingStatsFor returns one market's crossing statistics for [from, to]
+// from its shard's incremental index; the zero stats when the market has
+// no shard.
+func (s *Store) CrossingStatsFor(id market.SpotID, from, to time.Time) CrossingStats {
+	sh := s.lookup(id)
+	if sh == nil {
+		return CrossingStats{}
+	}
+	count, maxRatio := sh.crossingStats(from, to)
+	return CrossingStats{Crossings: count, MaxRatio: maxRatio}
 }
 
 // BidSpreads returns all intrinsic-price search results merged across
@@ -710,4 +758,34 @@ func (s *Store) Aggregates(now time.Time) []MarketAggregates {
 		out = append(out, m)
 	}
 	return out
+}
+
+// Generation returns the market's append generation: the number of records
+// of any kind ever appended to its shard (0 when the market has no shard).
+// Every append bumps exactly one market's generation, so a cached query
+// result derived from this market is valid iff the generation is unchanged.
+func (s *Store) Generation(id market.SpotID) uint64 {
+	sh := s.lookup(id)
+	if sh == nil {
+		return 0
+	}
+	return sh.gen.Load()
+}
+
+// ScopeGeneration sums the append generations of the shards accepted by
+// keep (all shards when nil). Because each append increments exactly one
+// in-scope shard's counter by one, the sum equals the total number of
+// records ever appended inside the scope and is strictly monotone in those
+// appends: equal sums imply an unchanged scope. Appends outside the scope
+// leave the sum untouched — that is the per-shard invalidation a response
+// cache keys on. The walk is O(markets) atomic loads, no shard lock taken.
+func (s *Store) ScopeGeneration(keep func(market.SpotID) bool) uint64 {
+	var total uint64
+	for _, sh := range s.shardList() {
+		if keep != nil && !keep(sh.id) {
+			continue
+		}
+		total += sh.gen.Load()
+	}
+	return total
 }

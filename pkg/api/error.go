@@ -1,0 +1,60 @@
+package api
+
+import "fmt"
+
+// Error codes carried by the machine-readable error envelope. Clients
+// should branch on Code, never on Message text.
+const (
+	// CodeBadRequest covers malformed requests: unreadable JSON bodies,
+	// empty batches, or a query that fails validation in a way no more
+	// specific code describes.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownKind marks a query whose Kind is not one of the
+	// documented query kinds.
+	CodeUnknownKind = "unknown_kind"
+	// CodeBadWindow marks a missing, unparseable, empty, or inverted time
+	// window.
+	CodeBadWindow = "bad_window"
+	// CodeBadMarket marks a missing or malformed market ID (the expected
+	// form is "zone:type:product").
+	CodeBadMarket = "bad_market"
+	// CodeBadParam marks an out-of-range or unparseable query parameter;
+	// Details["param"] names it.
+	CodeBadParam = "bad_param"
+	// CodeTooManyQueries marks a batch exceeding the per-request query
+	// limit; Details carries "limit" and "got".
+	CodeTooManyQueries = "too_many_queries"
+	// CodeInternal marks a server-side failure evaluating the query.
+	CodeInternal = "internal"
+)
+
+// Error is the wire error envelope every SpotLight endpoint returns —
+// both as the body of non-2xx responses and inline per query inside a
+// batch response.
+type Error struct {
+	Code    string            `json:"code"`
+	Message string            `json:"message"`
+	Details map[string]string `json:"details,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if len(e.Details) == 0 {
+		return e.Code + ": " + e.Message
+	}
+	return fmt.Sprintf("%s: %s %v", e.Code, e.Message, e.Details)
+}
+
+// Errorf builds an Error with a formatted message.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WithDetail returns e with one detail key set, for fluent construction.
+func (e *Error) WithDetail(k, v string) *Error {
+	if e.Details == nil {
+		e.Details = make(map[string]string, 1)
+	}
+	e.Details[k] = v
+	return e
+}

@@ -1,0 +1,274 @@
+// Package client is the Go SDK for the SpotLight query service. It wraps
+// both API surfaces — the GET /v1/* endpoints and the POST /v2/query
+// batch envelope — behind typed methods over the pkg/api DTOs, so
+// consumers never hand-roll URLs or decode anonymous JSON.
+//
+//	c, _ := client.New("http://localhost:8080", nil)
+//	stable, err := c.Stable(ctx, "us-east-1", "Linux/UNIX", 10, api.Last(24*time.Hour))
+//
+// Several questions in one round trip go through the batch envelope:
+//
+//	resp, err := c.Batch(ctx,
+//		api.Query{Kind: api.KindStable, Window: api.Last(24 * time.Hour)},
+//		api.Query{Kind: api.KindSummary},
+//	)
+//
+// Every service-side failure is returned as *api.Error, so callers can
+// branch on the machine-readable code:
+//
+//	var aerr *api.Error
+//	if errors.As(err, &aerr) && aerr.Code == api.CodeBadWindow { ... }
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"spotlight/pkg/api"
+)
+
+// Client talks to one SpotLight service instance. It is safe for
+// concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the service at baseURL (scheme + host[:port],
+// with or without a trailing slash). hc defaults to http.DefaultClient.
+func New(baseURL string, hc *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: bad base URL %q", baseURL)
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}, nil
+}
+
+// Batch evaluates up to api.MaxBatchQueries heterogeneous queries in one
+// POST /v2/query round trip. The envelope-level error (malformed batch,
+// over the limit) comes back as the method's error; per-query failures
+// live in the corresponding Result.Error and do not fail the batch.
+func (c *Client) Batch(ctx context.Context, queries ...api.Query) (*api.BatchResponse, error) {
+	body, err := json.Marshal(api.BatchRequest{Queries: queries})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode batch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var resp api.BatchResponse
+	if err := c.do(req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(queries) {
+		return nil, fmt.Errorf("client: batch returned %d results for %d queries", len(resp.Results), len(queries))
+	}
+	return &resp, nil
+}
+
+// Unavailability returns the fraction of the window one market's contract
+// tier ("od" or "spot"; "" means od) was detected unavailable.
+func (c *Client) Unavailability(ctx context.Context, market, contract string, w api.Window) (*api.Unavailability, error) {
+	v := windowValues(w)
+	v.Set("market", market)
+	if contract != "" {
+		v.Set("kind", contract)
+	}
+	var out api.Unavailability
+	if err := c.get(ctx, "/v1/unavailability", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stable returns the n most stable spot markets of a region/product scope
+// ("" leaves the dimension unfiltered; n <= 0 uses the service default).
+func (c *Client) Stable(ctx context.Context, region, product string, n int, w api.Window) ([]api.StableMarket, error) {
+	v := scopeValues(w, region, product, n)
+	var out []api.StableMarket
+	if err := c.get(ctx, "/v1/stable", v, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Volatile returns the n most volatile spot markets of a scope.
+func (c *Client) Volatile(ctx context.Context, region, product string, n int, w api.Window) ([]api.VolatileMarket, error) {
+	v := scopeValues(w, region, product, n)
+	var out []api.VolatileMarket
+	if err := c.get(ctx, "/v1/volatile", v, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fallback returns up to n uncorrelated fail-over markets for market.
+func (c *Client) Fallback(ctx context.Context, market string, n int, w api.Window) ([]api.Fallback, error) {
+	v := windowValues(w)
+	v.Set("market", market)
+	if n > 0 {
+		v.Set("n", strconv.Itoa(n))
+	}
+	var out []api.Fallback
+	if err := c.get(ctx, "/v1/fallback", v, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Prices returns one market's recorded price series inside the window.
+func (c *Client) Prices(ctx context.Context, market string, w api.Window) ([]api.PricePoint, error) {
+	v := windowValues(w)
+	v.Set("market", market)
+	var out []api.PricePoint
+	if err := c.get(ctx, "/v1/prices", v, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Outages returns one market's detected outages overlapping the window.
+func (c *Client) Outages(ctx context.Context, market string, w api.Window) ([]api.Outage, error) {
+	v := windowValues(w)
+	v.Set("market", market)
+	var out []api.Outage
+	if err := c.get(ctx, "/v1/outages", v, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Predict estimates the probability of an on-demand outage within horizon
+// of a spike of the given multiple (horizon 0 uses the service default).
+func (c *Client) Predict(ctx context.Context, market string, ratio float64, horizon time.Duration, w api.Window) (*api.Prediction, error) {
+	v := windowValues(w)
+	v.Set("market", market)
+	v.Set("ratio", strconv.FormatFloat(ratio, 'g', -1, 64))
+	if horizon > 0 {
+		v.Set("horizon", horizon.String())
+	}
+	var out api.Prediction
+	if err := c.get(ctx, "/v1/predict", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ReservedValue assesses reserving market at the planned duty cycle.
+func (c *Client) ReservedValue(ctx context.Context, market string, utilization float64, w api.Window) (*api.ReservedValue, error) {
+	v := windowValues(w)
+	v.Set("market", market)
+	v.Set("utilization", strconv.FormatFloat(utilization, 'g', -1, 64))
+	var out api.ReservedValue
+	if err := c.get(ctx, "/v1/reserved-value", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Markets lists the catalog's spot markets, optionally scoped.
+func (c *Client) Markets(ctx context.Context, region, product string) ([]api.MarketInfo, error) {
+	v := url.Values{}
+	if region != "" {
+		v.Set("region", region)
+	}
+	if product != "" {
+		v.Set("product", product)
+	}
+	var out []api.MarketInfo
+	if err := c.get(ctx, "/v1/markets", v, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Summary returns the per-region availability aggregates at the service
+// clock.
+func (c *Client) Summary(ctx context.Context) ([]api.RegionSummary, error) {
+	var out []api.RegionSummary
+	if err := c.get(ctx, "/v1/summary", url.Values{}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// windowValues encodes a window spec as URL parameters.
+func windowValues(w api.Window) url.Values {
+	v := url.Values{}
+	if w.Rel != "" {
+		v.Set("window", w.Rel)
+		return v
+	}
+	if !w.From.IsZero() {
+		v.Set("from", w.From.Format(time.RFC3339))
+	}
+	if !w.To.IsZero() {
+		v.Set("to", w.To.Format(time.RFC3339))
+	}
+	return v
+}
+
+// scopeValues encodes the parameters of the ranked, scope-filtered kinds.
+func scopeValues(w api.Window, region, product string, n int) url.Values {
+	v := windowValues(w)
+	if region != "" {
+		v.Set("region", region)
+	}
+	if product != "" {
+		v.Set("product", product)
+	}
+	if n > 0 {
+		v.Set("n", strconv.Itoa(n))
+	}
+	return v
+}
+
+// get issues a GET for path with params and decodes the payload into out.
+func (c *Client) get(ctx context.Context, path string, params url.Values, out any) error {
+	u := c.base + path
+	if enc := params.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// do executes the request, decoding either the payload or the service's
+// error envelope (returned as *api.Error).
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		var aerr api.Error
+		if err := dec.Decode(&aerr); err != nil || aerr.Code == "" {
+			return fmt.Errorf("client: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+		}
+		return &aerr
+	}
+	if out == nil {
+		return nil
+	}
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/query"
+	"spotlight/internal/store"
+	"spotlight/pkg/api"
+)
+
+var (
+	mktA = market.SpotID{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux}
+	t0   = time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// testService stands up a real API server over a seeded store.
+func testService(t *testing.T) (*Client, *store.Store) {
+	t.Helper()
+	db := store.New()
+	apiSrv := query.NewAPI(query.NewEngine(db, market.New()), func() time.Time { return t0.Add(24 * time.Hour) })
+	srv := httptest.NewServer(apiSrv.Handler())
+	t.Cleanup(srv.Close)
+	c, err := New(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, db
+}
+
+func TestNewRejectsBadBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "/relative/only"} {
+		if _, err := New(bad, nil); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTypedV1Roundtrip(t *testing.T) {
+	c, db := testService(t)
+	ctx := context.Background()
+	db.AppendProbe(store.ProbeRecord{At: t0, Market: mktA, Kind: store.ProbeOnDemand, Rejected: true, Code: "x"})
+	db.AppendProbe(store.ProbeRecord{At: t0.Add(6 * time.Hour), Market: mktA, Kind: store.ProbeOnDemand})
+	db.RecordPrice(mktA, store.PricePoint{At: t0.Add(time.Hour), Price: 0.42})
+
+	unav, err := c.Unavailability(ctx, mktA.String(), "", api.Last(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unav.Unavailability != 0.25 {
+		t.Errorf("unavailability = %v, want 0.25", unav.Unavailability)
+	}
+
+	stable, err := c.Stable(ctx, "us-east-1", "", 3, api.Between(t0, t0.Add(24*time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stable) != 3 {
+		t.Errorf("stable rows = %d, want 3", len(stable))
+	}
+
+	prices, err := c.Prices(ctx, mktA.String(), api.Last(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prices) != 1 || prices[0].Price != 0.42 {
+		t.Errorf("prices = %+v", prices)
+	}
+
+	sums, err := c.Summary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].Region != "us-east-1" {
+		t.Errorf("summary = %+v", sums)
+	}
+}
+
+func TestBatchRoundtrip(t *testing.T) {
+	c, db := testService(t)
+	db.AppendSpike(store.SpikeEvent{At: t0.Add(time.Hour), Market: mktA, Ratio: 2})
+
+	resp, err := c.Batch(context.Background(),
+		api.Query{Kind: api.KindStable, Region: "us-east-1", N: 5, Window: api.Last(24 * time.Hour)},
+		api.Query{Kind: api.KindVolatile, Region: "us-east-1", N: 5, Window: api.Last(24 * time.Hour)},
+		api.Query{Kind: api.KindSummary},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	if got := resp.Results[1].Volatile; len(got) != 1 || got[0].Market != mktA.String() {
+		t.Errorf("volatile = %+v", got)
+	}
+	if !resp.Now.Equal(t0.Add(24 * time.Hour)) {
+		t.Errorf("now = %v", resp.Now)
+	}
+}
+
+// TestErrorEnvelopeSurfacing: service-side failures come back as
+// *api.Error with the machine-readable code, both for v1 calls and for
+// batch-level rejections.
+func TestErrorEnvelopeSurfacing(t *testing.T) {
+	c, _ := testService(t)
+	ctx := context.Background()
+
+	_, err := c.Stable(ctx, "us-east-1", "", 5, api.Window{Rel: "nonsense"})
+	var aerr *api.Error
+	if !errors.As(err, &aerr) || aerr.Code != api.CodeBadWindow {
+		t.Errorf("stable with bad window: err = %v, want *api.Error code %s", err, api.CodeBadWindow)
+	}
+
+	_, err = c.Unavailability(ctx, "garbage", "", api.Last(time.Hour))
+	if !errors.As(err, &aerr) || aerr.Code != api.CodeBadMarket {
+		t.Errorf("bad market: err = %v, want code %s", err, api.CodeBadMarket)
+	}
+
+	over := make([]api.Query, api.MaxBatchQueries+1)
+	for i := range over {
+		over[i] = api.Query{Kind: api.KindSummary}
+	}
+	_, err = c.Batch(ctx, over...)
+	if !errors.As(err, &aerr) || aerr.Code != api.CodeTooManyQueries {
+		t.Errorf("oversized batch: err = %v, want code %s", err, api.CodeTooManyQueries)
+	}
+}
