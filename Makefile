@@ -2,7 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench smoke ci
+# Benchmarks covered by the smoke run: the query hot paths and the rollup/
+# ingest paths whose regressions matter (summary, scope generations,
+# monitor-shaped batched appends).
+BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregates|BenchmarkStoreRegionAggregates|BenchmarkGenerationOfScope|BenchmarkStoreAppendMonitorTick
+
+# bench-diff inputs: OLD defaults to the committed baseline, NEW to the
+# latest smoke run.
+OLD ?= bench-baseline.txt
+NEW ?= bench-smoke.txt
+
+.PHONY: all build test vet fmt-check bench bench-diff bench-baseline smoke ci
 
 all: build
 
@@ -27,8 +37,27 @@ fmt-check:
 # (BenchmarkQueryStable matches the cached variant too). Capture-then-cat
 # instead of tee so the exit status survives /bin/sh.
 bench:
-	@$(GO) test -bench=BenchmarkQueryStable -benchtime=1x -run='^$$' . >bench-smoke.txt 2>&1; \
+	@$(GO) test -bench='$(BENCH_SMOKE)' -benchtime=1x -run='^$$' . >bench-smoke.txt 2>&1; \
 	rc=$$?; cat bench-smoke.txt; exit $$rc
+
+# bench-diff compares two benchmark outputs (`make bench-diff OLD=a NEW=b`)
+# so rollup hot-path regressions are visible at a glance: benchstat when
+# installed, a plain unified diff otherwise.
+bench-diff:
+	@if [ ! -f "$(OLD)" ] || [ ! -f "$(NEW)" ]; then \
+		echo "bench-diff: need $(OLD) and $(NEW) (run 'make bench'; refresh the baseline with 'make bench-baseline')" >&2; \
+		exit 1; \
+	fi; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat "$(OLD)" "$(NEW)"; \
+	else \
+		echo "bench-diff: benchstat not installed, showing raw diff ($(OLD) -> $(NEW))"; \
+		diff -u "$(OLD)" "$(NEW)" || true; \
+	fi
+
+# bench-baseline refreshes the committed comparison point for bench-diff.
+bench-baseline: bench
+	cp bench-smoke.txt $(OLD)
 
 # HTTP smoke: boot spotlightd on an ephemeral port, issue one v2 batch
 # query against it through the pkg/client SDK, and exit.

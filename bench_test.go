@@ -51,6 +51,8 @@ func benchStudy(b *testing.B) *experiment.Study {
 
 func BenchmarkTable2_1(b *testing.B) {
 	rows := 0
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows = len(analysis.Table21Contracts())
 	}
@@ -61,6 +63,7 @@ func BenchmarkFigure2_1(b *testing.B) {
 	st := benchStudy(b)
 	from, to := st.Window()
 	id := market.SpotID{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var tr analysis.PriceTrace
 	for i := 0; i < b.N; i++ {
@@ -82,6 +85,7 @@ func BenchmarkFigure5_1a(b *testing.B) {
 		{Zone: "us-east-1d", Type: "c3.4xlarge", Product: market.ProductLinux},
 		{Zone: "us-east-1d", Type: "c3.8xlarge", Product: market.ProductLinux},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var trs []analysis.PriceTrace
 	for i := 0; i < b.N; i++ {
@@ -137,6 +141,7 @@ func BenchmarkFigure5_1b(b *testing.B) {
 		{Zone: "us-east-1b", Type: "c3.2xlarge", Product: market.ProductLinux},
 		{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var trs []analysis.PriceTrace
 	for i := 0; i < b.N; i++ {
@@ -158,6 +163,8 @@ func BenchmarkFigure5_1b(b *testing.B) {
 func BenchmarkFigure5_2(b *testing.B) {
 	st := benchStudy(b)
 	var res analysis.Fig52
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = analysis.Fig52IntrinsicPrice(st.DB, experiment.BidSpreadMarket())
 	}
@@ -169,6 +176,7 @@ func BenchmarkFigure5_3(b *testing.B) {
 	st := benchStudy(b)
 	from, to := st.Window()
 	id := market.SpotID{Zone: "us-east-1d", Type: "c3.2xlarge", Product: market.ProductLinux}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var res analysis.Fig53
 	for i := 0; i < b.N; i++ {
@@ -194,6 +202,8 @@ func BenchmarkFigure5_3(b *testing.B) {
 func BenchmarkFigure5_4(b *testing.B) {
 	st := benchStudy(b)
 	var res analysis.Fig54
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = analysis.Fig54GlobalUnavailability(st.DB, nil)
 	}
@@ -204,6 +214,8 @@ func BenchmarkFigure5_4(b *testing.B) {
 func BenchmarkFigure5_5(b *testing.B) {
 	st := benchStudy(b)
 	var res analysis.Fig55
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = analysis.Fig55RegionRejectShare(st.DB)
 	}
@@ -222,6 +234,8 @@ func BenchmarkFigure5_5(b *testing.B) {
 func BenchmarkFigure5_6(b *testing.B) {
 	st := benchStudy(b)
 	var res analysis.Fig56
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = analysis.Fig56RegionUnavailability(st.DB, 0)
 	}
@@ -238,6 +252,8 @@ func BenchmarkFigure5_6(b *testing.B) {
 func BenchmarkFigure5_7(b *testing.B) {
 	st := benchStudy(b)
 	var res analysis.Fig57
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = analysis.Fig57TriggerBreakdown(st.DB)
 	}
@@ -256,6 +272,8 @@ func BenchmarkFigure5_7(b *testing.B) {
 func BenchmarkFigure5_8(b *testing.B) {
 	st := benchStudy(b)
 	var res analysis.Fig58
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = analysis.Fig58CrossAZ(st.DB, nil)
 	}
@@ -268,6 +286,8 @@ func BenchmarkFigure5_8(b *testing.B) {
 func BenchmarkFigure5_9(b *testing.B) {
 	st := benchStudy(b)
 	var res analysis.Fig59
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = analysis.Fig59OutageDurationCDF(st.DB)
 	}
@@ -278,6 +298,8 @@ func BenchmarkFigure5_9(b *testing.B) {
 func BenchmarkFigure5_10(b *testing.B) {
 	st := benchStudy(b)
 	var res analysis.Fig510
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = analysis.Fig510SpotUnavailability(st.DB)
 	}
@@ -288,6 +310,8 @@ func BenchmarkFigure5_10(b *testing.B) {
 func BenchmarkFigure5_11(b *testing.B) {
 	st := benchStudy(b)
 	var res analysis.Fig511
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = analysis.Fig511SpotInsufficiencyDist(st.DB)
 	}
@@ -298,6 +322,8 @@ func BenchmarkFigure5_11(b *testing.B) {
 func BenchmarkFigure5_12(b *testing.B) {
 	st := benchStudy(b)
 	var res analysis.Fig512
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res = analysis.Fig512CrossKind(st.DB, nil)
 	}
@@ -311,6 +337,8 @@ func BenchmarkFigure5_12(b *testing.B) {
 func BenchmarkFigure6_1(b *testing.B) {
 	st := benchStudy(b)
 	var rows []experiment.Fig61Row
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
 		rows, err = st.RunSpotCheck()
@@ -334,6 +362,8 @@ func BenchmarkFigure6_1(b *testing.B) {
 func BenchmarkFigure6_2(b *testing.B) {
 	st := benchStudy(b)
 	var rows []experiment.Fig62Row
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
 		rows, err = st.RunSpotOn(40)
@@ -424,6 +454,8 @@ func ablations(b *testing.B) {
 func BenchmarkAblationMarketVsNaive(b *testing.B) {
 	ablations(b)
 	var mkt, naive float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mkt = detectedOutageMinutes(ablMarket) / (ablMarket.Svc.Spent()/1000 + 1e-9)
 		naive = detectedOutageMinutes(ablNaive) / (ablNaive.Svc.Spent()/1000 + 1e-9)
@@ -437,6 +469,8 @@ func BenchmarkAblationMarketVsNaive(b *testing.B) {
 func BenchmarkAblationFamilyProbing(b *testing.B) {
 	ablations(b)
 	var with, without float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		with = detectedOutageMinutes(ablMarket)
 		without = detectedOutageMinutes(ablNoFamily)
@@ -450,6 +484,8 @@ func BenchmarkAblationFamilyProbing(b *testing.B) {
 func BenchmarkAblationSamplingRatio(b *testing.B) {
 	ablations(b)
 	var full, sampled float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		full = detectedOutageMinutes(ablMarket)
 		sampled = detectedOutageMinutes(ablSampled)
@@ -464,6 +500,8 @@ func BenchmarkAblationSamplingRatio(b *testing.B) {
 func BenchmarkAblationThreshold(b *testing.B) {
 	ablations(b)
 	var t1, t2 float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t1 = float64(ablMarket.Svc.Stats().ODProbes)
 		t2 = float64(ablThresholdHigh.Svc.Stats().ODProbes)
@@ -479,6 +517,8 @@ func BenchmarkAblationThreshold(b *testing.B) {
 func BenchmarkDetectionScore(b *testing.B) {
 	st := benchStudy(b)
 	var score experiment.DetectionScore
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
 		score, err = st.DetectionScore()
@@ -500,6 +540,7 @@ func BenchmarkSimStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.Sim.Step()
@@ -513,6 +554,7 @@ func BenchmarkServiceTick(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.Sim.Step()
@@ -528,6 +570,7 @@ func BenchmarkQueryStable(b *testing.B) {
 	from, to := st.Window()
 	engine := query.NewEngine(st.DB, st.Cat)
 	engine.SetCaching(false)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.TopStableMarkets("us-east-1", market.ProductLinux, 10, from, to); err != nil {
@@ -544,6 +587,7 @@ func BenchmarkQueryStableCached(b *testing.B) {
 	st := benchStudy(b)
 	from, to := st.Window()
 	engine := query.NewEngine(st.DB, st.Cat)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.TopStableMarkets("us-east-1", market.ProductLinux, 10, from, to); err != nil {
@@ -563,6 +607,7 @@ func BenchmarkQueryFallback(b *testing.B) {
 	from, to := st.Window()
 	engine := query.NewEngine(st.DB, st.Cat)
 	id := market.SpotID{Zone: "us-east-1e", Type: "d2.8xlarge", Product: market.ProductLinux}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.RecommendFallback(id, 5, from, to); err != nil {
@@ -601,6 +646,7 @@ func storeAppendParallel(b *testing.B, nMarkets int) {
 	mkts := benchMarkets(nMarkets)
 	base := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
 	var next atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		g := int(next.Add(1)) - 1
@@ -638,6 +684,7 @@ func BenchmarkStoreAppendProbesBatchParallel(b *testing.B) {
 	mkts := benchMarkets(8)
 	base := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
 	var next atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		g := int(next.Add(1)) - 1
@@ -670,6 +717,7 @@ func BenchmarkQueryStableParallel(b *testing.B) {
 	from, to := st.Window()
 	engine := query.NewEngine(st.DB, st.Cat)
 	engine.SetCaching(false)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
@@ -691,6 +739,7 @@ func BenchmarkQueryUnavailabilityParallel(b *testing.B) {
 	engine := query.NewEngine(st.DB, st.Cat)
 	ids := st.Cat.SpotMarkets()
 	var next atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		g := int(next.Add(1)) - 1
@@ -705,4 +754,170 @@ func BenchmarkQueryUnavailabilityParallel(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// Rollup benchmarks ----------------------------------------------------
+//
+// The rollup hierarchy in internal/store exists so scope-wide reads —
+// region summaries, cache-validity probes — cost O(regions) instead of
+// walking every market shard. benchWideStore seeds a synthetic store
+// large enough (1000 markets across four regions) that the difference
+// dominates; BenchmarkQuerySummary is the acceptance benchmark for the
+// rollup layer (pre-rollup it folded per-market aggregates: ~136µs and
+// ~173KB per query at this scale).
+
+// benchWideStore seeds nMarkets markets with a handful of probes and
+// spikes each; the five zones span four regions.
+func benchWideStore(nMarkets int) (*store.Store, time.Time) {
+	db := store.New()
+	base := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	zones := []market.Zone{"us-east-1a", "us-east-1b", "eu-west-1a", "ap-southeast-2a", "sa-east-1a"}
+	for i := 0; i < nMarkets; i++ {
+		id := market.SpotID{
+			Zone:    zones[i%len(zones)],
+			Type:    market.InstanceType(fmt.Sprintf("c%d.%dxlarge", i/8+1, i%8+1)),
+			Product: market.ProductLinux,
+		}
+		for j := 0; j < 16; j++ {
+			db.AppendProbe(store.ProbeRecord{
+				At: base.Add(time.Duration(j) * time.Minute), Market: id,
+				Kind: store.ProbeOnDemand, Rejected: j%4 == 0, Cost: 0.1,
+			})
+			db.AppendSpike(store.SpikeEvent{At: base.Add(time.Duration(j) * time.Minute), Market: id, Ratio: 1.5})
+		}
+	}
+	return db, base
+}
+
+// BenchmarkQuerySummary measures the per-region summary over 1000 markets
+// with the response cache off: the engine reads the O(regions) rollup
+// entries, never touching a market shard.
+func BenchmarkQuerySummary(b *testing.B) {
+	db, base := benchWideStore(1000)
+	engine := query.NewEngine(db, market.New())
+	engine.SetCaching(false)
+	now := base.Add(24 * time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := engine.Summary(now); len(rows) == 0 {
+			b.Fatal("empty summary")
+		}
+	}
+}
+
+// BenchmarkQuerySummaryCached is the same query with caching on and a
+// fixed clock: after the first fold every repeat is a generation load
+// plus a map hit.
+func BenchmarkQuerySummaryCached(b *testing.B) {
+	db, base := benchWideStore(1000)
+	engine := query.NewEngine(db, market.New())
+	now := base.Add(24 * time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := engine.Summary(now); len(rows) == 0 {
+			b.Fatal("empty summary")
+		}
+	}
+}
+
+// BenchmarkStoreAggregates measures the per-market aggregate walk the
+// summary used before the rollup layer — still the right call when the
+// caller needs every market's row, and the baseline the rollup read is
+// compared against.
+func BenchmarkStoreAggregates(b *testing.B) {
+	db, base := benchWideStore(1000)
+	now := base.Add(24 * time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := db.Aggregates(now); len(rows) != 1000 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkStoreRegionAggregates reads the region-level rollups directly:
+// the O(regions) path BenchmarkStoreAggregates is compared against.
+func BenchmarkStoreRegionAggregates(b *testing.B) {
+	db, base := benchWideStore(1000)
+	now := base.Add(24 * time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := db.RegionAggregates(now); len(rows) != 4 {
+			b.Fatalf("got %d regions", len(rows))
+		}
+	}
+}
+
+// BenchmarkScopeGenerationWalk vs BenchmarkGenerationOfScope: the same
+// cache-validity question answered by the per-shard walk and by the
+// rollup counter.
+func BenchmarkScopeGenerationWalk(b *testing.B) {
+	db, _ := benchWideStore(1000)
+	keep := func(id market.SpotID) bool { return id.Region() == "us-east-1" }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if db.ScopeGeneration(keep) == 0 {
+			b.Fatal("zero generation")
+		}
+	}
+}
+
+func BenchmarkGenerationOfScope(b *testing.B) {
+	db, _ := benchWideStore(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if db.GenerationOfScope("us-east-1", "") == 0 {
+			b.Fatal("zero generation")
+		}
+	}
+}
+
+// BenchmarkStoreAppendMonitorTick is the monitor-shaped ingest workload:
+// concurrent region scanners each buffer a tick's worth of records (~9
+// probes, the spike/cross/related/recheck fan-out of one detection) per
+// market and flush them through Appender.AppendProbes — the internal/core
+// per-tick batching path.
+func BenchmarkStoreAppendMonitorTick(b *testing.B) {
+	const tickBatch = 9
+	db := store.New()
+	mkts := benchMarkets(256)
+	base := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(next.Add(1)) - 1
+		apps := make(map[int]*store.Appender)
+		batch := make([]store.ProbeRecord, 0, tickBatch)
+		i := 0
+		for pb.Next() {
+			mi := (g*31 + i/tickBatch) % len(mkts)
+			app := apps[mi]
+			if app == nil {
+				app = db.Appender(mkts[mi])
+				apps[mi] = app
+			}
+			batch = append(batch, store.ProbeRecord{
+				At: base.Add(time.Duration(i) * time.Second), Market: mkts[mi],
+				Kind: store.ProbeOnDemand, Trigger: store.TriggerSpike,
+				Rejected: i%8 == 0, Cost: 0.1,
+			})
+			if len(batch) == tickBatch {
+				app.AppendProbes(batch)
+				batch = batch[:0]
+			}
+			i++
+		}
+		if len(batch) > 0 {
+			// Flush the tail to whichever market the batch was filling.
+			apps[(g*31+i/tickBatch)%len(mkts)].AppendProbes(batch)
+		}
+	})
+	b.ReportMetric(tickBatch, "tick_batch")
 }

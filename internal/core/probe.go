@@ -48,7 +48,7 @@ func (s *Service) odProbe(mon *marketMon, now time.Time, ctx probeContext) {
 		if terr := s.prov.TerminateInstance(inst.ID); terr != nil {
 			s.stats.QuotaSkips++
 		}
-		mon.app.AppendProbe(rec)
+		s.logProbe(mon, rec)
 		if mon.odOutage {
 			s.closeODOutage(mon)
 		}
@@ -57,7 +57,7 @@ func (s *Service) odProbe(mon *marketMon, now time.Time, ctx probeContext) {
 		rec.Cost = 0
 		rec.Rejected = true
 		rec.Code = string(cloud.ErrInsufficientCapacity)
-		mon.app.AppendProbe(rec)
+		s.logProbe(mon, rec)
 		s.stats.ODRejections++
 		s.rstats(mon.id.Region()).ODRejections++
 		s.onODRejection(mon, now, ctx)
@@ -171,7 +171,7 @@ func (s *Service) spotProbe(mon *marketMon, now time.Time, ctx probeContext) {
 		if terr := s.prov.TerminateInstance(req.Instance); terr != nil {
 			s.stats.QuotaSkips++
 		}
-		mon.app.AppendProbe(rec)
+		s.logProbe(mon, rec)
 		if mon.spotOutage {
 			s.closeSpotOutage(mon)
 		}
@@ -180,7 +180,7 @@ func (s *Service) spotProbe(mon *marketMon, now time.Time, ctx probeContext) {
 		rec.Cost = 0
 		rec.Rejected = true
 		rec.Code = req.State.String()
-		mon.app.AppendProbe(rec)
+		s.logProbe(mon, rec)
 		s.stats.SpotRejections++
 		s.rstats(mon.id.Region()).SpotRejections++
 		s.onSpotRejection(mon, req, now, ctx)
@@ -190,7 +190,7 @@ func (s *Service) spotProbe(mon *marketMon, now time.Time, ctx probeContext) {
 		s.budget.refund(cost)
 		rec.Cost = 0
 		rec.Code = req.State.String()
-		mon.app.AppendProbe(rec)
+		s.logProbe(mon, rec)
 		_ = s.prov.CancelSpotRequest(req.ID)
 		if mon.spotOutage {
 			s.closeSpotOutage(mon)
@@ -259,7 +259,7 @@ func (s *Service) handleHeldView(mon *marketMon, req cloud.SpotRequest, now time
 		// Still out; the hold keeps waiting. Record the observation.
 		rec.Rejected = true
 		rec.Code = req.State.String()
-		mon.app.AppendProbe(rec)
+		s.logProbe(mon, rec)
 	case cloud.SpotFulfilled:
 		if s.budget.allow(now, req.Bid) {
 			rec.Cost = req.Bid
@@ -267,13 +267,13 @@ func (s *Service) handleHeldView(mon *marketMon, req cloud.SpotRequest, now time
 		if terr := s.prov.TerminateInstance(req.Instance); terr != nil {
 			s.stats.QuotaSkips++
 		}
-		mon.app.AppendProbe(rec)
+		s.logProbe(mon, rec)
 		s.releaseHold(mon)
 		s.closeSpotOutage(mon)
 	default:
 		// price-too-low etc.: capacity came back at a different price.
 		rec.Code = req.State.String()
-		mon.app.AppendProbe(rec)
+		s.logProbe(mon, rec)
 		_ = s.prov.CancelSpotRequest(req.ID)
 		s.releaseHold(mon)
 		s.closeSpotOutage(mon)

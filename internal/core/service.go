@@ -37,6 +37,10 @@ type marketMon struct {
 	// app writes straight to this market's store shard, skipping the
 	// store-level shard lookup on every ingested record.
 	app *store.Appender
+	// pending buffers the tick's probe records; OnTick flushes them in one
+	// batched append per market (see Service.flushProbes). The slice's
+	// capacity is reused across ticks.
+	pending []store.ProbeRecord
 
 	lastSample        time.Time
 	lastRecordedPrice float64
@@ -91,6 +95,10 @@ type Service struct {
 	lastTick time.Time
 	stats    Counters
 	regional map[market.Region]*Counters
+
+	// dirtyMons lists the monitors holding buffered probe records this
+	// tick, in first-write order; reused across ticks.
+	dirtyMons []*marketMon
 }
 
 // New builds a SpotLight service over the provider, logging into db.
@@ -224,6 +232,33 @@ func (s *Service) OnTick() {
 	s.runPeriodicODProbes(now, dt)
 	s.runBidSpreads(now)
 	s.runRevocationWatch(now)
+	s.flushProbes()
+}
+
+// logProbe buffers one probe record on its market's monitor instead of
+// appending it immediately: a tick that touches a market several times
+// (spike probe, cross probe, related fan-out, recheck) then pays one shard
+// lock round and one rollup publish for the market, not one per record.
+// The policy code never reads probe state back from the store mid-tick —
+// its decisions run on the monitors' own flags — so deferring the append
+// to the end of the tick is invisible to the probing logic.
+func (s *Service) logProbe(mon *marketMon, rec store.ProbeRecord) {
+	if len(mon.pending) == 0 {
+		s.dirtyMons = append(s.dirtyMons, mon)
+	}
+	mon.pending = append(mon.pending, rec)
+}
+
+// flushProbes appends every monitor's buffered probe records through its
+// bound Appender in one batch per market, preserving within-market order
+// (the store's outage derivation depends on it). Buffers keep their
+// capacity for the next tick.
+func (s *Service) flushProbes() {
+	for _, mon := range s.dirtyMons {
+		mon.app.AppendProbes(mon.pending)
+		mon.pending = mon.pending[:0]
+	}
+	s.dirtyMons = s.dirtyMons[:0]
 }
 
 // scanRegion pulls the region's price snapshot, records prices, and

@@ -62,6 +62,29 @@ func (c *resultCache) put(key string, gen uint64, val any) {
 	c.entries[key] = cacheEntry{gen: gen, val: val}
 }
 
+// memoize serves key from the cache when it is valid at gen, and
+// otherwise computes, stores, and returns the value. It owns the one
+// ordering rule every cached query must respect: the caller reads the
+// scope generation *before* calling (gen is a parameter), compute runs
+// after, so an append racing the computation leaves the entry keyed at
+// the older generation and the next lookup recomputes instead of serving
+// stale data. A nil cache just computes.
+func memoize[T any](c *resultCache, key string, gen uint64, compute func() (T, error)) (T, error) {
+	if c == nil {
+		return compute()
+	}
+	if v, ok := c.get(key, gen); ok {
+		return v.(T), nil
+	}
+	val, err := compute()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	c.put(key, gen, val)
+	return val, nil
+}
+
 // demoteHit reclassifies the caller's last get from hit to miss, for
 // entries with a secondary validity condition the cache cannot see (the
 // summary slot's clock instant): the generations matched but the caller

@@ -108,6 +108,121 @@ func TestSummaryCacheGeneration(t *testing.T) {
 	}
 }
 
+// TestVolatileCachePerShardInvalidation: the volatility ranking reuses a
+// cached result across out-of-scope appends and recomputes — including the
+// revocation enrichment — after an in-scope append of any record kind.
+func TestVolatileCachePerShardInvalidation(t *testing.T) {
+	e, db := seededEngine(t)
+	db.AppendSpike(store.SpikeEvent{At: t0.Add(time.Hour), Market: mktA, Ratio: 2})
+	from, to := t0, t0.Add(24*time.Hour)
+
+	query := func() []VolatileMarket {
+		t.Helper()
+		rows, err := e.TopVolatileMarkets("us-east-1", "", 10, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	first := query()
+	second := query()
+	if hits, misses := e.CacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("volatile hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	if &first[0] != &second[0] {
+		t.Errorf("repeat returned a different slice — cache missed")
+	}
+
+	// Out-of-scope append keeps the entry valid.
+	db.AppendSpike(store.SpikeEvent{At: t0.Add(2 * time.Hour), Market: mktEU, Ratio: 3})
+	query()
+	if hits, _ := e.CacheStats(); hits != 2 {
+		t.Errorf("out-of-scope append invalidated the volatile cache")
+	}
+
+	// An in-scope revocation invalidates, and the recomputation carries it.
+	db.AppendRevocation(store.RevocationRecord{At: t0.Add(3 * time.Hour), Market: mktA, Bid: 1, Held: 2 * time.Hour})
+	third := query()
+	if hits, misses := e.CacheStats(); hits != 2 || misses != 2 {
+		t.Errorf("in-scope revocation: hits/misses = %d/%d, want 2/2", hits, misses)
+	}
+	if len(third) == 0 || third[0].Market != mktA || third[0].Watches != 1 || third[0].MeanHeld != 2*time.Hour {
+		t.Errorf("recomputed volatile row = %+v, want mktA with one 2h watch", third)
+	}
+}
+
+// TestUnavailabilityCachePerMarket: per-market unavailability is keyed by
+// the market's own shard generation — appends to other markets leave it
+// cached; an append to the market invalidates it.
+func TestUnavailabilityCachePerMarket(t *testing.T) {
+	e, db := seededEngine(t)
+	addOutage(db, mktA, store.ProbeOnDemand, t0, t0.Add(6*time.Hour))
+	from, to := t0, t0.Add(24*time.Hour)
+
+	for i := 0; i < 2; i++ {
+		if _, err := e.ODUnavailability(mktA, from, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := e.CacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("unavailability hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+
+	// A different market or contract kind is a different key.
+	if _, err := e.SpotUnavailability(mktA, from, to); err != nil {
+		t.Fatal(err)
+	}
+	db.AppendProbe(store.ProbeRecord{At: t0.Add(8 * time.Hour), Market: mktB, Kind: store.ProbeOnDemand})
+	if _, err := e.ODUnavailability(mktA, from, to); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := e.CacheStats(); hits != 2 {
+		t.Errorf("append to another market invalidated the entry")
+	}
+
+	// Closing the outage earlier via a new in-market append changes the
+	// answer; the stale fraction must not be served.
+	db.AppendProbe(store.ProbeRecord{At: t0.Add(12 * time.Hour), Market: mktA, Kind: store.ProbeOnDemand, Rejected: true, Code: "x"})
+	got, err := e.ODUnavailability(mktA, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0.25 {
+		t.Errorf("recomputed unavailability = %v, want > 0.25 after the new outage", got)
+	}
+}
+
+// TestPriceSummaryCache: windowed price stats cache per market generation
+// and recompute after a price append.
+func TestPriceSummaryCache(t *testing.T) {
+	e, db := seededEngine(t)
+	db.RecordPrice(mktA, store.PricePoint{At: t0.Add(time.Hour), Price: 2})
+	db.RecordPrice(mktA, store.PricePoint{At: t0.Add(2 * time.Hour), Price: 4})
+	from, to := t0, t0.Add(24*time.Hour)
+
+	st, err := e.PriceSummary(mktA, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 2 || st.Min != 2 || st.Max != 4 || st.Mean != 3 {
+		t.Fatalf("price summary = %+v, want 2 samples min=2 mean=3 max=4", st)
+	}
+	if _, err := e.PriceSummary(mktA, from, to); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.CacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("price summary hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	db.RecordPrice(mktA, store.PricePoint{At: t0.Add(3 * time.Hour), Price: 9})
+	st, err = e.PriceSummary(mktA, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 3 || st.Max != 9 {
+		t.Errorf("recomputed price summary = %+v, want 3 samples max=9", st)
+	}
+}
+
 // TestSetCachingDisables: with caching off the engine recomputes every
 // time and reports zero stats.
 func TestSetCachingDisables(t *testing.T) {

@@ -21,12 +21,15 @@ import (
 var ErrBadWindow = errors.New("query: to must be after from")
 
 // Engine answers availability queries from a SpotLight store. The
-// expensive multi-market queries (TopStableMarkets, Summary) are memoized
-// in a generation-keyed response cache: a result is reused until some
-// shard in the query's scope sees an append, so repeated dashboard-style
-// queries cost a scope-generation walk plus a map lookup instead of a
-// recomputation. Cached results are shared between callers — treat the
-// returned slices as read-only.
+// cacheable queries — the rankings (TopStableMarkets, TopVolatileMarkets),
+// Summary, per-market unavailability, and windowed price summaries — are
+// memoized in a generation-keyed response cache: a result is reused until
+// some shard in the query's scope sees an append. Scope generations come
+// from the store's rollup hierarchy (GenerationOfScope), so a cache probe
+// is O(1) instead of a walk over every shard, and Summary itself reads the
+// O(regions) rollup aggregates rather than folding per-market state.
+// Cached results are shared between callers — treat the returned slices as
+// read-only.
 type Engine struct {
 	db    *store.Store
 	cat   *market.Catalog
@@ -78,6 +81,8 @@ func scopeKeep(region market.Region, product market.Product) func(market.SpotID)
 // unavailability computes the fraction of [from, to] covered by detected
 // outages of the given contract kind. The window arithmetic runs inside
 // the market's shard (store.OutageOverlap): no interval list is copied.
+// This is the uncached path; the ranking loops use it directly so a
+// thousand per-market folds don't churn the response cache.
 func (e *Engine) unavailability(m market.SpotID, kind store.ProbeKind, from, to time.Time) (float64, error) {
 	if !to.After(from) {
 		return 0, ErrBadWindow
@@ -86,16 +91,32 @@ func (e *Engine) unavailability(m market.SpotID, kind store.ProbeKind, from, to 
 	return float64(total) / float64(to.Sub(from)), nil
 }
 
+// cachedUnavailability memoizes one market's unavailability per (market,
+// kind, window) keyed by the market's own shard generation — appends to
+// any other market leave the entry valid.
+func (e *Engine) cachedUnavailability(m market.SpotID, kind store.ProbeKind, from, to time.Time) (float64, error) {
+	if e.cache == nil {
+		return e.unavailability(m, kind, from, to)
+	}
+	gen := e.db.Generation(m)
+	key := fmt.Sprintf("unav|%s|%d|%d|%d", m, kind, from.UnixNano(), to.UnixNano())
+	return memoize(e.cache, key, gen, func() (float64, error) {
+		return e.unavailability(m, kind, from, to)
+	})
+}
+
 // ODUnavailability returns the fraction of the window during which the
-// market's on-demand tier was detected unavailable.
+// market's on-demand tier was detected unavailable. Results are cached per
+// (market, window) until the market's shard sees an append.
 func (e *Engine) ODUnavailability(m market.SpotID, from, to time.Time) (float64, error) {
-	return e.unavailability(m, store.ProbeOnDemand, from, to)
+	return e.cachedUnavailability(m, store.ProbeOnDemand, from, to)
 }
 
 // SpotUnavailability returns the fraction of the window during which the
-// market's spot tier was detected capacity-not-available.
+// market's spot tier was detected capacity-not-available. Cached like
+// ODUnavailability.
 func (e *Engine) SpotUnavailability(m market.SpotID, from, to time.Time) (float64, error) {
-	return e.unavailability(m, store.ProbeSpot, from, to)
+	return e.cachedUnavailability(m, store.ProbeSpot, from, to)
 }
 
 // StableMarket is one row of a stability ranking.
@@ -128,20 +149,24 @@ func (e *Engine) TopStableMarkets(region market.Region, product market.Product, 
 	if n <= 0 {
 		return nil, nil
 	}
-	keep := scopeKeep(region, product)
-	var key string
-	var gen uint64
-	if e.cache != nil {
-		// Generation first, result second: an append racing the
-		// computation leaves the entry keyed at the older generation, so
-		// the next lookup recomputes rather than serving stale data.
-		gen = e.db.ScopeGeneration(keep)
-		key = fmt.Sprintf("stable|%s|%s|%d|%d|%d", region, product, n, from.UnixNano(), to.UnixNano())
-		if v, ok := e.cache.get(key, gen); ok {
-			return v.([]StableMarket), nil
-		}
+	if e.cache == nil {
+		return e.computeStableMarkets(region, product, n, from, to)
 	}
-	crossings := e.db.SpikeCrossingsWhere(from, to, keep)
+	// The generation is the scope's rollup counter — an O(1) load, not a
+	// shard walk; memoize owns the generation-first ordering.
+	gen := e.db.GenerationOfScope(region, product)
+	key := fmt.Sprintf("stable|%s|%s|%d|%d|%d", region, product, n, from.UnixNano(), to.UnixNano())
+	return memoize(e.cache, key, gen, func() ([]StableMarket, error) {
+		return e.computeStableMarkets(region, product, n, from, to)
+	})
+}
+
+// computeStableMarkets is the uncached stability ranking. It is a named
+// method rather than a closure inside TopStableMarkets so the sort
+// comparator stays inlinable — the Market.String() tie-break would heap-
+// allocate on every comparison from inside a nested closure.
+func (e *Engine) computeStableMarkets(region market.Region, product market.Product, n int, from, to time.Time) ([]StableMarket, error) {
+	crossings := e.db.SpikeCrossingsWhere(from, to, scopeKeep(region, product))
 	window := to.Sub(from)
 	var rows []StableMarket
 	for _, id := range e.cat.SpotMarkets() {
@@ -152,7 +177,7 @@ func (e *Engine) TopStableMarkets(region market.Region, product market.Product, 
 			continue
 		}
 		c := crossings[id].Crossings
-		unav, err := e.ODUnavailability(id, from, to)
+		unav, err := e.unavailability(id, store.ProbeOnDemand, from, to)
 		if err != nil {
 			return nil, err
 		}
@@ -174,9 +199,6 @@ func (e *Engine) TopStableMarkets(region market.Region, product market.Product, 
 	})
 	if len(rows) > n {
 		rows = rows[:n]
-	}
-	if e.cache != nil {
-		e.cache.put(key, gen, rows)
 	}
 	return rows, nil
 }
@@ -205,7 +227,7 @@ func (e *Engine) RecommendFallback(m market.SpotID, n int, from, to time.Time) (
 	}
 	var rows []Fallback
 	for _, cand := range e.cat.UncorrelatedCandidates(m) {
-		unav, err := e.ODUnavailability(cand, from, to)
+		unav, err := e.unavailability(cand, store.ProbeOnDemand, from, to)
 		if err != nil {
 			return nil, err
 		}
@@ -248,11 +270,12 @@ type RegionSummary struct {
 }
 
 // Summary aggregates the store per region at instant now (used to close
-// ongoing outages). It folds the per-market shard aggregates — one O(markets)
-// walk instead of rescanning every probe, spike, and outage record — and
-// memoizes the fold per (now, global generation): repeated summary queries
-// between appends (and between ticks of the service clock) are a cache
-// hit. The returned slice is shared — do not modify it.
+// ongoing outages). It reads the store's region-level rollups — O(regions)
+// entries maintained incrementally on the append path, so no market shard
+// is walked at all — and memoizes the result per (now, global generation):
+// repeated summary queries between appends (and between ticks of the
+// service clock) are a cache hit. The returned slice is shared — do not
+// modify it.
 func (e *Engine) Summary(now time.Time) []RegionSummary {
 	// The summary depends on `now` (open outages are measured to it), so
 	// a cached fold is only valid at the exact instant it was computed —
@@ -263,7 +286,7 @@ func (e *Engine) Summary(now time.Time) []RegionSummary {
 	// queries within one instant hit.
 	var gen uint64
 	if e.cache != nil {
-		gen = e.db.ScopeGeneration(nil)
+		gen = e.db.GlobalGeneration()
 		if v, ok := e.cache.get("summary", gen); ok {
 			if se := v.(summarySlot); se.now.Equal(now) {
 				return se.rows
@@ -271,43 +294,29 @@ func (e *Engine) Summary(now time.Time) []RegionSummary {
 			e.cache.demoteHit() // same generation, different instant
 		}
 	}
-	byRegion := make(map[market.Region]*RegionSummary)
-	get := func(r market.Region) *RegionSummary {
-		s, ok := byRegion[r]
-		if !ok {
-			s = &RegionSummary{Region: r}
-			byRegion[r] = s
-		}
-		return s
-	}
-	odDur := make(map[market.Region]time.Duration)
-	for _, agg := range e.db.Aggregates(now) {
-		if agg.TotalProbes == 0 && agg.Spikes == 0 {
-			continue // markets with only price/bid-spread/revocation history
-		}
-		region := agg.Market.Region()
-		s := get(region)
-		s.ODOutages += agg.ODOutages
-		s.SpotOutages += agg.SpotOutages
-		odDur[region] += agg.ODOutageDur
-		s.TotalODProbes += agg.ODProbes
-		s.RejectedODProbes += agg.ODRejected
-		s.TotalSpotProbes += agg.SpotProbes
-		s.RejectedSpotPcnt += float64(agg.SpotRejected) // count; normalized below
-		s.ObservedSpikesAll += agg.Spikes
-		s.SpikesAboveOD += agg.SpikesAboveOD
-	}
 	var out []RegionSummary
-	for r, s := range byRegion {
-		if s.ODOutages > 0 {
-			s.MeanODOutage = odDur[r] / time.Duration(s.ODOutages)
+	for _, agg := range e.db.RegionAggregates(now) {
+		if agg.TotalProbes == 0 && agg.Spikes == 0 {
+			continue // regions with only price/bid-spread/revocation history
 		}
-		if s.TotalSpotProbes > 0 {
-			s.RejectedSpotPcnt = s.RejectedSpotPcnt / float64(s.TotalSpotProbes)
+		s := RegionSummary{
+			Region:            agg.Region,
+			ODOutages:         agg.ODOutages,
+			SpotOutages:       agg.SpotOutages,
+			RejectedODProbes:  agg.ODRejected,
+			TotalODProbes:     agg.ODProbes,
+			TotalSpotProbes:   agg.SpotProbes,
+			SpikesAboveOD:     agg.SpikesAboveOD,
+			ObservedSpikesAll: agg.Spikes,
 		}
-		out = append(out, *s)
+		if agg.ODOutages > 0 {
+			s.MeanODOutage = agg.ODOutageDur / time.Duration(agg.ODOutages)
+		}
+		if agg.SpotProbes > 0 {
+			s.RejectedSpotPcnt = float64(agg.SpotRejected) / float64(agg.SpotProbes)
+		}
+		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
 	if e.cache != nil {
 		e.cache.put("summary", gen, summarySlot{now: now, rows: out})
 	}
@@ -414,27 +423,21 @@ func (e *Engine) Prices(m market.SpotID, from, to time.Time) ([]store.PricePoint
 }
 
 // PriceSummary computes min/mean/max of the recorded series in a window.
+// The fold runs inside the market's shard (store.PriceStatsIn) — no copy
+// of the series is allocated — and the result is cached per (market,
+// window) until the market's shard sees an append.
 func (e *Engine) PriceSummary(m market.SpotID, from, to time.Time) (PriceStats, error) {
-	pts, err := e.Prices(m, from, to)
-	if err != nil {
-		return PriceStats{}, err
+	if !to.After(from) {
+		return PriceStats{}, ErrBadWindow
 	}
-	st := PriceStats{Market: m, Samples: len(pts)}
-	if len(pts) == 0 {
-		return st, nil
+	compute := func() (PriceStats, error) {
+		w := e.db.PriceStatsIn(m, from, to)
+		return PriceStats{Market: m, Samples: w.Samples, Min: w.Min, Mean: w.Mean, Max: w.Max}, nil
 	}
-	st.Min = pts[0].Price
-	st.Max = pts[0].Price
-	sum := 0.0
-	for _, p := range pts {
-		if p.Price < st.Min {
-			st.Min = p.Price
-		}
-		if p.Price > st.Max {
-			st.Max = p.Price
-		}
-		sum += p.Price
+	if e.cache == nil {
+		return compute()
 	}
-	st.Mean = sum / float64(len(pts))
-	return st, nil
+	gen := e.db.Generation(m)
+	key := fmt.Sprintf("pricesum|%s|%d|%d", m, from.UnixNano(), to.UnixNano())
+	return memoize(e.cache, key, gen, compute)
 }

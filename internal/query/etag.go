@@ -1,0 +1,105 @@
+package query
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/pkg/api"
+)
+
+// HTTP conditional requests: every successful query response carries an
+// ETag derived from the query spec and the store generation of the scope
+// the answer reads. A client that replays the query with If-None-Match
+// gets 304 Not Modified — no recomputation, no body — until an append
+// lands inside the scope (or, for clock-dependent queries, the service
+// clock moves). The generation lookups come from the store's rollup
+// hierarchy, so validating a request is O(1) regardless of how many
+// markets the query would touch.
+
+// queryScopeGen returns the append generation of the shards one query's
+// answer can depend on, at the narrowest rollup granularity that is still
+// sound. Malformed market IDs yield generation 0 — deterministic, and the
+// execution path rejects the spec with the same error every time.
+func (a *API) queryScopeGen(q api.Query) uint64 {
+	db := a.engine.db
+	switch q.Kind {
+	case api.KindUnavailability, api.KindPrices, api.KindOutages, api.KindReservedValue:
+		id, err := market.ParseSpotID(q.Market)
+		if err != nil {
+			return 0
+		}
+		return db.Generation(id)
+	case api.KindStable, api.KindVolatile:
+		return db.GenerationOfScope(market.Region(q.Region), market.Product(q.Product))
+	case api.KindFallback:
+		// Fallback candidates come from the market's own region.
+		id, err := market.ParseSpotID(q.Market)
+		if err != nil {
+			return 0
+		}
+		return db.GenerationOfScope(id.Region(), "")
+	case api.KindPredict:
+		// The predictor backs off to region- and global-level history when
+		// the market's own sample is thin, so its scope is the store.
+		return db.GlobalGeneration()
+	case api.KindSummary:
+		return db.GlobalGeneration()
+	case api.KindMarkets:
+		// Catalog-only: immutable for the life of the process.
+		return 0
+	default:
+		return 0
+	}
+}
+
+// dependsOnNow reports whether the query's answer changes with the
+// service clock even when no append lands: relative windows resolve
+// against now, and the summary measures open outages to now.
+func dependsOnNow(q api.Query) bool {
+	return q.Kind == api.KindSummary || q.Rel != ""
+}
+
+// etagFor computes the strong ETag of a query set evaluated at service
+// clock now: an FNV-64a hash over the process boot epoch, every spec's
+// parameters and scope generation, plus the clock when any spec depends
+// on it. Within one process, identical specs against an unchanged scope
+// (and unchanged clock, where it matters) produce the identical tag;
+// across restarts the epoch salt retires every outstanding tag, because
+// generations are record counts that restart from zero.
+func (a *API) etagFor(qs []api.Query, now time.Time) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "epoch|%d\n", a.epoch)
+	clockBound := false
+	for _, q := range qs {
+		fmt.Fprintf(h, "%s|%s|%s|%s|%s|%d|%g|%s|%g|%d|%d|%s|%d\n",
+			q.Kind, q.Market, q.Region, q.Product, q.Contract, q.N,
+			q.Ratio, q.Horizon, q.Utilization,
+			q.From.UnixNano(), q.To.UnixNano(), q.Rel,
+			a.queryScopeGen(q))
+		clockBound = clockBound || dependsOnNow(q)
+	}
+	if clockBound {
+		fmt.Fprintf(h, "now|%d", now.UnixNano())
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// etagMatches implements If-None-Match against one strong ETag: a
+// comma-separated candidate list, each compared after trimming and
+// ignoring a weak-validator prefix, with "*" matching anything.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}

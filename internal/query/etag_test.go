@@ -1,0 +1,308 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+	"spotlight/pkg/api"
+)
+
+// getWithETag issues a GET with an optional If-None-Match header.
+func getWithETag(t *testing.T, srv *httptest.Server, path string, q url.Values, etag string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, srv.URL+path+"?"+q.Encode(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag != "" {
+		req.Header.Set(api.HeaderIfNoneMatch, etag)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestConditionalV1 drives every cacheable v1 endpoint through the
+// conditional-request contract: a 200 carries an ETag, replaying it
+// yields 304, out-of-scope appends keep it valid, and an in-scope append
+// rotates the tag.
+func TestConditionalV1(t *testing.T) {
+	cases := []struct {
+		name   string
+		path   string
+		params func() url.Values
+		// inScope appends a record the query's scope can observe;
+		// outScope appends one it cannot. Either may be nil when the
+		// endpoint has no such append (the catalog is immutable).
+		inScope  func(db *store.Store)
+		outScope func(db *store.Store)
+	}{
+		{
+			name: "stable",
+			path: "/v1/stable",
+			params: func() url.Values {
+				q := window()
+				q.Set("region", "us-east-1")
+				return q
+			},
+			inScope: func(db *store.Store) {
+				db.AppendSpike(store.SpikeEvent{At: t0.Add(3 * time.Hour), Market: mktA, Ratio: 2})
+			},
+			outScope: func(db *store.Store) {
+				db.AppendSpike(store.SpikeEvent{At: t0.Add(3 * time.Hour), Market: mktEU, Ratio: 2})
+			},
+		},
+		{
+			name: "volatile",
+			path: "/v1/volatile",
+			params: func() url.Values {
+				q := window()
+				q.Set("region", "us-east-1")
+				return q
+			},
+			inScope: func(db *store.Store) {
+				db.AppendRevocation(store.RevocationRecord{At: t0.Add(time.Hour), Market: mktA, Bid: 1, Held: time.Hour})
+			},
+			outScope: func(db *store.Store) {
+				db.AppendRevocation(store.RevocationRecord{At: t0.Add(time.Hour), Market: mktEU, Bid: 1, Held: time.Hour})
+			},
+		},
+		{
+			name: "unavailability",
+			path: "/v1/unavailability",
+			params: func() url.Values {
+				q := window()
+				q.Set("market", mktA.String())
+				return q
+			},
+			inScope: func(db *store.Store) {
+				db.AppendProbe(store.ProbeRecord{At: t0.Add(2 * time.Hour), Market: mktA, Kind: store.ProbeOnDemand})
+			},
+			outScope: func(db *store.Store) {
+				db.AppendProbe(store.ProbeRecord{At: t0.Add(2 * time.Hour), Market: mktB, Kind: store.ProbeOnDemand})
+			},
+		},
+		{
+			name: "prices",
+			path: "/v1/prices",
+			params: func() url.Values {
+				q := window()
+				q.Set("market", mktA.String())
+				return q
+			},
+			inScope: func(db *store.Store) {
+				db.RecordPrice(mktA, store.PricePoint{At: t0.Add(time.Hour), Price: 1})
+			},
+			outScope: func(db *store.Store) {
+				db.RecordPrice(mktB, store.PricePoint{At: t0.Add(time.Hour), Price: 1})
+			},
+		},
+		{
+			name:   "summary",
+			path:   "/v1/summary",
+			params: func() url.Values { return url.Values{} },
+			// The summary's scope is the whole store: every append is in
+			// scope.
+			inScope: func(db *store.Store) {
+				db.AppendProbe(store.ProbeRecord{At: t0.Add(2 * time.Hour), Market: mktEU, Kind: store.ProbeOnDemand})
+			},
+		},
+		{
+			name:   "markets",
+			path:   "/v1/markets",
+			params: func() url.Values { return url.Values{} },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, db := testServer(t)
+			addOutage(db, mktA, store.ProbeOnDemand, t0, t0.Add(6*time.Hour))
+
+			first := getWithETag(t, srv, tc.path, tc.params(), "")
+			if first.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d, want 200", first.StatusCode)
+			}
+			etag := first.Header.Get(api.HeaderETag)
+			if etag == "" {
+				t.Fatal("200 response carries no ETag")
+			}
+
+			// Replaying the tag revalidates without a body.
+			resp := getWithETag(t, srv, tc.path, tc.params(), etag)
+			if resp.StatusCode != http.StatusNotModified {
+				t.Fatalf("replay status = %d, want 304", resp.StatusCode)
+			}
+			if got := resp.Header.Get(api.HeaderETag); got != etag {
+				t.Errorf("304 ETag = %s, want %s", got, etag)
+			}
+
+			if tc.outScope != nil {
+				tc.outScope(db)
+				if resp := getWithETag(t, srv, tc.path, tc.params(), etag); resp.StatusCode != http.StatusNotModified {
+					t.Errorf("out-of-scope append: status = %d, want 304", resp.StatusCode)
+				}
+			}
+			if tc.inScope != nil {
+				tc.inScope(db)
+				resp := getWithETag(t, srv, tc.path, tc.params(), etag)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("in-scope append: status = %d, want 200", resp.StatusCode)
+				}
+				if fresh := resp.Header.Get(api.HeaderETag); fresh == "" || fresh == etag {
+					t.Errorf("in-scope append: ETag %q did not rotate from %q", fresh, etag)
+				}
+			}
+		})
+	}
+}
+
+// TestConditionalV1ErrorNoETag: error envelopes carry no validator.
+func TestConditionalV1ErrorNoETag(t *testing.T) {
+	srv, _ := testServer(t)
+	q := window()
+	q.Set("market", "not-a-market")
+	resp := getWithETag(t, srv, "/v1/unavailability", q, "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if etag := resp.Header.Get(api.HeaderETag); etag != "" {
+		t.Errorf("error response carries ETag %q", etag)
+	}
+}
+
+// TestConditionalV1RelativeWindowClockBound: a relative window binds the
+// tag to the service clock — same store, advanced clock, different tag —
+// while an absolute window's tag survives the clock change.
+func TestConditionalV1RelativeWindowClockBound(t *testing.T) {
+	db := store.New()
+	now := t0.Add(24 * time.Hour)
+	a := NewAPI(NewEngine(db, market.New()), func() time.Time { return now })
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(srv.Close)
+	addOutage(db, mktA, store.ProbeOnDemand, t0, t0.Add(6*time.Hour))
+
+	rel := url.Values{"market": {mktA.String()}, "window": {"24h"}}
+	abs := window()
+	abs.Set("market", mktA.String())
+
+	relResp := getWithETag(t, srv, "/v1/unavailability", rel, "")
+	absResp := getWithETag(t, srv, "/v1/unavailability", abs, "")
+	relTag, absTag := relResp.Header.Get(api.HeaderETag), absResp.Header.Get(api.HeaderETag)
+
+	now = now.Add(time.Hour) // the service clock ticks; no append
+	if resp := getWithETag(t, srv, "/v1/unavailability", rel, relTag); resp.StatusCode != http.StatusOK {
+		t.Errorf("relative window after clock tick: status = %d, want 200 (tag must rotate)", resp.StatusCode)
+	}
+	if resp := getWithETag(t, srv, "/v1/unavailability", abs, absTag); resp.StatusCode != http.StatusNotModified {
+		t.Errorf("absolute window after clock tick: status = %d, want 304", resp.StatusCode)
+	}
+}
+
+// postBatchETag posts a v2 batch with an optional If-None-Match header
+// and returns the raw response (body drained and closed).
+func postBatchETag(t *testing.T, srv *httptest.Server, reqBody api.BatchRequest, etag string) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(reqBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v2/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if etag != "" {
+		req.Header.Set(api.HeaderIfNoneMatch, etag)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestConditionalV2Batch: the batch envelope revalidates as one unit —
+// 304 while every spec's scope is unchanged, full response with a rotated
+// tag once any spec's scope sees an append.
+func TestConditionalV2Batch(t *testing.T) {
+	srv, db := testServer(t)
+	addOutage(db, mktA, store.ProbeOnDemand, t0, t0.Add(6*time.Hour))
+
+	batch := api.BatchRequest{Queries: []api.Query{
+		{Kind: api.KindStable, Region: "us-east-1", Window: api.Between(t0, t0.Add(24*time.Hour))},
+		{Kind: api.KindUnavailability, Market: mktA.String(), Window: api.Between(t0, t0.Add(24*time.Hour))},
+	}}
+
+	first, body := postBatchETag(t, srv, batch, "")
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d body=%s", first.StatusCode, body)
+	}
+	etag := first.Header.Get(api.HeaderETag)
+	if etag == "" {
+		t.Fatal("batch 200 carries no ETag")
+	}
+
+	resp, body := postBatchETag(t, srv, batch, etag)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("replay status = %d, want 304", resp.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Errorf("304 carried a body: %q", body)
+	}
+
+	// Out-of-scope append: both specs read us-east-1 only.
+	db.AppendSpike(store.SpikeEvent{At: t0.Add(time.Hour), Market: mktEU, Ratio: 2})
+	if resp, _ := postBatchETag(t, srv, batch, etag); resp.StatusCode != http.StatusNotModified {
+		t.Errorf("out-of-scope append: status = %d, want 304", resp.StatusCode)
+	}
+
+	// An append inside either spec's scope rotates the batch tag.
+	db.AppendProbe(store.ProbeRecord{At: t0.Add(7 * time.Hour), Market: mktA, Kind: store.ProbeOnDemand})
+	resp, body = postBatchETag(t, srv, batch, etag)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-scope append: status = %d, want 200", resp.StatusCode)
+	}
+	if fresh := resp.Header.Get(api.HeaderETag); fresh == etag || fresh == "" {
+		t.Errorf("in-scope append: batch ETag %q did not rotate", fresh)
+	}
+	var decoded api.BatchResponse
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(decoded.Results))
+	}
+}
+
+// TestETagMatches covers the If-None-Match list syntax.
+func TestETagMatches(t *testing.T) {
+	cases := []struct {
+		header, etag string
+		want         bool
+	}{
+		{``, `"abc"`, false},
+		{`"abc"`, `"abc"`, true},
+		{`"xyz"`, `"abc"`, false},
+		{`"xyz", "abc"`, `"abc"`, true},
+		{`W/"abc"`, `"abc"`, true},
+		{`*`, `"abc"`, true},
+	}
+	for _, tc := range cases {
+		if got := etagMatches(tc.header, tc.etag); got != tc.want {
+			t.Errorf("etagMatches(%q, %q) = %v, want %v", tc.header, tc.etag, got, tc.want)
+		}
+	}
+}

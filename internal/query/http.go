@@ -42,6 +42,12 @@ type API struct {
 	// aggregate at and relative windows resolve against. The daemon wires
 	// it to the simulation clock.
 	Now func() time.Time
+	// epoch salts every ETag with this process's boot instant. Scope
+	// generations are record counts that restart from zero with the
+	// process, so without the salt a restarted service whose scope
+	// happens to reach the same count would answer 304 to a tag minted
+	// against different data.
+	epoch int64
 }
 
 // NewAPI builds the HTTP layer over an engine.
@@ -49,7 +55,7 @@ func NewAPI(engine *Engine, now func() time.Time) *API {
 	if now == nil {
 		now = time.Now
 	}
-	return &API{engine: engine, Now: now}
+	return &API{engine: engine, Now: now, epoch: time.Now().UnixNano()}
 }
 
 // Handler returns the routed HTTP handler.
@@ -70,15 +76,24 @@ func (a *API) Handler() http.Handler {
 }
 
 // v1 adapts one query kind to a GET endpoint: parse the URL into the
-// typed spec, evaluate it on the shared exec path, and answer with the
-// kind's bare payload (v1 responses carry the result directly, without
-// the batch Result wrapper).
+// typed spec, revalidate against If-None-Match (the ETag is the query's
+// scope generation — a 304 costs no query execution at all), evaluate it
+// on the shared exec path, and answer with the kind's bare payload (v1
+// responses carry the result directly, without the batch Result wrapper).
 func (a *API) v1(kind api.Kind, pick func(api.Result) any) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		q, aerr := queryFromURL(r, kind)
 		if aerr == nil {
-			res := a.exec(q, a.Now())
+			now := a.Now()
+			etag := a.etagFor([]api.Query{q}, now)
+			if etagMatches(r.Header.Get(api.HeaderIfNoneMatch), etag) {
+				w.Header().Set(api.HeaderETag, etag)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			res := a.exec(q, now)
 			if res.Error == nil {
+				w.Header().Set(api.HeaderETag, etag)
 				writeJSON(w, pick(res))
 				return
 			}

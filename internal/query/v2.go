@@ -49,6 +49,18 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// request resolves against the same instant, and the response echoes
 	// it so clients can reproduce the absolute bounds.
 	now := a.Now()
+
+	// Batch revalidation: the envelope's ETag covers every spec's scope
+	// generation (plus the clock when any spec resolves against it), so an
+	// unchanged batch answers 304 without fanning out a single query. The
+	// echoed Now field is evaluation metadata and intentionally outside
+	// the tag: a 304 asserts the results are unchanged, not the clock.
+	etag := a.etagFor(req.Queries, now)
+	if etagMatches(r.Header.Get(api.HeaderIfNoneMatch), etag) {
+		w.Header().Set(api.HeaderETag, etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	resp := api.BatchResponse{Now: now, Results: make([]api.Result, len(req.Queries))}
 
 	// Fan out across the engine. Queries are read-only and the store is
@@ -65,6 +77,7 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i, q)
 	}
 	wg.Wait()
+	w.Header().Set(api.HeaderETag, etag)
 	writeJSON(w, resp)
 }
 

@@ -104,6 +104,28 @@ type shard struct {
 	openOutage [probeKinds]int
 
 	agg shardAgg
+
+	// rp and rg are the shard's (region, product) and region-level rollup
+	// entries, and storeGen the store's global generation counter; every
+	// append publishes its rollupDelta to all three. Wired once at shard
+	// creation, immutable afterwards.
+	rp, rg   *rollup
+	storeGen *atomic.Uint64
+}
+
+// publish folds an append batch's delta into the shard's rollup hierarchy.
+// Ordering carries the cache-consistency invariant: the generation
+// counters must only become visible once the state they count is
+// readable, otherwise a response cache could store a result computed
+// without this append under a generation that claims to include it. So
+// publish runs after the shard lock is released (shard records land
+// first), each rollup bumps its own counter after folding its aggregates
+// (rollup.apply), and the global counter — which vouches for every level
+// — bumps last.
+func (sh *shard) publish(d *rollupDelta) {
+	sh.rp.apply(d)
+	sh.rg.apply(d)
+	sh.storeGen.Add(d.records)
 }
 
 func newShard(id market.SpotID) *shard {
@@ -121,42 +143,52 @@ func newShard(id market.SpotID) *shard {
 }
 
 func (sh *shard) appendProbe(r ProbeRecord) {
+	var d rollupDelta
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sh.appendProbeLocked(r)
+	sh.appendProbeLocked(r, &d)
+	sh.mu.Unlock()
+	sh.publish(&d)
 }
 
 // appendProbes logs a batch of probes under one lock acquisition,
-// amortizing the lock and the cache-line traffic of the aggregate updates
-// across the batch (bulk loads, simulator replay).
+// amortizing the lock, the cache-line traffic of the aggregate updates,
+// and the rollup fold (one publish per batch) across the batch (bulk
+// loads, simulator replay, the monitor tick flush).
 func (sh *shard) appendProbes(rs []ProbeRecord) {
 	if len(rs) == 0 {
 		return
 	}
+	var d rollupDelta
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	for _, r := range rs {
-		sh.appendProbeLocked(r)
+		sh.appendProbeLocked(r, &d)
 	}
+	sh.mu.Unlock()
+	sh.publish(&d)
 }
 
-func (sh *shard) appendProbeLocked(r ProbeRecord) {
+func (sh *shard) appendProbeLocked(r ProbeRecord, d *rollupDelta) {
 	sh.gen.Add(1)
+	d.records++
 	if n := len(sh.probes); n > 0 && r.At.Before(sh.probes[n-1].At) {
 		sh.probesOrdered = false
 	}
 	sh.probes = append(sh.probes, r)
 	sh.agg.probeCount++
 	sh.agg.probeCost += r.Cost
+	d.probeCount++
+	d.probeCost += r.Cost
 
 	ki, ok := kindIndex(r.Kind)
 	if !ok {
 		return
 	}
-	ka := &sh.agg.byKind[ki]
+	ka, kd := &sh.agg.byKind[ki], &d.byKind[ki]
 	ka.probes++
+	kd.probes++
 	if r.Rejected {
 		ka.rejected++
+		kd.rejected++
 	}
 	switch {
 	case r.Rejected && sh.openOutage[ki] == 0:
@@ -169,18 +201,21 @@ func (sh *shard) appendProbeLocked(r ProbeRecord) {
 		sh.openOutage[ki] = len(sh.outages)
 		ka.outages++
 		ka.openOutageStart = r.At
+		kd.outages++
+		kd.openOutage(r.At)
 	case !r.Rejected && sh.openOutage[ki] != 0:
 		o := &sh.outages[sh.openOutage[ki]-1]
 		o.End = r.At
 		ka.closedOutageDur += o.End.Sub(o.Start)
 		ka.openOutageStart = time.Time{}
 		sh.openOutage[ki] = 0
+		kd.closeOutage(o.Start, o.End.Sub(o.Start))
 	}
 }
 
 func (sh *shard) appendSpike(e SpikeEvent) {
+	d := rollupDelta{records: 1, spikes: 1}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.gen.Add(1)
 	if n := len(sh.spikes); n > 0 && e.At.Before(sh.spikes[n-1].At) {
 		sh.spikesOrdered = false
@@ -193,7 +228,11 @@ func (sh *shard) appendSpike(e SpikeEvent) {
 		}
 		sh.crossings = append(sh.crossings, crossing{at: e.At, ratio: e.Ratio})
 		sh.agg.spikesAboveOD++
+		d.spikesAboveOD = 1
+		d.maxCrossRatio = e.Ratio
 	}
+	sh.mu.Unlock()
+	sh.publish(&d)
 }
 
 // crossing is one compact entry of the price-crossing index.
@@ -203,28 +242,34 @@ type crossing struct {
 }
 
 func (sh *shard) appendBidSpread(r BidSpreadRecord) {
+	d := rollupDelta{records: 1}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.gen.Add(1)
 	if n := len(sh.bidSpreads); n > 0 && r.At.Before(sh.bidSpreads[n-1].At) {
 		sh.bidSpreadsOrdered = false
 	}
 	sh.bidSpreads = append(sh.bidSpreads, r)
+	sh.mu.Unlock()
+	sh.publish(&d)
 }
 
 func (sh *shard) appendRevocation(r RevocationRecord) {
+	d := rollupDelta{records: 1}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.gen.Add(1)
 	if n := len(sh.revocations); n > 0 && r.At.Before(sh.revocations[n-1].At) {
 		sh.revocationsOrdered = false
 	}
 	sh.revocations = append(sh.revocations, r)
+	sh.mu.Unlock()
+	sh.publish(&d)
 }
 
 func (sh *shard) appendPrice(p PricePoint) {
+	var d rollupDelta
+	d.records = 1
+	d.price(p.Price)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.gen.Add(1)
 	if n := len(sh.prices); n > 0 && p.At.Before(sh.prices[n-1].At) {
 		sh.pricesOrdered = false
@@ -238,6 +283,8 @@ func (sh *shard) appendPrice(p PricePoint) {
 	if sh.agg.priceCount == 1 || p.Price > sh.agg.priceMax {
 		sh.agg.priceMax = p.Price
 	}
+	sh.mu.Unlock()
+	sh.publish(&d)
 }
 
 // windowBounds returns the half-open index range [lo, hi) of the elements
@@ -292,6 +339,38 @@ func (sh *shard) revocationsIn(dst []RevocationRecord, from, to time.Time) []Rev
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	return windowSlice(dst, sh.revocations, sh.revocationsOrdered, revocationAt, from, to)
+}
+
+// priceStats folds min/sum/max over the price points inside [from, to]
+// without copying the series: the windowed range is located by binary
+// search when ordered, and the fold runs under the shard's read lock.
+func (sh *shard) priceStats(from, to time.Time) (samples int, min, sum, max float64) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	fold := func(p PricePoint) {
+		if samples == 0 || p.Price < min {
+			min = p.Price
+		}
+		if samples == 0 || p.Price > max {
+			max = p.Price
+		}
+		samples++
+		sum += p.Price
+	}
+	if sh.pricesOrdered {
+		lo, hi := windowBounds(len(sh.prices), func(i int) time.Time { return sh.prices[i].At }, from, to)
+		for _, p := range sh.prices[lo:hi] {
+			fold(p)
+		}
+		return samples, min, sum, max
+	}
+	for _, p := range sh.prices {
+		if p.At.Before(from) || p.At.After(to) {
+			continue
+		}
+		fold(p)
+	}
+	return samples, min, sum, max
 }
 
 // crossingStats counts the on-demand price crossings inside [from, to] and

@@ -29,11 +29,21 @@
 // O(records). Global iteration methods (Probes, Spikes, Outages, ...)
 // remain available for export and offline analysis: they merge across
 // shards in timestamp order, resolving ties by market-ID order.
+//
+// # Rollup hierarchy
+//
+// Above the shards sits a rollup layer (rollup.go): per-(region, product)
+// and per-region aggregates plus append-generation counters, folded in on
+// the same append that updates the shard. Scope-wide reads — region
+// summaries (RegionAggregates, ScopeAggregatesFor) and cache-validity
+// probes (GenerationOfScope, GlobalGeneration) — cost O(regions) or O(1)
+// instead of walking every market shard.
 package store
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spotlight/internal/market"
@@ -223,14 +233,28 @@ type Store struct {
 	// sorted caches the shards in market-ID order for deterministic
 	// global iteration; nil when a new shard invalidated it.
 	sorted []*shard
+
+	// gen counts every record ever appended, any market — the global
+	// scope-generation counter of the rollup hierarchy.
+	gen atomic.Uint64
+	// rollups holds the hierarchical scope aggregates: one entry per
+	// (region, product) seen on the write path plus one region-level entry
+	// per region (empty product). rollupList caches them sorted.
+	rollups    map[rollupScope]*rollup
+	rollupList []*rollup
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{shards: make(map[market.SpotID]*shard)}
+	return &Store{
+		shards:  make(map[market.SpotID]*shard),
+		rollups: make(map[rollupScope]*rollup),
+	}
 }
 
-// shardFor returns the shard of id, creating it on first write.
+// shardFor returns the shard of id, creating it on first write. A new
+// shard is bound to its region-level and (region, product) rollups, which
+// every subsequent append updates in the same lock round.
 func (s *Store) shardFor(id market.SpotID) *shard {
 	s.mu.RLock()
 	sh := s.shards[id]
@@ -238,12 +262,24 @@ func (s *Store) shardFor(id market.SpotID) *shard {
 	if sh != nil {
 		return sh
 	}
+	// Resolve the rollups outside the store lock (rollupFor takes it).
+	region := id.Region()
+	rp := s.rollupFor(rollupScope{region: region, product: id.Product})
+	rg := s.rollupFor(rollupScope{region: region})
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sh = s.shards[id]; sh == nil {
 		sh = newShard(id)
+		sh.rp, sh.rg, sh.storeGen = rp, rg, &s.gen
 		s.shards[id] = sh
 		s.sorted = nil
+		// Shards exist iff they hold at least one record, so creation is
+		// the scope's market count ticking up.
+		for _, r := range [...]*rollup{rp, rg} {
+			r.mu.Lock()
+			r.agg.markets++
+			r.mu.Unlock()
+		}
 	}
 	return sh
 }
@@ -666,6 +702,31 @@ func (s *Store) PricesIn(id market.SpotID, from, to time.Time) []PricePoint {
 	return sh.pricesIn(nil, from, to)
 }
 
+// PriceWindowStats is the windowed price summary of one market, folded
+// inside its shard without copying the series.
+type PriceWindowStats struct {
+	Samples int
+	Min     float64
+	Mean    float64
+	Max     float64
+}
+
+// PriceStatsIn computes min/mean/max over the recorded prices of a market
+// inside [from, to]. Unlike PricesIn it allocates nothing: the fold runs
+// in-shard over the binary-searched window.
+func (s *Store) PriceStatsIn(id market.SpotID, from, to time.Time) PriceWindowStats {
+	sh := s.lookup(id)
+	if sh == nil {
+		return PriceWindowStats{}
+	}
+	samples, min, sum, max := sh.priceStats(from, to)
+	st := PriceWindowStats{Samples: samples, Min: min, Max: max}
+	if samples > 0 {
+		st.Mean = sum / float64(samples)
+	}
+	return st
+}
+
 // PricedMarkets returns the markets with at least one recorded price, in
 // market-ID order.
 func (s *Store) PricedMarkets() []market.SpotID {
@@ -779,6 +840,8 @@ func (s *Store) Generation(id market.SpotID) uint64 {
 // appends: equal sums imply an unchanged scope. Appends outside the scope
 // leave the sum untouched — that is the per-shard invalidation a response
 // cache keys on. The walk is O(markets) atomic loads, no shard lock taken.
+// For region/product-shaped scopes prefer GenerationOfScope, which reads
+// the equivalent rollup counter in O(1).
 func (s *Store) ScopeGeneration(keep func(market.SpotID) bool) uint64 {
 	var total uint64
 	for _, sh := range s.shardList() {

@@ -25,10 +25,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"spotlight/pkg/api"
@@ -39,6 +41,21 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// Conditional-request state (see EnableConditionalRequests): per-query
+	// remembered ETag + response body, and a counter of 304s served from
+	// it.
+	mu          sync.Mutex
+	revalidate  bool
+	cached      map[string]cachedResponse
+	notModified uint64
+}
+
+// cachedResponse is one remembered 200 response: the service's ETag and
+// the raw body to replay when the service answers 304.
+type cachedResponse struct {
+	etag string
+	body []byte
 }
 
 // New builds a client for the service at baseURL (scheme + host[:port],
@@ -52,6 +69,54 @@ func New(baseURL string, hc *http.Client) (*Client, error) {
 		hc = http.DefaultClient
 	}
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}, nil
+}
+
+// EnableConditionalRequests turns on transparent HTTP revalidation: the
+// client remembers each query's ETag and body, replays the tag in
+// If-None-Match, and decodes the remembered body when the service answers
+// 304 Not Modified. Polling an unchanged dashboard then costs the service
+// a generation check instead of a recomputation, and the wire an empty
+// response instead of a payload. Entries are keyed by the full request
+// (URL, and body for batches); the map grows with distinct queries, so
+// enable it for clients that poll a bounded query set.
+func (c *Client) EnableConditionalRequests() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.revalidate = true
+	if c.cached == nil {
+		c.cached = make(map[string]cachedResponse)
+	}
+}
+
+// NotModifiedCount reports how many responses were served from the
+// conditional cache after a 304 — observability for tests and polling
+// loops.
+func (c *Client) NotModifiedCount() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.notModified
+}
+
+// lookupCached returns the remembered response for key, if revalidation
+// is on and one exists.
+func (c *Client) lookupCached(key string) (cachedResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.revalidate {
+		return cachedResponse{}, false
+	}
+	e, ok := c.cached[key]
+	return e, ok
+}
+
+// storeCached remembers a 200 response for key.
+func (c *Client) storeCached(key, etag string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.revalidate {
+		return
+	}
+	c.cached[key] = cachedResponse{etag: etag, body: body}
 }
 
 // Batch evaluates up to api.MaxBatchQueries heterogeneous queries in one
@@ -69,7 +134,10 @@ func (c *Client) Batch(ctx context.Context, queries ...api.Query) (*api.BatchRes
 	}
 	req.Header.Set("Content-Type", "application/json")
 	var resp api.BatchResponse
-	if err := c.do(req, &resp); err != nil {
+	// Conditional key: the batch body identifies the query set. On a 304
+	// the remembered response replays, including its earlier Now echo —
+	// the service guarantees the results are unchanged, not the clock.
+	if err := c.do(req, "POST /v2/query "+string(body), &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Results) != len(queries) {
@@ -245,30 +313,56 @@ func (c *Client) get(ctx context.Context, path string, params url.Values, out an
 	if err != nil {
 		return err
 	}
-	return c.do(req, out)
+	return c.do(req, "GET "+u, out)
 }
 
 // do executes the request, decoding either the payload or the service's
-// error envelope (returned as *api.Error).
-func (c *Client) do(req *http.Request, out any) error {
+// error envelope (returned as *api.Error). key identifies the request in
+// the conditional cache; when a remembered ETag revalidates (304), the
+// remembered body decodes instead.
+func (c *Client) do(req *http.Request, key string, out any) error {
+	prior, held := c.lookupCached(key)
+	if held {
+		req.Header.Set(api.HeaderIfNoneMatch, prior.etag)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode == http.StatusNotModified {
+		if !held {
+			return fmt.Errorf("client: %s %s: unexpected 304 without a held ETag", req.Method, req.URL.Path)
+		}
+		c.mu.Lock()
+		c.notModified++
+		c.mu.Unlock()
+		return decodeBody(prior.body, req.URL.Path, out)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: read %s response: %w", req.URL.Path, err)
+	}
 	if resp.StatusCode/100 != 2 {
 		var aerr api.Error
-		if err := dec.Decode(&aerr); err != nil || aerr.Code == "" {
+		if err := json.Unmarshal(body, &aerr); err != nil || aerr.Code == "" {
 			return fmt.Errorf("client: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
 		}
 		return &aerr
 	}
+	if etag := resp.Header.Get(api.HeaderETag); etag != "" {
+		c.storeCached(key, etag, body)
+	}
+	return decodeBody(body, req.URL.Path, out)
+}
+
+// decodeBody unmarshals a response body into out (nil out skips).
+func decodeBody(body []byte, path string, out any) error {
 	if out == nil {
 		return nil
 	}
-	if err := dec.Decode(out); err != nil {
-		return fmt.Errorf("client: decode %s response: %w", req.URL.Path, err)
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", path, err)
 	}
 	return nil
 }

@@ -103,6 +103,58 @@ func TestBatchRoundtrip(t *testing.T) {
 	}
 }
 
+// TestConditionalRequests: with revalidation on, a repeated query is
+// answered from the remembered body via a 304 — and a store append makes
+// the next call fetch fresh data again.
+func TestConditionalRequests(t *testing.T) {
+	c, db := testService(t)
+	c.EnableConditionalRequests()
+	ctx := context.Background()
+	db.AppendProbe(store.ProbeRecord{At: t0, Market: mktA, Kind: store.ProbeOnDemand, Rejected: true, Code: "x"})
+	db.AppendProbe(store.ProbeRecord{At: t0.Add(6 * time.Hour), Market: mktA, Kind: store.ProbeOnDemand})
+	w := api.Between(t0, t0.Add(24*time.Hour))
+
+	first, err := c.Unavailability(ctx, mktA.String(), "", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Unavailability(ctx, mktA.String(), "", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NotModifiedCount() != 1 {
+		t.Fatalf("not-modified count = %d, want 1", c.NotModifiedCount())
+	}
+	if *second != *first {
+		t.Errorf("revalidated response %+v != original %+v", second, first)
+	}
+
+	// An in-scope append must bypass the remembered body.
+	db.AppendProbe(store.ProbeRecord{At: t0.Add(12 * time.Hour), Market: mktA, Kind: store.ProbeOnDemand, Rejected: true, Code: "x"})
+	third, err := c.Unavailability(ctx, mktA.String(), "", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NotModifiedCount() != 1 {
+		t.Errorf("append still served from conditional cache")
+	}
+	if third.Unavailability <= first.Unavailability {
+		t.Errorf("fresh unavailability = %v, want > %v", third.Unavailability, first.Unavailability)
+	}
+
+	// Batches revalidate the same way, keyed by the request body.
+	q := api.Query{Kind: api.KindStable, Region: "us-east-1", N: 3, Window: w}
+	if _, err := c.Batch(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Batch(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if c.NotModifiedCount() != 2 {
+		t.Errorf("batch revalidation count = %d, want 2", c.NotModifiedCount())
+	}
+}
+
 // TestErrorEnvelopeSurfacing: service-side failures come back as
 // *api.Error with the machine-readable code, both for v1 calls and for
 // batch-level rejections.
