@@ -2,17 +2,18 @@
 
 GO ?= go
 
-# Benchmarks covered by the smoke run: the query hot paths and the rollup/
+# Benchmarks covered by the smoke run: the query hot paths, the rollup/
 # ingest paths whose regressions matter (summary, scope generations,
-# monitor-shaped batched appends).
-BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregates|BenchmarkStoreRegionAggregates|BenchmarkGenerationOfScope|BenchmarkStoreAppendMonitorTick
+# monitor-shaped batched appends), and the durability paths (WAL-enabled
+# batch ingest, WAL append+flush cycle, boot-time replay).
+BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregates|BenchmarkStoreRegionAggregates|BenchmarkGenerationOfScope|BenchmarkStoreAppendMonitorTick|BenchmarkStoreAppendProbesBatchParallel|BenchmarkWALAppend|BenchmarkReplay
 
 # bench-diff inputs: OLD defaults to the committed baseline, NEW to the
 # latest smoke run.
 OLD ?= bench-baseline.txt
 NEW ?= bench-smoke.txt
 
-.PHONY: all build test vet fmt-check bench bench-diff bench-baseline smoke ci
+.PHONY: all build test vet fmt-check bench bench-diff bench-baseline smoke fuzz-smoke ci
 
 all: build
 
@@ -64,4 +65,11 @@ bench-baseline: bench
 smoke:
 	$(GO) run ./cmd/spotlightd -addr 127.0.0.1:0 -smoke
 
-ci: build fmt-check vet test smoke bench
+# Fuzz smoke: a short native-fuzz burst over the WAL frame decoder and
+# the snapshot loader (malformed input must error, never panic). The
+# checked-in seed corpora live in internal/store/testdata/fuzz.
+fuzz-smoke:
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime=10s
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotReadJSON$$' -fuzztime=10s
+
+ci: build fmt-check vet test smoke fuzz-smoke bench

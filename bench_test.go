@@ -16,6 +16,8 @@ package spotlight_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -706,6 +708,176 @@ func BenchmarkStoreAppendProbesBatchParallel(b *testing.B) {
 		app.AppendProbes(batch)
 	})
 	b.ReportMetric(batchSize, "batch_size")
+}
+
+// BenchmarkStoreAppendProbesBatchParallelWAL is the durable twin of
+// BenchmarkStoreAppendProbesBatchParallel: the same concurrent batched
+// ingest against a store opened with a write-ahead log, WAL frames
+// encoded and buffered in the same batch round (buffers auto-flush to
+// segment files as they fill). Comparing the two gauges the ingest-path
+// cost of durability; the acceptance bar is <15% regression.
+func BenchmarkStoreAppendProbesBatchParallelWAL(b *testing.B) {
+	const batchSize = 64
+	db, err := store.Open(b.TempDir(), store.PersistOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkts := benchMarkets(8)
+	base := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(next.Add(1)) - 1
+		app := db.Appender(mkts[g%len(mkts)])
+		batch := make([]store.ProbeRecord, 0, batchSize)
+		i := 0
+		for pb.Next() {
+			batch = append(batch, store.ProbeRecord{
+				At:     base.Add(time.Duration(i) * time.Second),
+				Market: app.Market(), Kind: store.ProbeOnDemand,
+				Trigger: store.TriggerSpike, Rejected: i%8 == 0, Cost: 0.1,
+			})
+			if len(batch) == batchSize {
+				app.AppendProbes(batch)
+				batch = batch[:0]
+			}
+			i++
+		}
+		app.AppendProbes(batch)
+	})
+	b.StopTimer()
+	if err := db.Persister().Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(batchSize, "batch_size")
+}
+
+// BenchmarkWALAppend measures the steady-state durable ingest cycle of
+// one market: batched appends with a WAL flush every 16 batches (the
+// shape of a monitor flushing each tick), reported per record.
+func BenchmarkWALAppend(b *testing.B) {
+	const batchSize = 64
+	db, err := store.Open(b.TempDir(), store.PersistOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := db.Persister()
+	app := db.Appender(benchMarkets(1)[0])
+	base := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	batch := make([]store.ProbeRecord, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ticks := 0
+	for i := 0; i < b.N; i += batchSize {
+		for j := range batch {
+			batch[j] = store.ProbeRecord{
+				At:     base.Add(time.Duration(i+j) * time.Second),
+				Market: app.Market(), Kind: store.ProbeSpot,
+				Trigger: store.TriggerPeriodicSpot, Rejected: (i+j)%8 == 0, Cost: 0.1,
+			}
+		}
+		app.AppendProbes(batch)
+		if ticks++; ticks%16 == 0 {
+			if err := p.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if err := p.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReplay measures recovery: Open replaying a WAL-only data
+// directory (no snapshot — the worst case) of 48k probe records across 8
+// markets, rebuilding shards, aggregates, rollups, and generations.
+func BenchmarkReplay(b *testing.B) {
+	const perMarket = 6000
+	dir := b.TempDir()
+	db, err := store.Open(dir, store.PersistOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkts := benchMarkets(8)
+	base := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	for _, id := range mkts {
+		app := db.Appender(id)
+		batch := make([]store.ProbeRecord, 0, 64)
+		for i := 0; i < perMarket; i++ {
+			batch = append(batch, store.ProbeRecord{
+				At:     base.Add(time.Duration(i) * time.Second),
+				Market: id, Kind: store.ProbeOnDemand,
+				Trigger: store.TriggerSpike, Rejected: i%8 == 0, Cost: 0.1,
+			})
+			if len(batch) == cap(batch) {
+				app.AppendProbes(batch)
+				batch = batch[:0]
+			}
+		}
+		app.AppendProbes(batch)
+	}
+	// Flush without snapshotting: recovery must decode every frame.
+	if err := db.Persister().Flush(); err != nil {
+		b.Fatal(err)
+	}
+	records := len(mkts) * perMarket
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each iteration recovers a fresh copy: the source directory
+		// stays locked by the seeding store, and recovery must see the
+		// untouched WAL-only layout every time.
+		b.StopTimer()
+		iterDir := copyBenchDir(b, dir)
+		b.StartTimer()
+		re, err := store.Open(iterDir, store.PersistOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := int(re.GlobalGeneration()); got != records {
+			b.Fatalf("replayed %d records, want %d", got, records)
+		}
+		b.StopTimer()
+		if err := re.Persister().Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(records), "records")
+}
+
+// copyBenchDir clones a data directory (excluding the live LOCK file)
+// into a fresh temp dir.
+func copyBenchDir(b *testing.B, src string) string {
+	b.Helper()
+	dst := b.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if rel == "LOCK" {
+			return nil
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		b.Fatalf("copy data dir: %v", err)
+	}
+	return dst
 }
 
 // BenchmarkQueryStableParallel measures concurrent readers running the

@@ -6,11 +6,20 @@
 //
 // Usage:
 //
-//	spotlightd [-addr :8080] [-seed 42] [-tick 5m] [-speed 300] [-smoke]
+//	spotlightd [-addr :8080] [-seed 42] [-tick 5m] [-speed 300]
+//	           [-data-dir DIR] [-snapshot-interval 1h] [-smoke]
 //
 // With -speed 300, five simulated minutes (one tick) pass per wall-clock
-// second. The service exposes two API surfaces (see docs/api.md for the
-// full reference):
+// second. By default the store is in-memory and a restart starts a fresh
+// study. With -data-dir the store is durable (see docs/persistence.md):
+// every tick's records are flushed to per-shard write-ahead-log segments,
+// the whole store snapshots and compacts every -snapshot-interval of
+// simulated time, and on restart the daemon replays snapshot plus WAL,
+// resumes the recorded study clock, and serves byte-identical responses —
+// ETags included — for everything recovered.
+//
+// The service exposes two API surfaces (see docs/api.md for the full
+// reference):
 //
 //	GET  /v1/unavailability?market=zone:type:product&kind=od|spot&window=24h
 //	GET  /v1/stable?region=...&n=10&from=...&to=...
@@ -46,10 +55,12 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"spotlight/internal/experiment"
 	"spotlight/internal/query"
+	"spotlight/internal/store"
 	"spotlight/pkg/api"
 	"spotlight/pkg/client"
 )
@@ -60,96 +71,212 @@ func main() {
 	}
 }
 
-func run(args []string) error {
-	fs := flag.NewFlagSet("spotlightd", flag.ContinueOnError)
-	var (
-		addr  = fs.String("addr", ":8080", "HTTP listen address")
-		seed  = fs.Uint64("seed", 42, "simulation seed")
-		tick  = fs.Duration("tick", 5*time.Minute, "simulation tick")
-		speed = fs.Float64("speed", 300, "simulated seconds per wall second")
-		smoke = fs.Bool("smoke", false, "serve, query self once via the client SDK, and exit")
-	)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *speed <= 0 {
-		return errors.New("speed must be positive")
-	}
+// options are the parsed command-line flags.
+type options struct {
+	addr         string
+	seed         uint64
+	tick         time.Duration
+	speed        float64
+	smoke        bool
+	dataDir      string
+	snapInterval time.Duration
+}
 
-	st, err := experiment.New(experiment.Config{Seed: *seed, Days: 1, Tick: *tick})
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("spotlightd", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	fs.Uint64Var(&o.seed, "seed", 42, "simulation seed")
+	fs.DurationVar(&o.tick, "tick", 5*time.Minute, "simulation tick")
+	fs.Float64Var(&o.speed, "speed", 300, "simulated seconds per wall second")
+	fs.BoolVar(&o.smoke, "smoke", false, "serve, query self once via the client SDK, and exit")
+	fs.StringVar(&o.dataDir, "data-dir", "",
+		"durable store directory (WAL segments + snapshots); empty keeps the store in memory")
+	fs.DurationVar(&o.snapInterval, "snapshot-interval", time.Hour,
+		"simulated time between store snapshots when -data-dir is set (0: snapshot only at shutdown)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.speed <= 0 {
+		return o, errors.New("speed must be positive")
+	}
+	if o.snapInterval < 0 {
+		return o, errors.New("snapshot-interval must not be negative")
+	}
+	return o, nil
+}
+
+func run(args []string) error {
+	opts, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
 
-	// The simulator and service are single-threaded by design; the
-	// driver goroutine owns them and the HTTP layer only touches the
+	// SIGTERM is how systemd/docker stop a daemon; treating it like
+	// Ctrl-C makes routine stops clean shutdowns (final WAL flush,
+	// snapshot, clean marker) instead of crashes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	d, err := startDaemon(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spotlightd: serving on %s (tick %v, %gx real time%s)\n",
+		d.addr(), opts.tick, opts.speed, d.storeDesc)
+
+	if opts.smoke {
+		serr := smokeCheck(ctx, "http://"+d.addr())
+		if cerr := d.Close(); serr == nil {
+			serr = cerr
+		}
+		return serr
+	}
+
+	select {
+	case err := <-d.serveErr:
+		// Close's error carries the session's sticky durability errors
+		// (per-tick flush failures only resurface here), so it must not
+		// be swallowed by the serve error.
+		return errors.Join(err, d.Close())
+	case <-ctx.Done():
+		return d.Close()
+	}
+}
+
+// daemon is one running spotlightd instance: the study loop, the HTTP
+// server, and (optionally) the durable store behind both. Tests drive it
+// directly; run wires it to flags and signals.
+type daemon struct {
+	st        *experiment.Study
+	mu        sync.Mutex // owns st.Sim and st.Svc; HTTP touches only the clock under it
+	ln        net.Listener
+	srv       *http.Server
+	serveErr  chan error
+	stopTick  context.CancelFunc
+	tickDone  chan struct{}
+	storeDesc string
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// startDaemon builds the study (recovering a durable store when
+// configured), starts the tick loop and the HTTP server, and returns once
+// the listener is live.
+func startDaemon(opts options) (*daemon, error) {
+	expCfg := experiment.Config{Seed: opts.seed, Days: 1, Tick: opts.tick}
+	d := &daemon{serveErr: make(chan error, 1)}
+
+	var pers *store.Persister
+	if opts.dataDir != "" {
+		db, err := store.Open(opts.dataDir, store.PersistOptions{})
+		if err != nil {
+			return nil, err
+		}
+		pers = db.Persister()
+		expCfg.DB = db
+		expCfg.Spotlight.SnapshotInterval = opts.snapInterval
+		// Resume the study clock where the previous process stopped, so
+		// the recovered record and the new one share a single timeline.
+		expCfg.ResumeAt = pers.Clock()
+		d.storeDesc = fmt.Sprintf(", durable store %s (%d markets recovered)",
+			opts.dataDir, len(db.Markets()))
+	}
+
+	st, err := experiment.New(expCfg)
+	if err != nil {
+		if pers != nil {
+			pers.Close() // release the data-dir lock; nothing was appended
+		}
+		return nil, err
+	}
+	d.st = st
+
+	// The simulator and service are single-threaded by design; the tick
+	// goroutine owns them and the HTTP layer only touches the
 	// (concurrency-safe) store plus the clock under the mutex.
-	var mu sync.Mutex
-	interval := time.Duration(float64(*tick) / *speed)
+	interval := time.Duration(float64(opts.tick) / opts.speed)
 	if interval <= 0 {
 		interval = time.Millisecond
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
+	tickCtx, stopTick := context.WithCancel(context.Background())
+	d.stopTick = stopTick
+	d.tickDone = make(chan struct{})
 	go func() {
+		defer close(d.tickDone)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
 			select {
-			case <-ctx.Done():
+			case <-tickCtx.Done():
 				return
 			case <-ticker.C:
-				mu.Lock()
+				d.mu.Lock()
 				st.Sim.Step()
 				st.Svc.OnTick()
-				mu.Unlock()
+				d.mu.Unlock()
 			}
 		}
 	}()
 
 	engine := query.NewEngine(st.DB, st.Cat)
 	apiSrv := query.NewAPI(engine, func() time.Time {
-		mu.Lock()
-		defer mu.Unlock()
+		d.mu.Lock()
+		defer d.mu.Unlock()
 		return st.Sim.Now()
 	})
+	if pers != nil {
+		// A durable store's generations survive restarts, so its ETags
+		// should too: salt them with the data directory's stable salt
+		// instead of this process's boot instant.
+		apiSrv.SetETagSalt(pers.Salt())
+	}
 
 	// Listen explicitly so ":0" resolves to a concrete port before the
 	// smoke check (and tests) need the base URL.
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
-		return err
+		stopTick()
+		<-d.tickDone
+		// Close the durability layer too (flush + data-dir lock release),
+		// so a failed start leaves the directory reusable in-process.
+		if cerr := st.Svc.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
 	}
-	srv := &http.Server{
+	d.ln = ln
+	d.srv = &http.Server{
 		Handler:           apiSrv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.Serve(ln) }()
-	fmt.Printf("spotlightd: serving on %s (tick %v, %gx real time)\n", ln.Addr(), *tick, *speed)
+	go func() { d.serveErr <- d.srv.Serve(ln) }()
+	return d, nil
+}
 
-	shutdown := func() error {
+// addr returns the listener's concrete address.
+func (d *daemon) addr() string { return d.ln.Addr().String() }
+
+// Close shuts the daemon down cleanly: HTTP drains, the tick loop stops,
+// and the service closes its durability layer (flushing the WAL, taking
+// a final snapshot, and persisting the study clock). Idempotent.
+func (d *daemon) Close() error {
+	d.closeOnce.Do(func() {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		defer cancel()
-		return srv.Shutdown(shutCtx)
-	}
-
-	if *smoke {
-		serr := smokeCheck(ctx, "http://"+ln.Addr().String())
-		if herr := shutdown(); serr == nil {
-			serr = herr
+		err := d.srv.Shutdown(shutCtx)
+		d.stopTick()
+		<-d.tickDone
+		d.mu.Lock()
+		cerr := d.st.Svc.Close()
+		d.mu.Unlock()
+		if err == nil {
+			err = cerr
 		}
-		return serr
-	}
-
-	select {
-	case err := <-errCh:
-		return err
-	case <-ctx.Done():
-		return shutdown()
-	}
+		d.closeErr = err
+	})
+	return d.closeErr
 }
 
 // smokeCheck exercises the full serving path end to end: one v2 batch of

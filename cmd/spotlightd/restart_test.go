@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spotlight/pkg/client"
+)
+
+// The end-to-end restart contract of -data-dir: stop a daemon, start it
+// again over the same directory, and every recovered query answer —
+// status, body bytes, and ETag — is identical, so clients (and their
+// conditional-request caches) cannot tell a restart happened.
+//
+// Run 1 ingests with fast ticks and shuts down cleanly. Runs 2 and 3 use
+// a quiescent tick rate (first tick far in the future), so both serve
+// exactly the recovered study: run 2's responses are captured, run 3 must
+// reproduce them byte for byte and honor run 2's validators with 304s.
+func TestRestartServesIdenticalResponsesAndETags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon restart test skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	ingest := options{
+		addr: "127.0.0.1:0", seed: 7, tick: 5 * time.Minute, speed: 30000,
+		dataDir: dir, snapInterval: time.Hour,
+	}
+	quiet := ingest
+	quiet.tick, quiet.speed = 24*time.Hour, 1 // first tick a day of wall clock away
+
+	// Run 1: ingest until the store holds probes, then shut down cleanly.
+	d1, err := startDaemon(ingest)
+	if err != nil {
+		t.Fatalf("start ingest daemon: %v", err)
+	}
+	waitForProbes(t, d1.addr())
+	if err := d1.Close(); err != nil {
+		t.Fatalf("close ingest daemon: %v", err)
+	}
+
+	// The query set: absolute windows spanning the study, the clock-bound
+	// summary (the resumed study clock makes even that reproducible), and
+	// a v2 batch.
+	const from, to = "2015-09-01T00:00:00Z", "2015-09-03T00:00:00Z"
+	gets := []string{
+		"/v1/summary",
+		"/v1/stable?region=us-east-1&n=5&from=" + from + "&to=" + to,
+		"/v1/volatile?region=us-east-1&n=5&from=" + from + "&to=" + to,
+		"/v1/markets?region=us-east-1&product=Linux%2FUNIX",
+	}
+	batchBody := fmt.Sprintf(`{"queries":[{"kind":"stable","region":"us-east-1","n":5,"from":%q,"to":%q},{"kind":"summary"}]}`, from, to)
+
+	// Run 2: capture the recovered responses.
+	d2, err := startDaemon(quiet)
+	if err != nil {
+		t.Fatalf("start run 2: %v", err)
+	}
+	if n := probeTotal(t, d2.addr()); n == 0 {
+		t.Fatal("run 2 recovered no probes; nothing meaningful to compare")
+	}
+	captured := make(map[string]httpCapture)
+	for _, path := range gets {
+		captured[path] = doGET(t, d2.addr(), path, "")
+	}
+	capturedBatch := doPOST(t, d2.addr(), "/v2/query", batchBody, "")
+	if err := d2.Close(); err != nil {
+		t.Fatalf("close run 2: %v", err)
+	}
+
+	// Run 3: every answer must match run 2 exactly, and run 2's
+	// validators must still be fresh.
+	d3, err := startDaemon(quiet)
+	if err != nil {
+		t.Fatalf("start run 3: %v", err)
+	}
+	defer d3.Close()
+	for _, path := range gets {
+		want := captured[path]
+		got := doGET(t, d3.addr(), path, "")
+		if got.status != want.status || got.body != want.body {
+			t.Errorf("%s: response changed across restart\n got: %d %.200s\nwant: %d %.200s",
+				path, got.status, got.body, want.status, want.body)
+		}
+		if got.etag == "" || got.etag != want.etag {
+			t.Errorf("%s: ETag changed across restart: %q -> %q", path, want.etag, got.etag)
+		}
+		if notMod := doGET(t, d3.addr(), path, want.etag); notMod.status != http.StatusNotModified {
+			t.Errorf("%s: If-None-Match with the pre-restart ETag answered %d, want 304", path, notMod.status)
+		}
+	}
+	gotBatch := doPOST(t, d3.addr(), "/v2/query", batchBody, "")
+	if gotBatch.status != capturedBatch.status || gotBatch.body != capturedBatch.body {
+		t.Errorf("/v2/query: response changed across restart\n got: %d %.200s\nwant: %d %.200s",
+			gotBatch.status, gotBatch.body, capturedBatch.status, capturedBatch.body)
+	}
+	if gotBatch.etag == "" || gotBatch.etag != capturedBatch.etag {
+		t.Errorf("/v2/query: ETag changed across restart: %q -> %q", capturedBatch.etag, gotBatch.etag)
+	}
+	if notMod := doPOST(t, d3.addr(), "/v2/query", batchBody, capturedBatch.etag); notMod.status != http.StatusNotModified {
+		t.Errorf("/v2/query: If-None-Match with the pre-restart ETag answered %d, want 304", notMod.status)
+	}
+}
+
+// waitForProbes polls the summary endpoint until the study has ingested
+// probe records (a couple of fast ticks).
+func waitForProbes(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if probeTotal(t, addr) > 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("daemon ingested no probes within the deadline")
+}
+
+func probeTotal(t *testing.T, addr string) int {
+	t.Helper()
+	c, err := client.New("http://"+addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rows, err := c.Summary(ctx)
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.TotalODProbes + r.TotalSpotProbes
+	}
+	return total
+}
+
+type httpCapture struct {
+	status int
+	etag   string
+	body   string
+}
+
+func doGET(t *testing.T, addr, path, ifNoneMatch string) httpCapture {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doReq(t, req, ifNoneMatch)
+}
+
+func doPOST(t *testing.T, addr, path, body, ifNoneMatch string) httpCapture {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doReq(t, req, ifNoneMatch)
+}
+
+func doReq(t *testing.T, req *http.Request, ifNoneMatch string) httpCapture {
+	t.Helper()
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", req.Method, req.URL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", req.URL, err)
+	}
+	return httpCapture{status: resp.StatusCode, etag: resp.Header.Get("ETag"), body: string(body)}
+}

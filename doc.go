@@ -16,7 +16,11 @@
 //   - internal/store       — SpotLight's database, sharded per spot market:
 //     each market's history lives behind its own lock with incremental
 //     indexes and aggregates, so ingestion scales across markets and
-//     availability queries are shard-local lookups instead of log scans
+//     availability queries are shard-local lookups instead of log scans.
+//     Optionally durable (store.Open): per-shard CRC'd WAL segments
+//     written in the same batch round as each append, periodic
+//     snapshot + compaction, and crash recovery that replays
+//     snapshot-then-WAL (docs/persistence.md)
 //   - internal/query       — query engine (with a generation-keyed
 //     response cache) + the versioned HTTP API: GET /v1/* adapters and
 //     the POST /v2/query batch endpoint, both over the typed DTOs of
@@ -31,7 +35,8 @@
 //   - internal/spoton      — SpotOn case study + Eq 6.1 (Fig 6.2)
 //   - cmd/spotlight-study  — regenerate every table and figure
 //   - cmd/spotlightd       — run the service as an HTTP daemon (-smoke
-//     self-checks a v2 batch through pkg/client and exits)
+//     self-checks a v2 batch through pkg/client and exits; -data-dir
+//     makes the study durable across restarts)
 //   - cmd/ec2sim           — inspect the simulator standalone
 //   - examples/            — runnable walkthroughs; each serves a study
 //     over HTTP and consumes it through pkg/client
@@ -44,5 +49,5 @@
 // ingestion and query serving.
 //
 // Development: `make ci` runs the same build / gofmt / vet / race-test /
-// benchmark-smoke pipeline as .github/workflows/ci.yml.
+// fuzz-smoke / benchmark-smoke pipeline as .github/workflows/ci.yml.
 package spotlight

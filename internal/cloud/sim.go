@@ -297,6 +297,18 @@ func New(cat *market.Catalog, cfg Config) (*Sim, error) {
 // Now returns the current simulated instant.
 func (s *Sim) Now() time.Time { return s.clock.Now() }
 
+// AdvanceTo jumps the simulation clock forward to t without stepping the
+// market processes — the restart path: a daemon resuming a persisted
+// study continues the recorded timeline from where the previous process
+// stopped, while the simulated markets (standing in for the real cloud,
+// which kept moving regardless) simply continue from their current
+// state. Instants at or before the current clock are ignored.
+func (s *Sim) AdvanceTo(t time.Time) {
+	if now := s.clock.Now(); t.After(now) {
+		s.clock.Advance(t.Sub(now))
+	}
+}
+
 // Tick returns the configured simulation step.
 func (s *Sim) Tick() time.Duration { return s.cfg.Tick }
 

@@ -95,6 +95,12 @@ type Config struct {
 	// benchmarks compare this against market-based probing at equal
 	// budget.
 	PeriodicODProbesPerDay int
+
+	// SnapshotInterval is how often (in service-clock time) the service
+	// snapshots and compacts a durable store. Zero disables periodic
+	// snapshots: the WAL still flushes every tick, and Close takes a
+	// final snapshot. Ignored for in-memory stores.
+	SnapshotInterval time.Duration
 }
 
 // fillDefaults applies the paper-prototype defaults and validates ranges.
@@ -149,6 +155,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.PeriodicODProbesPerDay < 0 {
 		return errors.New("core: negative periodic on-demand probe rate")
+	}
+	if c.SnapshotInterval < 0 {
+		return errors.New("core: negative snapshot interval")
 	}
 	return nil
 }

@@ -96,6 +96,11 @@ type Service struct {
 	stats    Counters
 	regional map[market.Region]*Counters
 
+	// lastSnapshot is when the durable store was last snapshot (zero
+	// until the first tick seeds it); only meaningful when the store has
+	// a persister and SnapshotInterval > 0.
+	lastSnapshot time.Time
+
 	// dirtyMons lists the monitors holding buffered probe records this
 	// tick, in first-write order; reused across ticks.
 	dirtyMons []*marketMon
@@ -233,6 +238,44 @@ func (s *Service) OnTick() {
 	s.runBidSpreads(now)
 	s.runRevocationWatch(now)
 	s.flushProbes()
+	s.persistTick(now)
+}
+
+// persistTick drives the durable store's lifecycle once per tick: the
+// WAL flushes (making this tick's records crash-durable), the clock note
+// advances, and — when a snapshot interval is configured — the store
+// periodically snapshots and compacts. In-memory stores skip all of it.
+// Flush/snapshot errors are sticky inside the persister and surface from
+// Close, so a transient disk problem never takes down monitoring.
+func (s *Service) persistTick(now time.Time) {
+	p := s.db.Persister()
+	if p == nil {
+		return
+	}
+	p.NoteClock(now)
+	_ = p.Flush()
+	if iv := s.cfg.SnapshotInterval; iv > 0 {
+		if s.lastSnapshot.IsZero() {
+			s.lastSnapshot = now
+		} else if now.Sub(s.lastSnapshot) >= iv {
+			s.lastSnapshot = now
+			_ = p.Snapshot()
+		}
+	}
+}
+
+// Close shuts down the service's durability layer: outstanding WAL bytes
+// flush, a final snapshot compacts the log, and the service clock is
+// persisted so a restart resumes where this process stopped. It returns
+// the first durability error of the whole run (per-tick flush errors are
+// sticky and resurface here). In-memory services return nil. Callers must
+// not run OnTick concurrently with or after Close.
+func (s *Service) Close() error {
+	p := s.db.Persister()
+	if p == nil {
+		return nil
+	}
+	return p.Close()
 }
 
 // logProbe buffers one probe record on its market's monitor instead of

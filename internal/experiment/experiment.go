@@ -38,6 +38,15 @@ type Config struct {
 	Cloud cloud.Config
 	// Progress, when set, is invoked once per simulated day.
 	Progress func(day, totalDays int)
+	// DB, when set, is the store the study logs into — typically a
+	// durable store from store.Open, pre-loaded with a previous run's
+	// records. Default: a fresh in-memory store.
+	DB *store.Store
+	// ResumeAt, when after the simulator's genesis instant, jumps the
+	// simulation clock forward before the study starts: the way a
+	// restarted daemon continues a persisted study's timeline instead of
+	// re-living it from the epoch.
+	ResumeAt time.Time
 }
 
 // Study is a completed (or initialized) study: the simulator, the
@@ -142,10 +151,16 @@ func New(cfg Config) (*Study, error) {
 	if len(slCfg.RevocationMarkets) == 0 {
 		slCfg.RevocationMarkets = CaseStudyMarkets()
 	}
-	db := store.New()
+	db := cfg.DB
+	if db == nil {
+		db = store.New()
+	}
 	svc, err := core.New(sim, db, slCfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	if !cfg.ResumeAt.IsZero() {
+		sim.AdvanceTo(cfg.ResumeAt)
 	}
 
 	return &Study{

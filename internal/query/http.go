@@ -58,6 +58,17 @@ func NewAPI(engine *Engine, now func() time.Time) *API {
 	return &API{engine: engine, Now: now, epoch: time.Now().UnixNano()}
 }
 
+// SetETagSalt replaces the per-process ETag salt with a stable value —
+// the durable store's persisted salt (store.Persister.Salt). Over a
+// recovered store the generations a tag was minted against survive the
+// restart, so with a stable salt the tags do too: a client that cached a
+// response before the restart keeps getting 304s after it, and the e2e
+// guarantee "recovered responses are byte-identical, ETags included"
+// holds. Call before serving; in-memory deployments keep the boot salt.
+func (a *API) SetETagSalt(salt uint64) {
+	a.epoch = int64(salt)
+}
+
 // Handler returns the routed HTTP handler.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()

@@ -111,6 +111,51 @@ type shard struct {
 	// creation, immutable afterwards.
 	rp, rg   *rollup
 	storeGen *atomic.Uint64
+
+	// wal is the shard's write-ahead log handle, nil for in-memory
+	// stores. Like rp/rg it is wired before the shard is published (at
+	// creation, or during single-threaded recovery) and immutable after.
+	wal *shardWAL
+}
+
+// walBufPool recycles the scratch buffers append paths encode WAL frames
+// into before taking the shard lock.
+var walBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// encodeForWAL pre-encodes one or more frames outside the shard lock so
+// the lock-held portion of a durable append is a single buffer copy. It
+// returns nil when the store is in-memory.
+func (sh *shard) encodeForWAL(enc func([]byte) []byte) *[]byte {
+	if sh.wal == nil {
+		return nil
+	}
+	bp := walBufPool.Get().(*[]byte)
+	*bp = enc((*bp)[:0])
+	return bp
+}
+
+// walAppendLocked hands pre-encoded frames to the shard's log. Must run
+// under sh.mu so the WAL byte order agrees exactly with the in-memory
+// append order. The returned flag asks the caller to drain the buffer
+// once the shard lock is released (see walFinish).
+func (sh *shard) walAppendLocked(bp *[]byte) bool {
+	if bp == nil {
+		return false
+	}
+	return sh.wal.append(*bp)
+}
+
+// walFinish runs after the shard lock is released: it recycles the
+// encode buffer and, when the append left the log's pending buffer over
+// its threshold, flushes it to disk without blocking the shard.
+func (sh *shard) walFinish(bp *[]byte, oversized bool) {
+	if bp == nil {
+		return
+	}
+	walBufPool.Put(bp)
+	if oversized {
+		sh.wal.flushOversized()
+	}
 }
 
 // publish folds an append batch's delta into the shard's rollup hierarchy.
@@ -144,26 +189,38 @@ func newShard(id market.SpotID) *shard {
 
 func (sh *shard) appendProbe(r ProbeRecord) {
 	var d rollupDelta
+	enc := sh.encodeForWAL(func(b []byte) []byte { return appendProbeFrame(b, r) })
 	sh.mu.Lock()
 	sh.appendProbeLocked(r, &d)
+	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
+	sh.walFinish(enc, oversized)
 	sh.publish(&d)
 }
 
 // appendProbes logs a batch of probes under one lock acquisition,
 // amortizing the lock, the cache-line traffic of the aggregate updates,
 // and the rollup fold (one publish per batch) across the batch (bulk
-// loads, simulator replay, the monitor tick flush).
+// loads, simulator replay, the monitor tick flush). The WAL frames of the
+// whole batch are encoded before the lock and land in the same round.
 func (sh *shard) appendProbes(rs []ProbeRecord) {
 	if len(rs) == 0 {
 		return
 	}
 	var d rollupDelta
+	enc := sh.encodeForWAL(func(b []byte) []byte {
+		for _, r := range rs {
+			b = appendProbeFrame(b, r)
+		}
+		return b
+	})
 	sh.mu.Lock()
 	for _, r := range rs {
 		sh.appendProbeLocked(r, &d)
 	}
+	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
+	sh.walFinish(enc, oversized)
 	sh.publish(&d)
 }
 
@@ -214,9 +271,43 @@ func (sh *shard) appendProbeLocked(r ProbeRecord, d *rollupDelta) {
 }
 
 func (sh *shard) appendSpike(e SpikeEvent) {
-	d := rollupDelta{records: 1, spikes: 1}
+	var d rollupDelta
+	enc := sh.encodeForWAL(func(b []byte) []byte { return appendSpikeFrame(b, e) })
 	sh.mu.Lock()
+	sh.appendSpikeLocked(e, &d)
+	oversized := sh.walAppendLocked(enc)
+	sh.mu.Unlock()
+	sh.walFinish(enc, oversized)
+	sh.publish(&d)
+}
+
+// appendSpikes logs a batch of spike events under one lock round and one
+// rollup publish (the replay bulk-load path).
+func (sh *shard) appendSpikes(es []SpikeEvent) {
+	if len(es) == 0 {
+		return
+	}
+	var d rollupDelta
+	enc := sh.encodeForWAL(func(b []byte) []byte {
+		for _, e := range es {
+			b = appendSpikeFrame(b, e)
+		}
+		return b
+	})
+	sh.mu.Lock()
+	for _, e := range es {
+		sh.appendSpikeLocked(e, &d)
+	}
+	oversized := sh.walAppendLocked(enc)
+	sh.mu.Unlock()
+	sh.walFinish(enc, oversized)
+	sh.publish(&d)
+}
+
+func (sh *shard) appendSpikeLocked(e SpikeEvent, d *rollupDelta) {
 	sh.gen.Add(1)
+	d.records++
+	d.spikes++
 	if n := len(sh.spikes); n > 0 && e.At.Before(sh.spikes[n-1].At) {
 		sh.spikesOrdered = false
 	}
@@ -228,11 +319,11 @@ func (sh *shard) appendSpike(e SpikeEvent) {
 		}
 		sh.crossings = append(sh.crossings, crossing{at: e.At, ratio: e.Ratio})
 		sh.agg.spikesAboveOD++
-		d.spikesAboveOD = 1
-		d.maxCrossRatio = e.Ratio
+		d.spikesAboveOD++
+		if e.Ratio > d.maxCrossRatio {
+			d.maxCrossRatio = e.Ratio
+		}
 	}
-	sh.mu.Unlock()
-	sh.publish(&d)
 }
 
 // crossing is one compact entry of the price-crossing index.
@@ -242,26 +333,64 @@ type crossing struct {
 }
 
 func (sh *shard) appendBidSpread(r BidSpreadRecord) {
-	d := rollupDelta{records: 1}
-	sh.mu.Lock()
-	sh.gen.Add(1)
-	if n := len(sh.bidSpreads); n > 0 && r.At.Before(sh.bidSpreads[n-1].At) {
-		sh.bidSpreadsOrdered = false
+	sh.appendBidSpreads([]BidSpreadRecord{r})
+}
+
+// appendBidSpreads logs a batch of intrinsic-price search results under
+// one lock round and one rollup publish.
+func (sh *shard) appendBidSpreads(rs []BidSpreadRecord) {
+	if len(rs) == 0 {
+		return
 	}
-	sh.bidSpreads = append(sh.bidSpreads, r)
+	d := rollupDelta{records: uint64(len(rs))}
+	enc := sh.encodeForWAL(func(b []byte) []byte {
+		for _, r := range rs {
+			b = appendBidSpreadFrame(b, r)
+		}
+		return b
+	})
+	sh.mu.Lock()
+	for _, r := range rs {
+		sh.gen.Add(1)
+		if n := len(sh.bidSpreads); n > 0 && r.At.Before(sh.bidSpreads[n-1].At) {
+			sh.bidSpreadsOrdered = false
+		}
+		sh.bidSpreads = append(sh.bidSpreads, r)
+	}
+	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
+	sh.walFinish(enc, oversized)
 	sh.publish(&d)
 }
 
 func (sh *shard) appendRevocation(r RevocationRecord) {
-	d := rollupDelta{records: 1}
-	sh.mu.Lock()
-	sh.gen.Add(1)
-	if n := len(sh.revocations); n > 0 && r.At.Before(sh.revocations[n-1].At) {
-		sh.revocationsOrdered = false
+	sh.appendRevocations([]RevocationRecord{r})
+}
+
+// appendRevocations logs a batch of revocation watches under one lock
+// round and one rollup publish.
+func (sh *shard) appendRevocations(rs []RevocationRecord) {
+	if len(rs) == 0 {
+		return
 	}
-	sh.revocations = append(sh.revocations, r)
+	d := rollupDelta{records: uint64(len(rs))}
+	enc := sh.encodeForWAL(func(b []byte) []byte {
+		for _, r := range rs {
+			b = appendRevocationFrame(b, r)
+		}
+		return b
+	})
+	sh.mu.Lock()
+	for _, r := range rs {
+		sh.gen.Add(1)
+		if n := len(sh.revocations); n > 0 && r.At.Before(sh.revocations[n-1].At) {
+			sh.revocationsOrdered = false
+		}
+		sh.revocations = append(sh.revocations, r)
+	}
+	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
+	sh.walFinish(enc, oversized)
 	sh.publish(&d)
 }
 
@@ -269,7 +398,42 @@ func (sh *shard) appendPrice(p PricePoint) {
 	var d rollupDelta
 	d.records = 1
 	d.price(p.Price)
+	enc := sh.encodeForWAL(func(b []byte) []byte { return appendPriceFrame(b, p) })
 	sh.mu.Lock()
+	sh.appendPriceLocked(p)
+	oversized := sh.walAppendLocked(enc)
+	sh.mu.Unlock()
+	sh.walFinish(enc, oversized)
+	sh.publish(&d)
+}
+
+// appendPrices logs a whole price series under one lock round and one
+// rollup publish (the replay bulk-load path: watched markets carry the
+// densest series in a study).
+func (sh *shard) appendPrices(ps []PricePoint) {
+	if len(ps) == 0 {
+		return
+	}
+	var d rollupDelta
+	d.records = uint64(len(ps))
+	enc := sh.encodeForWAL(func(b []byte) []byte {
+		for _, p := range ps {
+			b = appendPriceFrame(b, p)
+		}
+		return b
+	})
+	sh.mu.Lock()
+	for _, p := range ps {
+		d.price(p.Price)
+		sh.appendPriceLocked(p)
+	}
+	oversized := sh.walAppendLocked(enc)
+	sh.mu.Unlock()
+	sh.walFinish(enc, oversized)
+	sh.publish(&d)
+}
+
+func (sh *shard) appendPriceLocked(p PricePoint) {
 	sh.gen.Add(1)
 	if n := len(sh.prices); n > 0 && p.At.Before(sh.prices[n-1].At) {
 		sh.pricesOrdered = false
@@ -283,8 +447,61 @@ func (sh *shard) appendPrice(p PricePoint) {
 	if sh.agg.priceCount == 1 || p.Price > sh.agg.priceMax {
 		sh.agg.priceMax = p.Price
 	}
-	sh.mu.Unlock()
-	sh.publish(&d)
+}
+
+// shardCapture is one shard's full record state copied under a single
+// lock hold — the per-shard consistent cut behind snapshots and
+// WriteJSON: no append can land in some of a market's record streams and
+// not others.
+type shardCapture struct {
+	id market.SpotID
+
+	probes      []ProbeRecord
+	spikes      []SpikeEvent
+	bidSpreads  []BidSpreadRecord
+	revocations []RevocationRecord
+	prices      []PricePoint
+	outages     []OutageRecord
+
+	probesOrdered      bool
+	spikesOrdered      bool
+	bidSpreadsOrdered  bool
+	revocationsOrdered bool
+	pricesOrdered      bool
+	outagesOrdered     bool
+
+	// walErr reports a failed WAL cut when capture also advanced the
+	// shard's log epoch (snapshot path only).
+	walErr error
+}
+
+// capture copies every record stream of the shard atomically. When
+// cutEpoch is nonzero the shard's WAL flushes its pre-cut bytes and
+// advances to that epoch inside the same lock hold, which is what makes
+// "in the snapshot" and "in a segment the snapshot does not cover"
+// mutually exclusive and exhaustive (see Persister.Snapshot).
+func (sh *shard) capture(cutEpoch uint64) shardCapture {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := shardCapture{
+		id:                 sh.id,
+		probes:             append([]ProbeRecord(nil), sh.probes...),
+		spikes:             append([]SpikeEvent(nil), sh.spikes...),
+		bidSpreads:         append([]BidSpreadRecord(nil), sh.bidSpreads...),
+		revocations:        append([]RevocationRecord(nil), sh.revocations...),
+		prices:             append([]PricePoint(nil), sh.prices...),
+		outages:            append([]OutageRecord(nil), sh.outages...),
+		probesOrdered:      sh.probesOrdered,
+		spikesOrdered:      sh.spikesOrdered,
+		bidSpreadsOrdered:  sh.bidSpreadsOrdered,
+		revocationsOrdered: sh.revocationsOrdered,
+		pricesOrdered:      sh.pricesOrdered,
+		outagesOrdered:     sh.outagesOrdered,
+	}
+	if cutEpoch != 0 && sh.wal != nil {
+		c.walErr = sh.wal.cutTo(cutEpoch)
+	}
+	return c
 }
 
 // windowBounds returns the half-open index range [lo, hi) of the elements

@@ -242,6 +242,11 @@ type Store struct {
 	// per region (empty product). rollupList caches them sorted.
 	rollups    map[rollupScope]*rollup
 	rollupList []*rollup
+
+	// persist is the durability engine of a store opened with Open; nil
+	// for in-memory stores built with New. Set once before the store is
+	// shared (Open wires it after recovery), immutable afterwards.
+	persist *Persister
 }
 
 // New returns an empty store.
@@ -271,6 +276,13 @@ func (s *Store) shardFor(id market.SpotID) *shard {
 	if sh = s.shards[id]; sh == nil {
 		sh = newShard(id)
 		sh.rp, sh.rg, sh.storeGen = rp, rg, &s.gen
+		if s.persist != nil {
+			// Minting the WAL handle under the store lock orders it
+			// against snapshot epoch bumps (Store.snapshotCut), so a new
+			// shard can never log into an epoch a concurrent snapshot
+			// claims to cover.
+			sh.wal = s.persist.newShardWAL(id)
+		}
 		s.shards[id] = sh
 		s.sorted = nil
 		// Shards exist iff they hold at least one record, so creation is
@@ -332,6 +344,13 @@ func mergeByTime[T any](shards []*shard, collect func(*shard) ([]T, bool), at fu
 		total += len(run)
 		allOrdered = allOrdered && ordered
 	}
+	return mergeTimedRuns(runs, allOrdered, total, at)
+}
+
+// mergeTimedRuns merges per-shard runs into one timestamp-ordered slice;
+// see mergeByTime for the ordering contract. Factored out so snapshot
+// assembly can merge already-captured runs without re-locking shards.
+func mergeTimedRuns[T any](runs [][]T, allOrdered bool, total int, at func(T) time.Time) []T {
 	switch {
 	case len(runs) == 0:
 		return nil

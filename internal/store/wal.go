@@ -1,0 +1,428 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"spotlight/internal/market"
+)
+
+// The write-ahead log is the store's durability primitive: every record
+// appended to a shard is also framed into that shard's active WAL segment
+// in the same batch round, so a crash loses at most the records that were
+// never flushed to disk. Segments are append-only files, one directory per
+// market shard, rotated by size and superseded by whole-store snapshots
+// (see persist.go for the file layout and the recovery procedure).
+//
+// # Frame format
+//
+// A segment is the 8-byte magic "SPOTWAL1" followed by frames:
+//
+//	uint32 LE  payload length (including the type byte)
+//	uint32 LE  CRC-32C (Castagnoli) of the payload
+//	payload    1 type byte + the record's binary encoding
+//
+// The length prefix bounds the read, the checksum rejects torn or
+// bit-flipped frames, and because frames are self-delimiting a reader
+// recovers every record up to the first damaged byte — the prefix
+// semantics crash recovery depends on.
+//
+// # Record encoding
+//
+// Records encode field-by-field in little-endian binary: uvarint-prefixed
+// strings, float64 bits, and instants as (Unix seconds int64, nanoseconds
+// uint32) pairs, decoded back in UTC. Binary instead of JSON keeps the
+// per-record encode cost a small fraction of the in-memory append itself,
+// which is what lets the WAL ride inside the shard's batch round without
+// blowing the ingestion budget. The format is pinned by the golden-file
+// tests in golden_test.go; changing it requires a new magic version.
+
+// walMagic opens every segment file.
+const walMagic = "SPOTWAL1"
+
+// walFrameHeader is the fixed part of a frame: length + CRC.
+const walFrameHeader = 8
+
+// maxWALPayload caps a frame's declared payload length. Real records are
+// tens to hundreds of bytes; anything larger is a corrupt length prefix
+// and must not turn into a giant allocation.
+const maxWALPayload = 1 << 20
+
+// walRecordType tags a frame's payload.
+type walRecordType byte
+
+const (
+	walProbe walRecordType = iota + 1
+	walSpike
+	walBidSpread
+	walRevocation
+	walPrice
+)
+
+// walCastagnoli is the CRC-32C table shared by encode and decode.
+var walCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWALCorrupt reports a damaged WAL frame: a bad length prefix, a
+// checksum mismatch, or a payload that does not decode. Replay treats the
+// first corrupt frame as the end of the log.
+var ErrWALCorrupt = errors.New("store: corrupt WAL frame")
+
+// errWALShort reports a frame cut off by a crash mid-write; like
+// ErrWALCorrupt it ends replay, but it is the expected shape of a torn
+// tail rather than damage inside the file.
+var errWALShort = fmt.Errorf("%w: truncated frame", ErrWALCorrupt)
+
+// appendWALFrame frames one payload (type byte + body) into buf.
+func appendWALFrame(buf []byte, typ walRecordType, body func([]byte) []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + CRC placeholders
+	buf = append(buf, byte(typ))
+	buf = body(buf)
+	payload := buf[start+walFrameHeader:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, walCastagnoli))
+	return buf
+}
+
+// decodeWALFrame reads one frame from data, returning the payload type,
+// the body (without the type byte, aliasing data), and the total frame
+// size consumed.
+func decodeWALFrame(data []byte) (typ walRecordType, body []byte, n int, err error) {
+	if len(data) < walFrameHeader {
+		return 0, nil, 0, errWALShort
+	}
+	length := binary.LittleEndian.Uint32(data)
+	sum := binary.LittleEndian.Uint32(data[4:])
+	if length == 0 || length > maxWALPayload {
+		return 0, nil, 0, fmt.Errorf("%w: payload length %d", ErrWALCorrupt, length)
+	}
+	if uint32(len(data)-walFrameHeader) < length {
+		return 0, nil, 0, errWALShort
+	}
+	payload := data[walFrameHeader : walFrameHeader+int(length)]
+	if crc32.Checksum(payload, walCastagnoli) != sum {
+		return 0, nil, 0, fmt.Errorf("%w: checksum mismatch", ErrWALCorrupt)
+	}
+	return walRecordType(payload[0]), payload[1:], walFrameHeader + int(length), nil
+}
+
+// Field-level encoders. All append to buf and return it.
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+func appendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// appendTime encodes an instant as (Unix seconds, in-second nanoseconds).
+// Decoding reconstructs the same instant in UTC, so a store recovered
+// from the WAL renders timestamps identically to the original process (the
+// simulation clock, and any sane deployment, runs in UTC).
+func appendTime(buf []byte, t time.Time) []byte {
+	buf = appendVarint(buf, t.Unix())
+	return appendUvarint(buf, uint64(t.Nanosecond()))
+}
+
+// appendMarket encodes the three components of a SpotID separately, so
+// IDs round-trip exactly regardless of their contents.
+func appendMarket(buf []byte, id market.SpotID) []byte {
+	buf = appendString(buf, string(id.Zone))
+	buf = appendString(buf, string(id.Type))
+	return appendString(buf, string(id.Product))
+}
+
+// walReader decodes fields sequentially from one frame body. A read past
+// the end or a malformed varint sets sticky failure; callers check err()
+// once after reading every field.
+type walReader struct {
+	data []byte
+	bad  bool
+}
+
+func (r *walReader) err() error {
+	if r.bad {
+		return fmt.Errorf("%w: short payload", ErrWALCorrupt)
+	}
+	return nil
+}
+
+func (r *walReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *walReader) varint() int64 {
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *walReader) str() string {
+	n := r.uvarint()
+	if r.bad || n > uint64(len(r.data)) {
+		r.bad = true
+		return ""
+	}
+	s := string(r.data[:n])
+	r.data = r.data[n:]
+	return s
+}
+
+func (r *walReader) float() float64 {
+	if len(r.data) < 8 {
+		r.bad = true
+		return 0
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(r.data))
+	r.data = r.data[8:]
+	return f
+}
+
+func (r *walReader) boolean() bool {
+	if len(r.data) < 1 {
+		r.bad = true
+		return false
+	}
+	b := r.data[0]
+	r.data = r.data[1:]
+	return b != 0
+}
+
+func (r *walReader) instant() time.Time {
+	sec := r.varint()
+	nsec := r.uvarint()
+	if r.bad || nsec >= uint64(time.Second) {
+		r.bad = true
+		return time.Time{}
+	}
+	return time.Unix(sec, int64(nsec)).UTC()
+}
+
+func (r *walReader) market() market.SpotID {
+	zone := r.str()
+	typ := r.str()
+	product := r.str()
+	return market.SpotID{
+		Zone:    market.Zone(zone),
+		Type:    market.InstanceType(typ),
+		Product: market.Product(product),
+	}
+}
+
+// Record encoders: one frame per record.
+
+func appendProbeFrame(buf []byte, rec ProbeRecord) []byte {
+	return appendWALFrame(buf, walProbe, func(b []byte) []byte {
+		b = appendTime(b, rec.At)
+		b = appendMarket(b, rec.Market)
+		b = appendVarint(b, int64(rec.Kind))
+		b = appendVarint(b, int64(rec.Trigger))
+		b = appendMarket(b, rec.TriggerMarket)
+		b = appendVarint(b, int64(rec.SourceKind))
+		b = appendFloat(b, rec.SpikeRatio)
+		b = appendFloat(b, rec.PriceRatio)
+		b = appendBool(b, rec.Rejected)
+		b = appendString(b, rec.Code)
+		b = appendFloat(b, rec.Bid)
+		return appendFloat(b, rec.Cost)
+	})
+}
+
+func appendSpikeFrame(buf []byte, e SpikeEvent) []byte {
+	return appendWALFrame(buf, walSpike, func(b []byte) []byte {
+		b = appendTime(b, e.At)
+		b = appendMarket(b, e.Market)
+		b = appendFloat(b, e.Price)
+		b = appendFloat(b, e.Ratio)
+		return appendBool(b, e.Probed)
+	})
+}
+
+func appendBidSpreadFrame(buf []byte, r BidSpreadRecord) []byte {
+	return appendWALFrame(buf, walBidSpread, func(b []byte) []byte {
+		b = appendTime(b, r.At)
+		b = appendMarket(b, r.Market)
+		b = appendFloat(b, r.Published)
+		b = appendFloat(b, r.Intrinsic)
+		return appendVarint(b, int64(r.Attempts))
+	})
+}
+
+func appendRevocationFrame(buf []byte, r RevocationRecord) []byte {
+	return appendWALFrame(buf, walRevocation, func(b []byte) []byte {
+		b = appendTime(b, r.At)
+		b = appendMarket(b, r.Market)
+		b = appendFloat(b, r.Bid)
+		return appendVarint(b, int64(r.Held))
+	})
+}
+
+func appendPriceFrame(buf []byte, p PricePoint) []byte {
+	return appendWALFrame(buf, walPrice, func(b []byte) []byte {
+		b = appendTime(b, p.At)
+		return appendFloat(b, p.Price)
+	})
+}
+
+// walEntry is one decoded WAL record; exactly one of the record fields is
+// meaningful, selected by typ.
+type walEntry struct {
+	typ        walRecordType
+	probe      ProbeRecord
+	spike      SpikeEvent
+	bidSpread  BidSpreadRecord
+	revocation RevocationRecord
+	price      PricePoint
+}
+
+// at returns the record's timestamp.
+func (e walEntry) at() time.Time {
+	switch e.typ {
+	case walProbe:
+		return e.probe.At
+	case walSpike:
+		return e.spike.At
+	case walBidSpread:
+		return e.bidSpread.At
+	case walRevocation:
+		return e.revocation.At
+	case walPrice:
+		return e.price.At
+	default:
+		return time.Time{}
+	}
+}
+
+// decodeWALEntry decodes one frame body into a typed record. The price
+// record carries no market of its own: segments are per-shard, so the
+// owning market is supplied by the caller from the segment's directory.
+func decodeWALEntry(typ walRecordType, body []byte, id market.SpotID) (walEntry, error) {
+	r := walReader{data: body}
+	e := walEntry{typ: typ}
+	switch typ {
+	case walProbe:
+		e.probe = ProbeRecord{
+			At:            r.instant(),
+			Market:        r.market(),
+			Kind:          ProbeKind(r.varint()),
+			Trigger:       Trigger(r.varint()),
+			TriggerMarket: r.market(),
+			SourceKind:    ProbeKind(r.varint()),
+			SpikeRatio:    r.float(),
+			PriceRatio:    r.float(),
+			Rejected:      r.boolean(),
+			Code:          r.str(),
+			Bid:           r.float(),
+			Cost:          r.float(),
+		}
+	case walSpike:
+		e.spike = SpikeEvent{
+			At:     r.instant(),
+			Market: r.market(),
+			Price:  r.float(),
+			Ratio:  r.float(),
+			Probed: r.boolean(),
+		}
+	case walBidSpread:
+		e.bidSpread = BidSpreadRecord{
+			At:        r.instant(),
+			Market:    r.market(),
+			Published: r.float(),
+			Intrinsic: r.float(),
+			Attempts:  int(r.varint()),
+		}
+	case walRevocation:
+		e.revocation = RevocationRecord{
+			At:     r.instant(),
+			Market: r.market(),
+			Bid:    r.float(),
+			Held:   time.Duration(r.varint()),
+		}
+	case walPrice:
+		e.price = PricePoint{At: r.instant(), Price: r.float()}
+	default:
+		return e, fmt.Errorf("%w: unknown record type %d", ErrWALCorrupt, typ)
+	}
+	if err := r.err(); err != nil {
+		return e, err
+	}
+	if len(r.data) != 0 {
+		return e, fmt.Errorf("%w: %d trailing payload bytes", ErrWALCorrupt, len(r.data))
+	}
+	// Per-shard logs must only hold their own market's records; a framed
+	// record claiming another market is corruption, not data.
+	switch typ {
+	case walProbe:
+		if e.probe.Market != id {
+			return e, fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.probe.Market, id)
+		}
+	case walSpike:
+		if e.spike.Market != id {
+			return e, fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.spike.Market, id)
+		}
+	case walBidSpread:
+		if e.bidSpread.Market != id {
+			return e, fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.bidSpread.Market, id)
+		}
+	case walRevocation:
+		if e.revocation.Market != id {
+			return e, fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.revocation.Market, id)
+		}
+	}
+	return e, nil
+}
+
+// decodeSegment decodes a whole segment image (magic header included).
+// It returns every record up to the first damaged frame together with the
+// byte length of the valid prefix; err is nil only when the segment
+// decoded completely.
+func decodeSegment(data []byte, id market.SpotID) (entries []walEntry, validLen int, err error) {
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return nil, 0, fmt.Errorf("%w: bad segment magic", ErrWALCorrupt)
+	}
+	off := len(walMagic)
+	for off < len(data) {
+		typ, body, n, ferr := decodeWALFrame(data[off:])
+		if ferr != nil {
+			return entries, off, ferr
+		}
+		e, derr := decodeWALEntry(typ, body, id)
+		if derr != nil {
+			return entries, off, derr
+		}
+		entries = append(entries, e)
+		off += n
+	}
+	return entries, off, nil
+}
