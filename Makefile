@@ -4,9 +4,12 @@ GO ?= go
 
 # Benchmarks covered by the smoke run: the query hot paths, the rollup/
 # ingest paths whose regressions matter (summary, scope generations,
-# monitor-shaped batched appends), and the durability paths (WAL-enabled
-# batch ingest, WAL append+flush cycle, boot-time replay).
-BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregates|BenchmarkStoreRegionAggregates|BenchmarkGenerationOfScope|BenchmarkStoreAppendMonitorTick|BenchmarkStoreAppendProbesBatchParallel|BenchmarkWALAppend|BenchmarkReplay
+# monitor-shaped batched appends), the durability paths (WAL-enabled
+# batch ingest, WAL append+flush cycle, boot-time replay), and the
+# change-feed paths (publish round, 1/64/512-subscriber fan-out, and the
+# blocked-watcher ingest twin that proves slow consumers cannot stall
+# appends).
+BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregates|BenchmarkStoreRegionAggregates|BenchmarkGenerationOfScope|BenchmarkStoreAppendMonitorTick|BenchmarkStoreAppendProbesBatchParallel|BenchmarkWALAppend|BenchmarkReplay|BenchmarkFeedPublish|BenchmarkFeedFanout
 
 # bench-diff inputs: OLD defaults to the committed baseline, NEW to the
 # latest smoke run.

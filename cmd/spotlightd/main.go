@@ -7,7 +7,8 @@
 // Usage:
 //
 //	spotlightd [-addr :8080] [-seed 42] [-tick 5m] [-speed 300]
-//	           [-data-dir DIR] [-snapshot-interval 1h] [-smoke]
+//	           [-data-dir DIR] [-snapshot-interval 1h]
+//	           [-max-watchers 256] [-smoke]
 //
 // With -speed 300, five simulated minutes (one tick) pass per wall-clock
 // second. By default the store is in-memory and a restart starts a fresh
@@ -34,14 +35,22 @@
 //	POST /v2/query   — a batch of typed query specs answered in one round
 //	                   trip; request and response DTOs live in pkg/api and
 //	                   the Go SDK in pkg/client
+//	GET  /v2/watch   — live Server-Sent Events stream of typed store
+//	                   events (probes, prices, spikes, revocations,
+//	                   outage transitions) with Last-Event-ID resume; see
+//	                   docs/streaming.md and pkg/client.Watch
+//	GET  /v2/health  — store mode, durability state, and watch-stream
+//	                   counters
 //
 // Windows are absolute (from/to, RFC3339) or relative (window=24h,
 // resolved against the simulation clock). Errors use the machine-readable
-// {code, message, details} envelope.
+// {code, message, details} envelope. Query responses carry Cache-Control
+// max-age hints equal to the wall-clock tick interval.
 //
-// With -smoke the daemon starts, issues one v2 batch query against itself
-// through the pkg/client SDK, prints the result, and exits — the CI
-// health check for the whole serving path.
+// With -smoke the daemon starts, opens a /v2/watch stream, issues one v2
+// batch query against itself through the pkg/client SDK, waits for a live
+// event, prints the result, and exits — the CI health check for the whole
+// serving path, streaming included.
 package main
 
 import (
@@ -80,6 +89,7 @@ type options struct {
 	smoke        bool
 	dataDir      string
 	snapInterval time.Duration
+	maxWatchers  int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -94,6 +104,8 @@ func parseFlags(args []string) (options, error) {
 		"durable store directory (WAL segments + snapshots); empty keeps the store in memory")
 	fs.DurationVar(&o.snapInterval, "snapshot-interval", time.Hour,
 		"simulated time between store snapshots when -data-dir is set (0: snapshot only at shutdown)")
+	fs.IntVar(&o.maxWatchers, "max-watchers", 256,
+		"concurrent /v2/watch subscriber cap (above it new streams get 429)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -102,6 +114,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.snapInterval < 0 {
 		return o, errors.New("snapshot-interval must not be negative")
+	}
+	if o.maxWatchers <= 0 {
+		return o, errors.New("max-watchers must be positive")
 	}
 	return o, nil
 }
@@ -152,6 +167,7 @@ type daemon struct {
 	mu        sync.Mutex // owns st.Sim and st.Svc; HTTP touches only the clock under it
 	ln        net.Listener
 	srv       *http.Server
+	apiSrv    *query.API
 	serveErr  chan error
 	stopTick  context.CancelFunc
 	tickDone  chan struct{}
@@ -226,6 +242,11 @@ func startDaemon(opts options) (*daemon, error) {
 		defer d.mu.Unlock()
 		return st.Sim.Now()
 	})
+	d.apiSrv = apiSrv
+	// Results cannot change faster than the study ticks, so intermediaries
+	// may cache exactly one wall-clock tick without revalidating.
+	apiSrv.SetCacheTTL(interval)
+	apiSrv.SetWatchLimit(opts.maxWatchers)
 	if pers != nil {
 		// A durable store's generations survive restarts, so its ETags
 		// should too: salt them with the data directory's stable salt
@@ -265,6 +286,10 @@ func (d *daemon) Close() error {
 	d.closeOnce.Do(func() {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		defer cancel()
+		// Tear down live /v2/watch streams first: SSE handlers never
+		// return on their own, so without this Shutdown would hang until
+		// its timeout and leak the stream goroutines.
+		d.apiSrv.Shutdown()
 		err := d.srv.Shutdown(shutCtx)
 		d.stopTick()
 		<-d.tickDone
@@ -279,9 +304,10 @@ func (d *daemon) Close() error {
 	return d.closeErr
 }
 
-// smokeCheck exercises the full serving path end to end: one v2 batch of
-// three distinct query kinds issued through the client SDK, every result
-// required to succeed.
+// smokeCheck exercises the full serving path end to end: a live
+// /v2/watch stream opened through the client SDK must deliver at least
+// one ingested event, one v2 batch of three distinct query kinds must
+// succeed, and /v2/health must report an ok service.
 func smokeCheck(ctx context.Context, baseURL string) error {
 	c, err := client.New(baseURL, nil)
 	if err != nil {
@@ -289,6 +315,15 @@ func smokeCheck(ctx context.Context, baseURL string) error {
 	}
 	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
+
+	// Open the stream before querying so the ticks that answer the batch
+	// also feed the watcher.
+	w, err := c.Watch(ctx, client.WatchOptions{})
+	if err != nil {
+		return fmt.Errorf("smoke: watch failed to open: %w", err)
+	}
+	defer w.Close()
+
 	resp, err := c.Batch(ctx,
 		api.Query{Kind: api.KindStable, Region: "us-east-1", N: 5, Window: api.Last(24 * time.Hour)},
 		api.Query{Kind: api.KindMarkets, Region: "us-east-1", Product: "Linux/UNIX"},
@@ -302,7 +337,27 @@ func smokeCheck(ctx context.Context, baseURL string) error {
 			return fmt.Errorf("smoke: query %d (%s) failed: %v", i, res.Kind, res.Error)
 		}
 	}
-	fmt.Printf("smoke: ok — v2 batch at sim clock %s: %d stable rows, %d markets, %d region summaries\n",
-		resp.Now.Format(time.RFC3339), len(resp.Results[0].Stable), len(resp.Results[1].Markets), len(resp.Results[2].Summary))
+
+	// The simulation ticks continuously, so a data event must arrive.
+	var firstEvent api.EventKind
+waitEvent:
+	for {
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				return fmt.Errorf("smoke: watch ended before any event: %v", w.Err())
+			}
+			if ev.Kind == api.EventHello {
+				continue
+			}
+			firstEvent = ev.Kind
+			break waitEvent
+		case <-ctx.Done():
+			return fmt.Errorf("smoke: no watch event before timeout: %w", ctx.Err())
+		}
+	}
+
+	fmt.Printf("smoke: ok — v2 batch at sim clock %s: %d stable rows, %d markets, %d region summaries; watch delivered a %q event\n",
+		resp.Now.Format(time.RFC3339), len(resp.Results[0].Stable), len(resp.Results[1].Markets), len(resp.Results[2].Summary), firstEvent)
 	return nil
 }

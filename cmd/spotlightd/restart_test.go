@@ -5,12 +5,37 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"spotlight/pkg/client"
 )
+
+// checkGoroutineLeak asserts the process returns to (about) its baseline
+// goroutine count — the watch-stream handlers, tick loop, and HTTP server
+// of every closed daemon must all have exited.
+func checkGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		// Idle keep-alive connections hold transport goroutines; they are
+		// pool reuse, not leaks.
+		http.DefaultClient.CloseIdleConnections()
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after daemon close: %d -> %d\n%s",
+				base, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
 
 // The end-to-end restart contract of -data-dir: stop a daemon, start it
 // again over the same directory, and every recovered query answer —
@@ -26,23 +51,48 @@ func TestRestartServesIdenticalResponsesAndETags(t *testing.T) {
 		t.Skip("daemon restart test skipped in -short mode")
 	}
 	dir := t.TempDir()
+	baseGoroutines := runtime.NumGoroutine()
 
 	ingest := options{
 		addr: "127.0.0.1:0", seed: 7, tick: 5 * time.Minute, speed: 30000,
-		dataDir: dir, snapInterval: time.Hour,
+		dataDir: dir, snapInterval: time.Hour, maxWatchers: 8,
 	}
 	quiet := ingest
 	quiet.tick, quiet.speed = 24*time.Hour, 1 // first tick a day of wall clock away
 
-	// Run 1: ingest until the store holds probes, then shut down cleanly.
+	// Run 1: ingest until the store holds probes, then shut down cleanly —
+	// with a live watch stream open, which Close must tear down instead of
+	// hanging on (SSE handlers never return by themselves).
 	d1, err := startDaemon(ingest)
 	if err != nil {
 		t.Fatalf("start ingest daemon: %v", err)
+	}
+	wc, err := client.New("http://"+d1.addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wc.Watch(context.Background(), client.WatchOptions{MaxBackoff: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("open watch on ingest daemon: %v", err)
+	}
+	sawEvent := false
+	eventWait := time.After(15 * time.Second)
+	for !sawEvent {
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				t.Fatalf("watch ended before an event: %v", w.Err())
+			}
+			sawEvent = ev.Kind != "hello"
+		case <-eventWait:
+			t.Fatal("no live event from the ingest daemon")
+		}
 	}
 	waitForProbes(t, d1.addr())
 	if err := d1.Close(); err != nil {
 		t.Fatalf("close ingest daemon: %v", err)
 	}
+	w.Close() // stop the client-side reconnect loop
 
 	// The query set: absolute windows spanning the study, the clock-bound
 	// summary (the resumed study clock makes even that reproducible), and
@@ -105,6 +155,13 @@ func TestRestartServesIdenticalResponsesAndETags(t *testing.T) {
 	if notMod := doPOST(t, d3.addr(), "/v2/query", batchBody, capturedBatch.etag); notMod.status != http.StatusNotModified {
 		t.Errorf("/v2/query: If-None-Match with the pre-restart ETag answered %d, want 304", notMod.status)
 	}
+
+	// Every daemon closed must leave no stream handlers, tick loops, or
+	// servers behind.
+	if err := d3.Close(); err != nil {
+		t.Fatalf("close run 3: %v", err)
+	}
+	checkGoroutineLeak(t, baseGoroutines)
 }
 
 // waitForProbes polls the summary endpoint until the study has ingested

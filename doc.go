@@ -17,26 +17,31 @@
 //     each market's history lives behind its own lock with incremental
 //     indexes and aggregates, so ingestion scales across markets and
 //     availability queries are shard-local lookups instead of log scans.
+//     Every append also publishes typed events to a change feed
+//     (store.Feed) with scope-filtered subscriptions, lagged-consumer
+//     overflow accounting, and ring-based resume (docs/streaming.md).
 //     Optionally durable (store.Open): per-shard CRC'd WAL segments
 //     written in the same batch round as each append, periodic
 //     snapshot + compaction, and crash recovery that replays
 //     snapshot-then-WAL (docs/persistence.md)
 //   - internal/query       — query engine (with a generation-keyed
-//     response cache) + the versioned HTTP API: GET /v1/* adapters and
-//     the POST /v2/query batch endpoint, both over the typed DTOs of
-//     pkg/api (full reference in docs/api.md)
+//     response cache) + the versioned HTTP API: GET /v1/* adapters, the
+//     POST /v2/query batch endpoint, the GET /v2/watch Server-Sent
+//     Events stream with Last-Event-ID resume, and GET /v2/health, all
+//     over the typed DTOs of pkg/api (full reference in docs/api.md)
 //   - pkg/api              — the public wire contract: request/response
-//     DTOs per query kind, the batch envelope, and the machine-readable
-//     error envelope
-//   - pkg/client           — the Go client SDK over both API surfaces
+//     DTOs per query kind, the batch envelope, the live-stream event
+//     DTOs, and the machine-readable error envelope
+//   - pkg/client           — the Go client SDK over both API surfaces,
+//     including Watch (typed live events, auto-reconnect with resume)
 //   - internal/analysis    — one function per paper table/figure
 //   - internal/experiment  — study harness and the Chapter 6 case studies
 //   - internal/spotcheck   — SpotCheck case study (Fig 6.1)
 //   - internal/spoton      — SpotOn case study + Eq 6.1 (Fig 6.2)
 //   - cmd/spotlight-study  — regenerate every table and figure
 //   - cmd/spotlightd       — run the service as an HTTP daemon (-smoke
-//     self-checks a v2 batch through pkg/client and exits; -data-dir
-//     makes the study durable across restarts)
+//     self-checks a v2 batch and a live watch stream through pkg/client
+//     and exits; -data-dir makes the study durable across restarts)
 //   - cmd/ec2sim           — inspect the simulator standalone
 //   - examples/            — runnable walkthroughs; each serves a study
 //     over HTTP and consumes it through pkg/client

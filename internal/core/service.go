@@ -295,7 +295,10 @@ func (s *Service) logProbe(mon *marketMon, rec store.ProbeRecord) {
 // flushProbes appends every monitor's buffered probe records through its
 // bound Appender in one batch per market, preserving within-market order
 // (the store's outage derivation depends on it). Buffers keep their
-// capacity for the next tick.
+// capacity for the next tick. Each batch is also one change-feed publish
+// round: live watchers (store.Feed subscribers, /v2/watch streams)
+// receive a tick's probes and derived outage transitions as one burst
+// per market per tick, not one wakeup per record.
 func (s *Service) flushProbes() {
 	for _, mon := range s.dirtyMons {
 		mon.app.AppendProbes(mon.pending)

@@ -644,3 +644,51 @@ func TestQuotaErrorsAreNotMarketSignal(t *testing.T) {
 type apiErrorForTest struct{}
 
 func (e *apiErrorForTest) Error() string { return "RequestLimitExceeded: scripted" }
+
+// One monitoring tick drives the store's change feed: a live subscriber
+// sees the tick's records as typed events — the spike immediately, and
+// the tick's probes (plus derived outage transitions) flushed as one
+// batched publish round at tick end.
+func TestTickFlushDrivesChangeFeed(t *testing.T) {
+	f := newFakeProvider()
+	od := odPrice(t, f, trigMkt)
+	f.prices[trigMkt] = od * 1.5 // spike over the threshold
+	f.odDown[trigMkt] = true     // the probe is rejected -> outage opens
+	svc, db := newService(t, f, Config{Regions: []market.Region{"us-east-1"}})
+
+	sub := db.Feed().Subscribe(store.SubscribeOptions{
+		Filter: store.EventFilter{Market: trigMkt},
+	})
+	defer sub.Close()
+
+	svc.OnTick()
+
+	byKind := map[store.EventKind]int{}
+	for done := false; !done; {
+		select {
+		case ev := <-sub.Events():
+			byKind[ev.Kind]++
+		default:
+			done = true
+		}
+	}
+	if byKind[store.EventPrice] == 0 {
+		t.Error("no price event from the tick's scan")
+	}
+	if byKind[store.EventSpike] != 1 {
+		t.Errorf("spike events = %d, want 1", byKind[store.EventSpike])
+	}
+	if byKind[store.EventProbe] == 0 {
+		t.Error("no probe event from the tick's flush")
+	}
+	if byKind[store.EventOutageOpen] != 1 {
+		t.Errorf("outage-open events = %d, want 1", byKind[store.EventOutageOpen])
+	}
+
+	// The flush batches per market: the tick's probe records share one
+	// publish round, i.e. the probe events carry one generation.
+	evs := db.EventsSince(f.now.Add(-time.Hour), store.EventFilter{Market: trigMkt})
+	if len(evs) == 0 {
+		t.Fatal("EventsSince found nothing for the tick")
+	}
+}

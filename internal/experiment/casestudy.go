@@ -10,6 +10,7 @@ import (
 	"spotlight/internal/query"
 	"spotlight/internal/spotcheck"
 	"spotlight/internal/spoton"
+	"spotlight/internal/store"
 )
 
 // groundTruthPlatform adapts the simulator's ground truth to the case
@@ -27,19 +28,54 @@ type alwaysAvailable struct{}
 
 func (alwaysAvailable) ODAvailable(market.SpotID, time.Time) bool { return true }
 
-// spotlightFallback builds a FallbackPolicy that asks the query engine for
-// the most available uncorrelated market, memoized hourly (the engine scan
-// is too heavy to run every simulated minute).
-func (st *Study) spotlightFallback(m market.SpotID) func(t time.Time) market.SpotID {
+// spotlightFallback builds the event-steered fallback policy for market
+// m: revocation and outage-open events in m's region signal that the
+// steering should be recomputed, and the query engine supplies the
+// current best uncorrelated market. Signals come from two equivalent
+// sources — a live subscription to the store's change feed (a study that
+// is still ingesting pushes the recompute the moment SpotLight learns of
+// a revocation), and, for a completed study whose feed is quiet, the
+// recorded event history of the gap since the previous decision (the
+// replay stand-in for the same push). Either way the engine scan runs
+// only when the information service actually learned something, not on a
+// timer. The returned closer releases the feed subscription.
+func (st *Study) spotlightFallback(m market.SpotID) (func(t time.Time) market.SpotID, func()) {
 	engine := query.NewEngine(st.DB, st.Cat)
-	var (
-		cached  market.SpotID
-		cachedA time.Time
-	)
-	return func(t time.Time) market.SpotID {
-		if !cachedA.IsZero() && t.Sub(cachedA) < time.Hour {
-			return cached
+	filter := store.EventFilter{
+		Region: m.Region(),
+		Kinds:  []store.EventKind{store.EventRevocation, store.EventOutageOpen},
+	}
+	sub := st.DB.Feed().Subscribe(store.SubscribeOptions{Filter: filter, Buffer: 256})
+	var lastT time.Time
+	signaled := func(t time.Time) bool {
+		saw := false
+	liveDrain:
+		for {
+			select {
+			case _, ok := <-sub.Events():
+				if !ok {
+					break liveDrain
+				}
+				saw = true
+			default:
+				break liveDrain
+			}
 		}
+		switch {
+		case lastT.IsZero() || t.Before(lastT):
+			// First decision of a (re)started timeline — trials replay
+			// from different start times.
+			saw = true
+		case !saw:
+			// Quiet feed: consult the recorded history for events inside
+			// (lastT, t], exactly what the live feed would have pushed.
+			evs := st.DB.EventsSince(lastT.Add(time.Nanosecond), filter)
+			saw = len(evs) > 0 && !evs[0].At.After(t)
+		}
+		lastT = t
+		return saw
+	}
+	recompute := func(t time.Time) market.SpotID {
 		from := st.Start
 		if !t.After(from) {
 			return m
@@ -48,10 +84,9 @@ func (st *Study) spotlightFallback(m market.SpotID) func(t time.Time) market.Spo
 		if err != nil || len(rows) == 0 {
 			return m
 		}
-		cached = rows[0].Market
-		cachedA = t
-		return cached
+		return rows[0].Market
 	}
+	return spotcheck.EventSteeredFallback(signaled, recompute), sub.Close
 }
 
 // Fig61Row is one bar pair of Fig 6.1.
@@ -95,8 +130,10 @@ func (st *Study) RunSpotCheck() ([]Fig61Row, error) {
 			return nil, fmt.Errorf("experiment: spotcheck %v: %w", m, err)
 		}
 		informed := base
-		informed.Fallback = st.spotlightFallback(m)
+		policy, closePolicy := st.spotlightFallback(m)
+		informed.Fallback = policy
 		smart, err := spotcheck.Run(informed)
+		closePolicy()
 		if err != nil {
 			return nil, fmt.Errorf("experiment: spotcheck(+spotlight) %v: %w", m, err)
 		}
@@ -172,8 +209,10 @@ func (st *Study) RunSpotOn(trials int) ([]Fig62Row, error) {
 			return nil, fmt.Errorf("experiment: spoton %v: %w", m, err)
 		}
 		informedCfg := base
-		informedCfg.Fallback = st.spotlightFallback(m)
+		policy, closePolicy := st.spotlightFallback(m)
+		informedCfg.Fallback = policy
 		informed, err := spoton.RunTrials(informedCfg, starts)
+		closePolicy()
 		if err != nil {
 			return nil, fmt.Errorf("experiment: spoton(+spotlight) %v: %w", m, err)
 		}

@@ -2,8 +2,11 @@ package query
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"spotlight/pkg/api"
@@ -34,8 +37,11 @@ import (
 //	GET /v1/markets?region=R&product=P
 //	GET /v1/summary
 //	POST /v2/query            {"queries": [{"kind": ..., ...}, ...]}
+//	GET  /v2/watch            — live Server-Sent Events stream (watch.go)
+//	GET  /v2/health           — store + stream health (watch.go)
 //
-// See docs/api.md for the full schema reference.
+// See docs/api.md for the full schema reference and docs/streaming.md
+// for the live stream.
 type API struct {
 	engine *Engine
 	// Now supplies the "current" instant: the clock summary queries
@@ -46,8 +52,28 @@ type API struct {
 	// generations are record counts that restart from zero with the
 	// process, so without the salt a restarted service whose scope
 	// happens to reach the same count would answer 304 to a tag minted
-	// against different data.
+	// against different data. Watch resume tokens reuse it to pin a
+	// token to one sequence space.
 	epoch int64
+
+	// cacheTTL emits Cache-Control max-age hints on query responses; 0
+	// (the default) emits none. The daemon wires it to the wall-clock
+	// tick interval: results cannot change faster than the study ticks.
+	cacheTTL time.Duration
+
+	// Live-stream state (watch.go): the subscriber cap and count, the
+	// idle heartbeat interval, and the shutdown broadcast that tears
+	// down every open stream.
+	watchLimit     int
+	watchers       atomic.Int64
+	watchHeartbeat time.Duration
+	streamShut     chan struct{}
+	shutOnce       sync.Once
+	// armOnce arms the store feed on the first watch request (and keeps
+	// it armed until Shutdown), so brief reconnect gaps between watchers
+	// stay ring-covered and resume exactly.
+	armOnce sync.Once
+	armed   atomic.Bool
 }
 
 // NewAPI builds the HTTP layer over an engine.
@@ -55,7 +81,37 @@ func NewAPI(engine *Engine, now func() time.Time) *API {
 	if now == nil {
 		now = time.Now
 	}
-	return &API{engine: engine, Now: now, epoch: time.Now().UnixNano()}
+	return &API{
+		engine:         engine,
+		Now:            now,
+		epoch:          time.Now().UnixNano(),
+		watchLimit:     defaultWatchLimit,
+		watchHeartbeat: defaultWatchHeartbeat,
+		streamShut:     make(chan struct{}),
+	}
+}
+
+// SetCacheTTL turns on Cache-Control hints: every successful (or 304)
+// query response carries "max-age" derived from d — the wall-clock
+// interval between service ticks, i.e. how long an intermediary may
+// serve the response without even revalidating. Non-positive d disables
+// the header. Call before serving.
+func (a *API) SetCacheTTL(d time.Duration) {
+	a.cacheTTL = d
+}
+
+// setCacheControl stamps the max-age hint on a query response. Sub-second
+// tick intervals round up: a max-age of 0 would mean "always revalidate",
+// which is stricter than having no hint at all.
+func (a *API) setCacheControl(w http.ResponseWriter) {
+	if a.cacheTTL <= 0 {
+		return
+	}
+	secs := int(math.Ceil(a.cacheTTL.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Cache-Control", "max-age="+strconv.Itoa(secs))
 }
 
 // SetETagSalt replaces the per-process ETag salt with a stable value —
@@ -83,6 +139,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/markets", a.v1(api.KindMarkets, func(r api.Result) any { return r.Markets }))
 	mux.HandleFunc("GET /v1/summary", a.v1(api.KindSummary, func(r api.Result) any { return r.Summary }))
 	mux.HandleFunc("POST /v2/query", a.handleBatch)
+	mux.HandleFunc("GET /v2/watch", a.handleWatch)
+	mux.HandleFunc("GET /v2/health", a.handleHealth)
 	return mux
 }
 
@@ -99,12 +157,14 @@ func (a *API) v1(kind api.Kind, pick func(api.Result) any) http.HandlerFunc {
 			etag := a.etagFor([]api.Query{q}, now)
 			if etagMatches(r.Header.Get(api.HeaderIfNoneMatch), etag) {
 				w.Header().Set(api.HeaderETag, etag)
+				a.setCacheControl(w)
 				w.WriteHeader(http.StatusNotModified)
 				return
 			}
 			res := a.exec(q, now)
 			if res.Error == nil {
 				w.Header().Set(api.HeaderETag, etag)
+				a.setCacheControl(w)
 				writeJSON(w, pick(res))
 				return
 			}

@@ -58,6 +58,7 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 	etag := a.etagFor(req.Queries, now)
 	if etagMatches(r.Header.Get(api.HeaderIfNoneMatch), etag) {
 		w.Header().Set(api.HeaderETag, etag)
+		a.setCacheControl(w)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -78,6 +79,7 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	w.Header().Set(api.HeaderETag, etag)
+	a.setCacheControl(w)
 	writeJSON(w, resp)
 }
 

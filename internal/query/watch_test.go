@@ -1,0 +1,590 @@
+package query
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+	"spotlight/pkg/api"
+)
+
+// sseClient reads one /v2/watch stream frame by frame.
+type sseClient struct {
+	t      *testing.T
+	resp   *http.Response
+	br     *bufio.Reader
+	lastID string
+}
+
+// openWatch connects to /v2/watch; params may be nil, lastEventID "".
+func openWatch(t *testing.T, srv *httptest.Server, params url.Values, lastEventID string) *sseClient {
+	t.Helper()
+	u := srv.URL + "/v2/watch"
+	if params != nil {
+		u += "?" + params.Encode()
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set(api.HeaderLastEventID, lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("watch status = %d body=%s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch Content-Type = %q", ct)
+	}
+	c := &sseClient{t: t, resp: resp, br: bufio.NewReader(resp.Body)}
+	t.Cleanup(c.close)
+	return c
+}
+
+func (c *sseClient) close() { c.resp.Body.Close() }
+
+// next reads one frame; it fails the test on timeout and returns ok=false
+// on clean stream end.
+func (c *sseClient) next(timeout time.Duration) (api.StreamEvent, bool) {
+	c.t.Helper()
+	type frame struct {
+		ev  api.StreamEvent
+		ok  bool
+		err error
+	}
+	ch := make(chan frame, 1)
+	go func() {
+		var ev api.StreamEvent
+		var sawData bool
+		for {
+			line, err := c.br.ReadString('\n')
+			if err != nil {
+				ch <- frame{err: err}
+				return
+			}
+			line = strings.TrimRight(line, "\n")
+			switch {
+			case line == "" && sawData:
+				ch <- frame{ev: ev, ok: true}
+				return
+			case strings.HasPrefix(line, "id: "):
+				ev.ID = strings.TrimPrefix(line, "id: ")
+				c.lastID = ev.ID
+			case strings.HasPrefix(line, "data: "):
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+					ch <- frame{err: err}
+					return
+				}
+				sawData = true
+			}
+		}
+	}()
+	select {
+	case f := <-ch:
+		if f.err != nil {
+			if f.err == io.EOF || strings.Contains(f.err.Error(), "closed") {
+				return api.StreamEvent{}, false
+			}
+			c.t.Fatalf("read SSE frame: %v", f.err)
+		}
+		return f.ev, f.ok
+	case <-time.After(timeout):
+		c.t.Fatalf("no SSE frame within %v", timeout)
+		return api.StreamEvent{}, false
+	}
+}
+
+// expectHello consumes the opening frame.
+func (c *sseClient) expectHello(resume string) api.StreamEvent {
+	c.t.Helper()
+	ev, ok := c.next(5 * time.Second)
+	if !ok || ev.Kind != api.EventHello {
+		c.t.Fatalf("first frame = %+v, want hello", ev)
+	}
+	if ev.Hello == nil || ev.Hello.Resume != resume {
+		c.t.Fatalf("hello = %+v, want resume %q", ev.Hello, resume)
+	}
+	return ev
+}
+
+func TestWatchStreamsTypedEvents(t *testing.T) {
+	srv, db := testServer(t)
+	c := openWatch(t, srv, nil, "")
+	c.expectHello("none")
+
+	db.AppendSpike(store.SpikeEvent{At: t0.Add(time.Hour), Market: mktA, Price: 0.9, Ratio: 1.5, Probed: true})
+	ev, ok := c.next(5 * time.Second)
+	if !ok || ev.Kind != api.EventSpike {
+		t.Fatalf("event = %+v, want spike", ev)
+	}
+	if ev.Market != mktA.String() || ev.Spike == nil || ev.Spike.Ratio != 1.5 {
+		t.Fatalf("spike payload = %+v", ev.Spike)
+	}
+	if ev.ID == "" || ev.Seq == 0 || ev.Gen == 0 {
+		t.Fatalf("event missing resume identity: %+v", ev)
+	}
+
+	db.AppendProbe(store.ProbeRecord{At: t0.Add(2 * time.Hour), Market: mktA, Kind: store.ProbeOnDemand, Rejected: true, Code: "ICE"})
+	probe, ok := c.next(5 * time.Second)
+	if !ok || probe.Kind != api.EventProbe || probe.Probe == nil {
+		t.Fatalf("event = %+v, want probe", probe)
+	}
+	if probe.Probe.Contract != "on-demand" || !probe.Probe.Rejected || probe.Probe.Code != "ICE" {
+		t.Fatalf("probe payload = %+v", probe.Probe)
+	}
+	open, ok := c.next(5 * time.Second)
+	if !ok || open.Kind != api.EventOutageOpen || open.Outage == nil {
+		t.Fatalf("event = %+v, want outage-open", open)
+	}
+}
+
+func TestWatchScopeAndKindFilters(t *testing.T) {
+	srv, db := testServer(t)
+	params := url.Values{"region": {"us-east-1"}, "kinds": {"spike,revocation"}}
+	c := openWatch(t, srv, params, "")
+	c.expectHello("none")
+
+	other := market.SpotID{Zone: "eu-west-1a", Type: "c3.large", Product: market.ProductLinux}
+	db.AppendSpike(store.SpikeEvent{At: t0, Market: other, Ratio: 2.0})                          // wrong region
+	db.AppendProbe(store.ProbeRecord{At: t0, Market: mktA, Kind: store.ProbeSpot})               // wrong kind
+	db.AppendRevocation(store.RevocationRecord{At: t0, Market: mktA, Bid: 0.5, Held: time.Hour}) // match
+
+	ev, ok := c.next(5 * time.Second)
+	if !ok || ev.Kind != api.EventRevocation {
+		t.Fatalf("event = %+v, want the matching revocation only", ev)
+	}
+	if ev.Revocation == nil || ev.Revocation.Held != time.Hour {
+		t.Fatalf("revocation payload = %+v", ev.Revocation)
+	}
+}
+
+func TestWatchBadParams(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, tc := range []struct {
+		params url.Values
+		code   string
+	}{
+		{url.Values{"market": {"not-a-market"}}, api.CodeBadMarket},
+		{url.Values{"market": {mktA.String()}, "region": {"us-east-1"}}, api.CodeBadParam},
+		{url.Values{"kinds": {"spike,nope"}}, api.CodeBadParam},
+		{url.Values{"since": {"-1h"}}, api.CodeBadParam},
+		{url.Values{"lastEventId": {"garbage"}}, api.CodeBadParam},
+	} {
+		resp, err := http.Get(srv.URL + "/v2/watch?" + tc.params.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%v: status = %d, want 400", tc.params, resp.StatusCode)
+			continue
+		}
+		var aerr api.Error
+		if err := json.Unmarshal(body, &aerr); err != nil || aerr.Code != tc.code {
+			t.Errorf("%v: error = %s, want code %s", tc.params, body, tc.code)
+		}
+	}
+}
+
+// The acceptance path: kill the stream, reconnect with Last-Event-ID,
+// and observe every event exactly once across the break.
+func TestWatchResumeExactAcrossReconnect(t *testing.T) {
+	srv, db := testServer(t)
+	c := openWatch(t, srv, nil, "")
+	c.expectHello("none")
+
+	// Burst 1 arrives live.
+	for i := 0; i < 5; i++ {
+		db.AppendSpike(store.SpikeEvent{At: t0.Add(time.Duration(i) * time.Minute), Market: mktA, Ratio: 1.1 + float64(i)})
+	}
+	var seqs []uint64
+	for i := 0; i < 5; i++ {
+		ev, ok := c.next(5 * time.Second)
+		if !ok {
+			t.Fatal("stream ended early")
+		}
+		seqs = append(seqs, ev.Seq)
+	}
+	resumeID := c.lastID
+	c.close() // kill the connection
+
+	// Burst 2 lands while disconnected.
+	for i := 5; i < 10; i++ {
+		db.AppendSpike(store.SpikeEvent{At: t0.Add(time.Duration(i) * time.Minute), Market: mktA, Ratio: 1.1 + float64(i)})
+	}
+
+	c2 := openWatch(t, srv, nil, resumeID)
+	c2.expectHello("replay")
+	for i := 5; i < 10; i++ {
+		ev, ok := c2.next(5 * time.Second)
+		if !ok {
+			t.Fatal("resumed stream ended early")
+		}
+		seqs = append(seqs, ev.Seq)
+	}
+	// Burst 3 arrives live on the resumed stream.
+	db.AppendSpike(store.SpikeEvent{At: t0.Add(10 * time.Minute), Market: mktA, Ratio: 11.1})
+	ev, ok := c2.next(5 * time.Second)
+	if !ok {
+		t.Fatal("resumed stream ended early")
+	}
+	seqs = append(seqs, ev.Seq)
+
+	for i, s := range seqs {
+		if want := seqs[0] + uint64(i); s != want {
+			t.Fatalf("event %d seq = %d, want %d — lost or duplicated across reconnect (all: %v)", i, s, want, seqs)
+		}
+	}
+}
+
+func TestWatchResumeUpToDateAttachesLive(t *testing.T) {
+	srv, db := testServer(t)
+	c := openWatch(t, srv, nil, "")
+	c.expectHello("none")
+	db.AppendSpike(store.SpikeEvent{At: t0, Market: mktA, Ratio: 1.2})
+	if ev, ok := c.next(5 * time.Second); !ok || ev.Kind != api.EventSpike {
+		t.Fatalf("event = %+v, want spike", ev)
+	}
+	resumeID := c.lastID
+	c.close()
+
+	c2 := openWatch(t, srv, nil, resumeID)
+	c2.expectHello("live")
+}
+
+func TestWatchResyncFallback(t *testing.T) {
+	srv, db := testServer(t)
+
+	// History recorded with no subscribers: only a windowed rebuild can
+	// serve it. A token from a foreign epoch forces that path. (The
+	// service clock is t0+24h, so these records sit inside the bounded
+	// resync window.)
+	db.AppendSpike(store.SpikeEvent{At: t0.Add(time.Hour), Market: mktA, Ratio: 1.3})
+	db.AppendRevocation(store.RevocationRecord{At: t0.Add(90 * time.Minute), Market: mktA, Bid: 0.4, Held: time.Hour})
+
+	// Epoch deadbeef never matches a UnixNano boot epoch; the timestamp
+	// field points one hour before the records.
+	foreign := fmt.Sprintf("%x-%x-%x-%x", 0xdeadbeef, 1, 1, uint64(t0.UnixNano()))
+	c := openWatch(t, srv, nil, foreign)
+	c.expectHello("resync")
+	ev, ok := c.next(5 * time.Second)
+	if !ok || ev.Kind != api.EventResync || ev.Resync == nil {
+		t.Fatalf("frame = %+v, want resync marker", ev)
+	}
+	spike, ok := c.next(5 * time.Second)
+	if !ok || spike.Kind != api.EventSpike {
+		t.Fatalf("frame = %+v, want replayed spike", spike)
+	}
+	rev, ok := c.next(5 * time.Second)
+	if !ok || rev.Kind != api.EventRevocation {
+		t.Fatalf("frame = %+v, want replayed revocation", rev)
+	}
+	// Replayed frames still carry resume tokens anchored at their record
+	// timestamps.
+	if rev.ID == "" {
+		t.Fatal("replayed event carries no resume token")
+	}
+	// And the stream is live afterwards.
+	db.AppendSpike(store.SpikeEvent{At: t0, Market: mktA, Ratio: 9.9})
+	live, ok := c.next(5 * time.Second)
+	if !ok || live.Kind != api.EventSpike || live.Seq == 0 {
+		t.Fatalf("frame = %+v, want live spike", live)
+	}
+}
+
+func TestWatchSinceBackfill(t *testing.T) {
+	srv, db := testServer(t)
+	db.AppendSpike(store.SpikeEvent{At: t0.Add(23 * time.Hour), Market: mktA, Ratio: 1.4})
+
+	c := openWatch(t, srv, url.Values{"since": {"6h"}}, "")
+	c.expectHello("backfill")
+	ev, ok := c.next(5 * time.Second)
+	if !ok || ev.Kind != api.EventResync {
+		t.Fatalf("frame = %+v, want resync marker", ev)
+	}
+	spike, ok := c.next(5 * time.Second)
+	if !ok || spike.Kind != api.EventSpike {
+		t.Fatalf("frame = %+v, want backfilled spike", spike)
+	}
+}
+
+func TestWatchSubscriberCapAnswers429(t *testing.T) {
+	db := store.New()
+	a := NewAPI(NewEngine(db, market.New()), func() time.Time { return t0 })
+	a.SetWatchLimit(1)
+	capped := httptest.NewServer(a.Handler())
+	defer capped.Close()
+	defer a.Shutdown()
+
+	c := openWatch(t, sseURL(capped.URL), nil, "")
+	c.expectHello("none")
+
+	resp, err := http.Get(capped.URL + "/v2/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get(api.HeaderRetryAfter) == "" {
+		t.Error("429 missing Retry-After")
+	}
+	var aerr api.Error
+	if err := json.Unmarshal(body, &aerr); err != nil || aerr.Code != api.CodeOverloaded {
+		t.Fatalf("429 body = %s, want %s envelope", body, api.CodeOverloaded)
+	}
+	if aerr.Details["cap"] != "1" {
+		t.Errorf("cap detail = %q, want 1", aerr.Details["cap"])
+	}
+
+	// Closing the first stream frees the slot.
+	c.close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(capped.URL + "/v2/watch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := resp.StatusCode
+		resp.Body.Close()
+		if st == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed; still %d", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestWatchShutdownClosesStreams(t *testing.T) {
+	db := store.New()
+	a := NewAPI(NewEngine(db, market.New()), func() time.Time { return t0 })
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	c := openWatch(t, sseURL(srv.URL), nil, "")
+	c.expectHello("none")
+	a.Shutdown()
+	// The stream must end promptly.
+	if ev, ok := c.next(5 * time.Second); ok {
+		t.Fatalf("frame after shutdown: %+v", ev)
+	}
+	// New subscriptions are refused.
+	resp, err := http.Get(srv.URL + "/v2/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("post-shutdown watch status = %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestWatchHeartbeat(t *testing.T) {
+	db := store.New()
+	a := NewAPI(NewEngine(db, market.New()), func() time.Time { return t0 })
+	a.SetWatchHeartbeat(50 * time.Millisecond)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	defer a.Shutdown()
+
+	c := openWatch(t, sseURL(srv.URL), nil, "")
+	c.expectHello("none")
+	ev, ok := c.next(5 * time.Second)
+	if !ok || ev.Kind != api.EventHeartbeat {
+		t.Fatalf("frame = %+v, want heartbeat", ev)
+	}
+
+	// After a data event, heartbeats re-advertise its resume token so an
+	// idle reconnect resumes exactly.
+	db.AppendSpike(store.SpikeEvent{At: t0, Market: mktA, Ratio: 1.2})
+	var dataID string
+	for i := 0; i < 10; i++ {
+		ev, ok := c.next(5 * time.Second)
+		if !ok {
+			t.Fatal("stream ended")
+		}
+		if ev.Kind == api.EventSpike {
+			dataID = ev.ID
+			continue
+		}
+		if ev.Kind == api.EventHeartbeat && dataID != "" {
+			if c.lastID != dataID {
+				t.Fatalf("heartbeat id = %q, want last data id %q", c.lastID, dataID)
+			}
+			return
+		}
+	}
+	t.Fatal("no heartbeat after the data event")
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	srv, db := testServer(t)
+	db.AppendSpike(store.SpikeEvent{At: t0, Market: mktA, Ratio: 1.2})
+
+	resp, err := http.Get(srv.URL + "/v2/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health status = %d", resp.StatusCode)
+	}
+	var h api.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("health body %s: %v", body, err)
+	}
+	if h.Status != "ok" || h.Store.Mode != "memory" || !h.Store.Healthy {
+		t.Fatalf("health = %+v, want ok/memory/healthy", h)
+	}
+	if h.Store.Markets != 1 || h.Store.Generation == 0 {
+		t.Errorf("health store = %+v, want 1 market and nonzero generation", h.Store)
+	}
+	if h.Watch.Cap == 0 {
+		t.Errorf("health watch = %+v, want a nonzero cap", h.Watch)
+	}
+}
+
+func TestHealthDurableMode(t *testing.T) {
+	dir := t.TempDir()
+	db, err := store.Open(dir, store.PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Persister().Close()
+	a := NewAPI(NewEngine(db, market.New()), func() time.Time { return t0 })
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v2/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var h api.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Store.Mode != "durable" || !h.Store.Healthy || h.Status != "ok" {
+		t.Fatalf("health = %+v, want ok/durable/healthy", h)
+	}
+}
+
+func TestCacheControlHintsWithRevalidation(t *testing.T) {
+	db := store.New()
+	a := NewAPI(NewEngine(db, market.New()), func() time.Time { return t0.Add(24 * time.Hour) })
+	a.SetCacheTTL(90 * time.Second)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	addOutage(db, mktA, store.ProbeOnDemand, t0, t0.Add(6*time.Hour))
+
+	u := srv.URL + "/v1/unavailability?" + url.Values{
+		"market": {mktA.String()},
+		"from":   {t0.Format(time.RFC3339)},
+		"to":     {t0.Add(24 * time.Hour).Format(time.RFC3339)},
+	}.Encode()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "max-age=90" {
+		t.Fatalf("Cache-Control = %q, want max-age=90", cc)
+	}
+	etag := resp.Header.Get(api.HeaderETag)
+	if etag == "" {
+		t.Fatal("no ETag on the hinted response")
+	}
+
+	// Revalidation still works, and the 304 carries the hint too.
+	req, _ := http.NewRequest(http.MethodGet, u, nil)
+	req.Header.Set(api.HeaderIfNoneMatch, etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", resp2.StatusCode)
+	}
+	if cc := resp2.Header.Get("Cache-Control"); cc != "max-age=90" {
+		t.Fatalf("304 Cache-Control = %q, want max-age=90", cc)
+	}
+
+	// v2 batches carry the hint as well.
+	b, err := http.Post(srv.URL+"/v2/query", "application/json",
+		strings.NewReader(`{"queries":[{"kind":"summary"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, b.Body)
+	b.Body.Close()
+	if cc := b.Header.Get("Cache-Control"); cc != "max-age=90" {
+		t.Fatalf("/v2/query Cache-Control = %q, want max-age=90", cc)
+	}
+
+	// The watch stream must never advertise cacheability.
+	c := openWatch(t, sseURL(srv.URL), nil, "")
+	if cc := c.resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("watch Cache-Control = %q, want no-store", cc)
+	}
+	a.Shutdown()
+}
+
+// sseURL wraps a base URL for openWatch.
+func sseURL(u string) *httptest.Server { return &httptest.Server{URL: u} }
+
+func TestCacheControlDisabledByDefault(t *testing.T) {
+	srv, db := testServer(t)
+	db.AppendSpike(store.SpikeEvent{At: t0, Market: mktA, Ratio: 1.2})
+	resp, err := http.Get(srv.URL + "/v1/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "" {
+		t.Fatalf("Cache-Control = %q with no TTL configured, want none", cc)
+	}
+}
+
+func TestWatchTokenRoundTrip(t *testing.T) {
+	a := NewAPI(NewEngine(store.New(), market.New()), nil)
+	at := time.Date(2015, 9, 2, 3, 4, 5, 6, time.UTC)
+	tok := a.watchToken(42, 17, at)
+	epoch, seq, gen, gotAt, ok := parseWatchToken(tok)
+	if !ok {
+		t.Fatalf("parseWatchToken(%q) failed", tok)
+	}
+	if epoch != uint64(a.epoch) || seq != 42 || gen != 17 || !gotAt.Equal(at) {
+		t.Fatalf("round trip = (%d,%d,%d,%v)", epoch, seq, gen, gotAt)
+	}
+	for _, bad := range []string{"", "x", "1-2-3", "1-2-3-zz", "1-2-3-4-5"} {
+		if _, _, _, _, ok := parseWatchToken(bad); ok {
+			t.Errorf("parseWatchToken(%q) accepted", bad)
+		}
+	}
+}

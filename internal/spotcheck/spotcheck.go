@@ -30,6 +30,27 @@ type Platform interface {
 // paper's baseline SpotCheck behaviour.
 type FallbackPolicy func(t time.Time) market.SpotID
 
+// EventSteeredFallback builds a FallbackPolicy that reacts to pushed
+// SpotLight events instead of polling: signaled(t) reports whether any
+// relevant event (a revocation or outage in the fallback's scope —
+// typically drained from a store feed subscription or a
+// pkg/client.Watch stream) arrived since the last decision at instant t,
+// and recompute asks SpotLight for the current best uncorrelated target.
+// The policy recomputes on first use and again only when signaled — the
+// SpotCheck control loop then refreshes its steering the moment the
+// information service learns something, not on a timer.
+func EventSteeredFallback(signaled func(t time.Time) bool, recompute func(t time.Time) market.SpotID) FallbackPolicy {
+	var cached market.SpotID
+	have := false
+	return func(t time.Time) market.SpotID {
+		if signaled(t) || !have {
+			cached = recompute(t)
+			have = true
+		}
+		return cached
+	}
+}
+
 // Config parameterizes one SpotCheck availability simulation.
 type Config struct {
 	// Market hosts the nested VM's spot server.

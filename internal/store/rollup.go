@@ -155,6 +155,13 @@ type rollupDelta struct {
 	priceCount         int
 	priceSum           float64
 	priceMin, priceMax float64 // meaningful when priceCount > 0
+
+	// emit arms change-feed event construction for the round (set by
+	// shard.armEvents when the feed has subscribers); events accumulates
+	// the round's typed events, published once after the shard lock is
+	// released (shard.publish).
+	emit   bool
+	events []Event
 }
 
 // openOutage records an outage opening at start into the delta.

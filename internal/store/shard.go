@@ -112,6 +112,11 @@ type shard struct {
 	rp, rg   *rollup
 	storeGen *atomic.Uint64
 
+	// feed is the store's change-feed hub; append paths publish the
+	// round's typed events to it alongside the rollup fold. Wired at
+	// creation like rp/rg, immutable afterwards.
+	feed *Feed
+
 	// wal is the shard's write-ahead log handle, nil for in-memory
 	// stores. Like rp/rg it is wired before the shard is published (at
 	// creation, or during single-threaded recovery) and immutable after.
@@ -158,19 +163,31 @@ func (sh *shard) walFinish(bp *[]byte, oversized bool) {
 	}
 }
 
-// publish folds an append batch's delta into the shard's rollup hierarchy.
-// Ordering carries the cache-consistency invariant: the generation
-// counters must only become visible once the state they count is
-// readable, otherwise a response cache could store a result computed
-// without this append under a generation that claims to include it. So
-// publish runs after the shard lock is released (shard records land
-// first), each rollup bumps its own counter after folding its aggregates
-// (rollup.apply), and the global counter — which vouches for every level
-// — bumps last.
+// publish folds an append batch's delta into the shard's rollup hierarchy
+// and fans the round's events out to the change feed. Ordering carries
+// the cache-consistency invariant: the generation counters must only
+// become visible once the state they count is readable, otherwise a
+// response cache could store a result computed without this append under
+// a generation that claims to include it. So publish runs after the shard
+// lock is released (shard records land first), each rollup bumps its own
+// counter after folding its aggregates (rollup.apply), and the global
+// counter — which vouches for every level — bumps last. The feed publish
+// runs after that, stamped with the post-append generation, so every
+// event a subscriber receives describes state the query surface already
+// serves.
 func (sh *shard) publish(d *rollupDelta) {
 	sh.rp.apply(d)
 	sh.rg.apply(d)
-	sh.storeGen.Add(d.records)
+	gen := sh.storeGen.Add(d.records)
+	if len(d.events) > 0 {
+		sh.feed.publish(d.events, gen)
+	}
+}
+
+// armEvents decides once per append round whether the round should
+// construct feed events: one atomic load when nobody subscribes.
+func (sh *shard) armEvents(d *rollupDelta) {
+	d.emit = sh.feed.enabled()
 }
 
 func newShard(id market.SpotID) *shard {
@@ -189,6 +206,11 @@ func newShard(id market.SpotID) *shard {
 
 func (sh *shard) appendProbe(r ProbeRecord) {
 	var d rollupDelta
+	sh.armEvents(&d)
+	if d.emit {
+		cp := r
+		d.events = append(d.events, Event{Kind: EventProbe, Market: sh.id, At: cp.At, Probe: &cp})
+	}
 	enc := sh.encodeForWAL(func(b []byte) []byte { return appendProbeFrame(b, r) })
 	sh.mu.Lock()
 	sh.appendProbeLocked(r, &d)
@@ -208,6 +230,16 @@ func (sh *shard) appendProbes(rs []ProbeRecord) {
 		return
 	}
 	var d rollupDelta
+	sh.armEvents(&d)
+	if d.emit {
+		// Copy the batch before eventing it: callers (the monitor tick
+		// flush) reuse their record buffers across rounds.
+		cp := append([]ProbeRecord(nil), rs...)
+		d.events = make([]Event, 0, len(cp))
+		for i := range cp {
+			d.events = append(d.events, Event{Kind: EventProbe, Market: sh.id, At: cp[i].At, Probe: &cp[i]})
+		}
+	}
 	enc := sh.encodeForWAL(func(b []byte) []byte {
 		for _, r := range rs {
 			b = appendProbeFrame(b, r)
@@ -260,6 +292,10 @@ func (sh *shard) appendProbeLocked(r ProbeRecord, d *rollupDelta) {
 		ka.openOutageStart = r.At
 		kd.outages++
 		kd.openOutage(r.At)
+		if d.emit {
+			cp := sh.outages[len(sh.outages)-1]
+			d.events = append(d.events, Event{Kind: EventOutageOpen, Market: r.Market, At: r.At, Outage: &cp})
+		}
 	case !r.Rejected && sh.openOutage[ki] != 0:
 		o := &sh.outages[sh.openOutage[ki]-1]
 		o.End = r.At
@@ -267,11 +303,20 @@ func (sh *shard) appendProbeLocked(r ProbeRecord, d *rollupDelta) {
 		ka.openOutageStart = time.Time{}
 		sh.openOutage[ki] = 0
 		kd.closeOutage(o.Start, o.End.Sub(o.Start))
+		if d.emit {
+			cp := *o
+			d.events = append(d.events, Event{Kind: EventOutageClose, Market: r.Market, At: r.At, Outage: &cp})
+		}
 	}
 }
 
 func (sh *shard) appendSpike(e SpikeEvent) {
 	var d rollupDelta
+	sh.armEvents(&d)
+	if d.emit {
+		cp := e
+		d.events = append(d.events, Event{Kind: EventSpike, Market: sh.id, At: cp.At, Spike: &cp})
+	}
 	enc := sh.encodeForWAL(func(b []byte) []byte { return appendSpikeFrame(b, e) })
 	sh.mu.Lock()
 	sh.appendSpikeLocked(e, &d)
@@ -288,6 +333,14 @@ func (sh *shard) appendSpikes(es []SpikeEvent) {
 		return
 	}
 	var d rollupDelta
+	sh.armEvents(&d)
+	if d.emit {
+		cp := append([]SpikeEvent(nil), es...)
+		d.events = make([]Event, 0, len(cp))
+		for i := range cp {
+			d.events = append(d.events, Event{Kind: EventSpike, Market: sh.id, At: cp[i].At, Spike: &cp[i]})
+		}
+	}
 	enc := sh.encodeForWAL(func(b []byte) []byte {
 		for _, e := range es {
 			b = appendSpikeFrame(b, e)
@@ -343,6 +396,14 @@ func (sh *shard) appendBidSpreads(rs []BidSpreadRecord) {
 		return
 	}
 	d := rollupDelta{records: uint64(len(rs))}
+	sh.armEvents(&d)
+	if d.emit {
+		cp := append([]BidSpreadRecord(nil), rs...)
+		d.events = make([]Event, 0, len(cp))
+		for i := range cp {
+			d.events = append(d.events, Event{Kind: EventBidSpread, Market: sh.id, At: cp[i].At, BidSpread: &cp[i]})
+		}
+	}
 	enc := sh.encodeForWAL(func(b []byte) []byte {
 		for _, r := range rs {
 			b = appendBidSpreadFrame(b, r)
@@ -374,6 +435,14 @@ func (sh *shard) appendRevocations(rs []RevocationRecord) {
 		return
 	}
 	d := rollupDelta{records: uint64(len(rs))}
+	sh.armEvents(&d)
+	if d.emit {
+		cp := append([]RevocationRecord(nil), rs...)
+		d.events = make([]Event, 0, len(cp))
+		for i := range cp {
+			d.events = append(d.events, Event{Kind: EventRevocation, Market: sh.id, At: cp[i].At, Revocation: &cp[i]})
+		}
+	}
 	enc := sh.encodeForWAL(func(b []byte) []byte {
 		for _, r := range rs {
 			b = appendRevocationFrame(b, r)
@@ -398,6 +467,11 @@ func (sh *shard) appendPrice(p PricePoint) {
 	var d rollupDelta
 	d.records = 1
 	d.price(p.Price)
+	sh.armEvents(&d)
+	if d.emit {
+		cp := p
+		d.events = append(d.events, Event{Kind: EventPrice, Market: sh.id, At: cp.At, Price: &cp})
+	}
 	enc := sh.encodeForWAL(func(b []byte) []byte { return appendPriceFrame(b, p) })
 	sh.mu.Lock()
 	sh.appendPriceLocked(p)
@@ -416,6 +490,14 @@ func (sh *shard) appendPrices(ps []PricePoint) {
 	}
 	var d rollupDelta
 	d.records = uint64(len(ps))
+	sh.armEvents(&d)
+	if d.emit {
+		cp := append([]PricePoint(nil), ps...)
+		d.events = make([]Event, 0, len(cp))
+		for i := range cp {
+			d.events = append(d.events, Event{Kind: EventPrice, Market: sh.id, At: cp[i].At, Price: &cp[i]})
+		}
+	}
 	enc := sh.encodeForWAL(func(b []byte) []byte {
 		for _, p := range ps {
 			b = appendPriceFrame(b, p)

@@ -247,14 +247,20 @@ type Store struct {
 	// for in-memory stores built with New. Set once before the store is
 	// shared (Open wires it after recovery), immutable afterwards.
 	persist *Persister
+
+	// feed is the store's change-feed hub (feed.go): every append round
+	// publishes its typed events here after the shard lock is released.
+	feed *Feed
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{
+	s := &Store{
 		shards:  make(map[market.SpotID]*shard),
 		rollups: make(map[rollupScope]*rollup),
 	}
+	s.feed = newFeed(s.gen.Load, defaultRingCapacity)
+	return s
 }
 
 // shardFor returns the shard of id, creating it on first write. A new
@@ -276,6 +282,7 @@ func (s *Store) shardFor(id market.SpotID) *shard {
 	if sh = s.shards[id]; sh == nil {
 		sh = newShard(id)
 		sh.rp, sh.rg, sh.storeGen = rp, rg, &s.gen
+		sh.feed = s.feed
 		if s.persist != nil {
 			// Minting the WAL handle under the store lock orders it
 			// against snapshot epoch bumps (Store.snapshotCut), so a new

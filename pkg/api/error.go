@@ -24,6 +24,10 @@ const (
 	// CodeTooManyQueries marks a batch exceeding the per-request query
 	// limit; Details carries "limit" and "got".
 	CodeTooManyQueries = "too_many_queries"
+	// CodeOverloaded marks a /v2/watch subscription rejected by the
+	// per-server subscriber cap (HTTP 429); Details carries "cap" and the
+	// Retry-After header says when to reconnect.
+	CodeOverloaded = "overloaded"
 	// CodeInternal marks a server-side failure evaluating the query.
 	CodeInternal = "internal"
 )

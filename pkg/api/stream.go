@@ -1,0 +1,211 @@
+package api
+
+import "time"
+
+// Live streaming (GET /v2/watch).
+//
+// The watch endpoint is SpotLight's push surface: instead of polling the
+// query endpoints and revalidating ETags, a consumer opens one
+// long-lived request and receives typed events — probes, price samples,
+// spike crossings, revocations, bid spreads, and derived outage
+// open/close transitions — as the store ingests them, over standard
+// Server-Sent Events (text/event-stream).
+//
+// Wire format: each event is one SSE frame
+//
+//	id: <resume token>
+//	event: <kind>
+//	data: <StreamEvent JSON>
+//
+// followed by a blank line. The stream opens with a "hello" frame
+// carrying the store generation the subscription attached at, emits
+// "heartbeat" frames while idle, and — when the consumer falls behind
+// the per-subscription buffer — a terminal "lagged" frame whose data
+// names the generation to resume from, after which the server closes the
+// stream and the client reconnects with Last-Event-ID.
+//
+// Resume: replaying the last received id in the Last-Event-ID header (or
+// the lastEventId query parameter) continues the stream. The gap is
+// bridged exactly — from the server's in-memory replay ring — whenever
+// it is still covered; otherwise the server sends a "resync" frame and
+// rebuilds the gap best-effort from the store's windowed indexes
+// (at-least-once: events at the resume boundary may repeat). Query
+// parameters: market OR region/product scope the subscription, kinds is
+// a comma-separated EventKind list, and since=<duration> asks a fresh
+// subscription for an initial windowed backfill.
+//
+// Capacity: the server enforces a subscriber cap; beyond it /v2/watch
+// answers 429 with the usual error envelope (code "overloaded") and a
+// Retry-After header.
+const (
+	// HeaderLastEventID carries the resume token on reconnect (the SSE
+	// standard header EventSource sends automatically).
+	HeaderLastEventID = "Last-Event-ID"
+	// HeaderRetryAfter tells a rejected (429) watcher how many seconds to
+	// wait before reconnecting.
+	HeaderRetryAfter = "Retry-After"
+)
+
+// EventKind names one live-stream event family on the wire.
+type EventKind string
+
+// Stream event kinds. The first seven mirror the store's change feed;
+// hello/heartbeat/lagged/resync are stream-control frames.
+const (
+	// EventProbe: one probe was logged.
+	EventProbe EventKind = "probe"
+	// EventPrice: one spot price observation was recorded.
+	EventPrice EventKind = "price"
+	// EventSpike: one spot-price threshold crossing was logged.
+	EventSpike EventKind = "spike"
+	// EventRevocation: one completed revocation watch was logged.
+	EventRevocation EventKind = "revocation"
+	// EventBidSpread: one intrinsic-price search result was logged.
+	EventBidSpread EventKind = "bid-spread"
+	// EventOutageOpen: a detected outage interval opened.
+	EventOutageOpen EventKind = "outage-open"
+	// EventOutageClose: a detected outage interval closed.
+	EventOutageClose EventKind = "outage-close"
+	// EventHello opens every stream: the generation and clock the
+	// subscription attached at, and how a resume request was bridged.
+	EventHello EventKind = "hello"
+	// EventHeartbeat keeps idle connections alive (and lets clients
+	// detect dead ones).
+	EventHeartbeat EventKind = "heartbeat"
+	// EventLagged is terminal: the consumer fell behind and events were
+	// dropped; Gen in the payload is the position to resume from.
+	EventLagged EventKind = "lagged"
+	// EventResync precedes a best-effort windowed replay: events from
+	// From onward may duplicate ones the consumer already saw.
+	EventResync EventKind = "resync"
+)
+
+// StreamEvent is the data payload of one /v2/watch frame. Kind selects
+// which payload arm (if any) is populated.
+type StreamEvent struct {
+	// ID is the frame's resume token (the SSE id field); not part of the
+	// JSON payload.
+	ID string `json:"-"`
+
+	Kind EventKind `json:"kind"`
+	// Seq is the server-assigned sequence number; 0 on control frames and
+	// windowed replays.
+	Seq uint64 `json:"seq,omitempty"`
+	// Gen is the store generation the event (or control frame) is
+	// anchored at.
+	Gen uint64 `json:"gen,omitempty"`
+	// Market is the affected market for data events.
+	Market string `json:"market,omitempty"`
+	// At is the event's record timestamp (or the clock, for control
+	// frames).
+	At time.Time `json:"at,omitempty"`
+
+	Probe      *StreamProbe      `json:"probe,omitempty"`
+	Price      *PricePoint       `json:"price,omitempty"`
+	Spike      *StreamSpike      `json:"spike,omitempty"`
+	Revocation *StreamRevocation `json:"revocation,omitempty"`
+	BidSpread  *StreamBidSpread  `json:"bidSpread,omitempty"`
+	Outage     *Outage           `json:"outage,omitempty"`
+	Hello      *StreamHello      `json:"hello,omitempty"`
+	Lagged     *StreamLagged     `json:"lagged,omitempty"`
+	Resync     *StreamResync     `json:"resync,omitempty"`
+}
+
+// StreamProbe is one logged probe on the stream.
+type StreamProbe struct {
+	// Contract is the probed tier: "on-demand" or "spot".
+	Contract string `json:"kind"`
+	// Trigger names why the probe was issued (spike, recheck, ...).
+	Trigger  string  `json:"trigger"`
+	Rejected bool    `json:"rejected"`
+	Code     string  `json:"code,omitempty"`
+	Bid      float64 `json:"bid,omitempty"`
+	Cost     float64 `json:"cost"`
+}
+
+// StreamSpike is one threshold crossing on the stream.
+type StreamSpike struct {
+	Price float64 `json:"price"`
+	// Ratio is spot price / on-demand price at the crossing.
+	Ratio  float64 `json:"ratio"`
+	Probed bool    `json:"probed"`
+}
+
+// StreamRevocation is one completed revocation watch on the stream.
+type StreamRevocation struct {
+	Bid  float64       `json:"bid"`
+	Held time.Duration `json:"heldNanos"`
+}
+
+// StreamBidSpread is one intrinsic-price search result on the stream.
+type StreamBidSpread struct {
+	Published float64 `json:"published"`
+	Intrinsic float64 `json:"intrinsic"`
+	Attempts  int     `json:"attempts"`
+}
+
+// StreamHello opens the stream.
+type StreamHello struct {
+	// Gen is the store generation the subscription attached at.
+	Gen uint64 `json:"gen"`
+	// Resume reports how a Last-Event-ID was bridged: "live" (nothing
+	// missed), "replay" (exact ring replay), "resync" (best-effort
+	// windowed rebuild), or "none" (fresh subscription).
+	Resume string `json:"resume"`
+}
+
+// StreamLagged is the terminal overflow notice.
+type StreamLagged struct {
+	// Gen is the generation of the last delivered event — the position to
+	// resume from.
+	Gen uint64 `json:"gen"`
+}
+
+// StreamResync warns that the following replay is best-effort.
+type StreamResync struct {
+	// From is the timestamp the windowed rebuild starts at (inclusive).
+	From time.Time `json:"from"`
+	// Gen is the store generation the rebuilt events are anchored at.
+	Gen uint64 `json:"gen"`
+}
+
+// Health is the GET /v2/health payload: the serving process's view of
+// its store and live-stream subsystem.
+type Health struct {
+	// Status is "ok", or "degraded" when the durable store has a sticky
+	// durability error (the daemon keeps serving from memory).
+	Status string `json:"status"`
+	// Now is the service clock.
+	Now   time.Time   `json:"now"`
+	Store HealthStore `json:"store"`
+	Watch HealthWatch `json:"watch"`
+}
+
+// HealthStore describes the store behind the service.
+type HealthStore struct {
+	// Mode is "memory" or "durable".
+	Mode string `json:"mode"`
+	// Healthy is false when the durability layer reported a sticky error;
+	// always true for in-memory stores.
+	Healthy bool `json:"healthy"`
+	// Error carries the durability error text when unhealthy.
+	Error string `json:"error,omitempty"`
+	// Markets counts markets holding at least one record.
+	Markets int `json:"markets"`
+	// Generation is the store's global append generation.
+	Generation uint64 `json:"generation"`
+}
+
+// HealthWatch describes the live-stream subsystem.
+type HealthWatch struct {
+	// Subscribers counts open /v2/watch streams; Cap is the server limit.
+	Subscribers int `json:"subscribers"`
+	Cap         int `json:"cap"`
+	// Published counts events ever fanned out; Dropped counts events lost
+	// to slow consumers; Lagged counts subscriptions ever marked lagged.
+	Published uint64 `json:"published"`
+	Dropped   uint64 `json:"dropped"`
+	Lagged    uint64 `json:"lagged"`
+	// LastSeq is the newest assigned event sequence number.
+	LastSeq uint64 `json:"lastSeq"`
+}

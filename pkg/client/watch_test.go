@@ -1,0 +1,376 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/query"
+	"spotlight/internal/store"
+	"spotlight/pkg/api"
+)
+
+var (
+	watchT0  = time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	watchMkt = market.SpotID{Zone: "us-east-1a", Type: "c3.large", Product: market.ProductLinux}
+)
+
+// watchServer serves the real query API over a live store.
+func watchServer(t *testing.T) (*httptest.Server, *store.Store, *query.API) {
+	t.Helper()
+	db := store.New()
+	a := query.NewAPI(query.NewEngine(db, market.New()), func() time.Time { return watchT0.Add(24 * time.Hour) })
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(func() { a.Shutdown(); srv.Close() })
+	return srv, db, a
+}
+
+func TestWatchDeliversTypedEvents(t *testing.T) {
+	srv, db, _ := watchServer(t)
+	c, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(context.Background(), WatchOptions{
+		Region: "us-east-1",
+		Kinds:  []api.EventKind{api.EventRevocation, api.EventOutageOpen},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	db.AppendSpike(store.SpikeEvent{At: watchT0, Market: watchMkt, Ratio: 2.0})                           // filtered out
+	db.AppendRevocation(store.RevocationRecord{At: watchT0, Market: watchMkt, Bid: 0.3, Held: time.Hour}) // delivered
+	db.AppendProbe(store.ProbeRecord{At: watchT0, Market: watchMkt, Kind: store.ProbeOnDemand, Rejected: true})
+
+	want := []api.EventKind{api.EventHello, api.EventRevocation, api.EventOutageOpen}
+	for i, k := range want {
+		select {
+		case ev := <-w.Events():
+			if ev.Kind != k {
+				t.Fatalf("event %d kind = %s, want %s", i, ev.Kind, k)
+			}
+			if k == api.EventRevocation && (ev.Revocation == nil || ev.Revocation.Held != time.Hour) {
+				t.Fatalf("revocation payload = %+v", ev.Revocation)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no %s event within 5s", k)
+		}
+	}
+	if w.LastEventID() == "" {
+		t.Error("LastEventID empty after data events")
+	}
+	w.Close()
+	if _, ok := <-w.Events(); ok {
+		// Drain any buffered frames; the channel must end up closed.
+		for range w.Events() {
+		}
+	}
+	if err := w.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+func TestWatchRejectsBadScope(t *testing.T) {
+	srv, _, _ := watchServer(t)
+	c, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Watch(context.Background(), WatchOptions{Market: "garbage"})
+	var aerr *api.Error
+	if !errors.As(err, &aerr) || aerr.Code != api.CodeBadMarket {
+		t.Fatalf("Watch(bad market) error = %v, want %s envelope", err, api.CodeBadMarket)
+	}
+}
+
+// killingWriter aborts the connection after a fixed number of SSE frames,
+// simulating a flaky network path.
+type killingWriter struct {
+	http.ResponseWriter
+	frames *int
+	limit  int
+}
+
+func (k *killingWriter) Write(b []byte) (int, error) {
+	n, err := k.ResponseWriter.Write(b)
+	*k.frames += bytes.Count(b[:n], []byte("\n\n"))
+	if *k.frames >= k.limit {
+		k.Flush()
+		panic(http.ErrAbortHandler)
+	}
+	return n, err
+}
+
+func (k *killingWriter) Flush() {
+	if f, ok := k.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// The acceptance test: a stream killed repeatedly mid-flight, with
+// ingestion running throughout, must deliver every event exactly once
+// through auto-reconnect + resume.
+func TestWatchKillAndReconnectLosesNothing(t *testing.T) {
+	db := store.New()
+	a := query.NewAPI(query.NewEngine(db, market.New()), func() time.Time { return watchT0.Add(24 * time.Hour) })
+	defer a.Shutdown()
+	inner := a.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v2/watch" {
+			frames := 0
+			inner.ServeHTTP(&killingWriter{ResponseWriter: w, frames: &frames, limit: 4}, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(context.Background(), WatchOptions{
+		Kinds:      []api.EventKind{api.EventSpike},
+		MinBackoff: time.Millisecond,
+		MaxBackoff: 10 * time.Millisecond,
+		Buffer:     256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// Ingest while the stream keeps dying: every spike carries its index
+	// in Ratio.
+	const total = 60
+	go func() {
+		for i := 1; i <= total; i++ {
+			db.AppendSpike(store.SpikeEvent{
+				At:     watchT0.Add(time.Duration(i) * time.Minute),
+				Market: watchMkt,
+				Ratio:  float64(i),
+			})
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var got []int
+	deadline := time.After(30 * time.Second)
+	for len(got) < total {
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				t.Fatalf("watch ended early: %v (got %d/%d)", w.Err(), len(got), total)
+			}
+			if ev.Kind != api.EventSpike {
+				continue // hello frames from each reconnect
+			}
+			got = append(got, int(ev.Spike.Ratio))
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d events (reconnects=%d)", len(got), total, w.Reconnects())
+		}
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("event %d = spike #%v, want #%d — lost or duplicated across reconnects (got %v)", i, v, i+1, got)
+		}
+	}
+	if w.Reconnects() == 0 {
+		t.Error("stream was never killed; the test proved nothing")
+	}
+}
+
+// A server-reported lagged stream reconnects and resumes from the lagged
+// position.
+func TestWatchLaggedReconnectsWithResume(t *testing.T) {
+	var connects atomic.Int64
+	var resumedFrom atomic.Value
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := connects.Add(1)
+		fl := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		if n == 1 {
+			fmt.Fprintf(w, "event: hello\ndata: {\"kind\":\"hello\",\"hello\":{\"gen\":1,\"resume\":\"none\"}}\n\n")
+			fmt.Fprintf(w, "id: tok-1\nevent: spike\ndata: {\"kind\":\"spike\",\"seq\":1,\"gen\":1}\n\n")
+			fmt.Fprintf(w, "id: tok-1\nevent: lagged\ndata: {\"kind\":\"lagged\",\"lagged\":{\"gen\":1}}\n\n")
+			fl.Flush()
+			return // server closes after the terminal lagged frame
+		}
+		resumedFrom.Store(r.Header.Get(api.HeaderLastEventID))
+		fmt.Fprintf(w, "event: hello\ndata: {\"kind\":\"hello\",\"hello\":{\"gen\":2,\"resume\":\"replay\"}}\n\n")
+		fmt.Fprintf(w, "id: tok-2\nevent: spike\ndata: {\"kind\":\"spike\",\"seq\":2,\"gen\":2}\n\n")
+		fl.Flush()
+		// Hold the connection open until the client goes away.
+		<-r.Context().Done()
+	}))
+	defer stub.Close()
+
+	c, err := New(stub.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(context.Background(), WatchOptions{MinBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	var kinds []api.EventKind
+	deadline := time.After(10 * time.Second)
+	for len(kinds) < 5 {
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				t.Fatalf("watch ended: %v (saw %v)", w.Err(), kinds)
+			}
+			kinds = append(kinds, ev.Kind)
+			if ev.Kind == api.EventSpike && ev.Seq == 2 {
+				// Resumed stream delivered the post-lag event.
+				if got := resumedFrom.Load(); got != "tok-1" {
+					t.Fatalf("reconnect resumed from %v, want tok-1", got)
+				}
+				if w.Lagged() != 1 {
+					t.Fatalf("Lagged() = %d, want 1", w.Lagged())
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatalf("timed out; saw %v", kinds)
+		}
+	}
+}
+
+// A capped server's 429 is retried after Retry-After.
+func TestWatch429RetriesAfterHint(t *testing.T) {
+	var calls atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set(api.HeaderRetryAfter, "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"code":"overloaded","message":"full"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "event: hello\ndata: {\"kind\":\"hello\",\"hello\":{\"gen\":1,\"resume\":\"none\"}}\n\n")
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	}))
+	defer stub.Close()
+
+	c, err := New(stub.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(context.Background(), WatchOptions{})
+	if err != nil {
+		t.Fatalf("Watch should have retried the 429: %v", err)
+	}
+	defer w.Close()
+	select {
+	case ev := <-w.Events():
+		if ev.Kind != api.EventHello {
+			t.Fatalf("first event = %s, want hello", ev.Kind)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no hello after 429 retry")
+	}
+	if calls.Load() < 2 {
+		t.Fatalf("server saw %d calls, want the retry", calls.Load())
+	}
+}
+
+// A connection that dies before any id-bearing frame arrived must keep
+// requesting the caller's backfill on reconnect instead of silently
+// dropping it.
+func TestWatchSinceSurvivesEarlyDisconnect(t *testing.T) {
+	var calls atomic.Int64
+	var secondSince atomic.Value
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "event: hello\ndata: {\"kind\":\"hello\",\"hello\":{\"gen\":1,\"resume\":\"none\"}}\n\n")
+		w.(http.Flusher).Flush()
+		if n == 1 {
+			return // dies before any id-bearing frame
+		}
+		secondSince.Store(r.URL.Query().Get("since"))
+		fmt.Fprintf(w, "id: tok-1\nevent: spike\ndata: {\"kind\":\"spike\",\"seq\":1,\"gen\":1}\n\n")
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	}))
+	defer stub.Close()
+
+	c, err := New(stub.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(context.Background(), WatchOptions{Since: time.Hour, MinBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				t.Fatalf("watch ended: %v", w.Err())
+			}
+			if ev.Kind == api.EventSpike {
+				if got := secondSince.Load(); got != "1h0m0s" {
+					t.Fatalf("reconnect sent since=%v, want the original 1h backfill", got)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for the reconnected stream")
+		}
+	}
+}
+
+// Since-backfill flows through to the server and replays history.
+func TestWatchSinceBackfill(t *testing.T) {
+	srv, db, _ := watchServer(t)
+	db.AppendSpike(store.SpikeEvent{At: watchT0.Add(23 * time.Hour), Market: watchMkt, Ratio: 3.0})
+
+	c, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(context.Background(), WatchOptions{Since: 6 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	var kinds []api.EventKind
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-w.Events():
+			kinds = append(kinds, ev.Kind)
+			if ev.Kind == api.EventSpike {
+				if len(kinds) != 3 || kinds[0] != api.EventHello || kinds[1] != api.EventResync {
+					t.Fatalf("frames = %v, want hello, resync, spike", kinds)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatalf("timed out; saw %v", kinds)
+		}
+	}
+}
