@@ -16,7 +16,7 @@ BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregate
 OLD ?= bench-baseline.txt
 NEW ?= bench-smoke.txt
 
-.PHONY: all build test vet fmt-check bench bench-diff bench-baseline smoke fuzz-smoke ci
+.PHONY: all build test vet fmt-check bench bench-diff bench-baseline smoke loadgen-smoke fuzz-smoke ci
 
 all: build
 
@@ -68,6 +68,14 @@ bench-baseline: bench
 smoke:
 	$(GO) run ./cmd/spotlightd -addr 127.0.0.1:0 -smoke
 
+# Scale-out smoke: spotload boots a leader, a read replica following it
+# over /v2/watch, and a scatter-gather gateway fronting both, then loads
+# the gateway and writes the latency distribution to spotload-report.txt
+# (archived by CI next to bench-smoke.txt). Fails unless every request
+# succeeded against the 2-node fleet.
+loadgen-smoke:
+	$(GO) run ./cmd/spotload -smoke -report spotload-report.txt
+
 # Fuzz smoke: a short native-fuzz burst over the WAL frame decoder and
 # the snapshot loader (malformed input must error, never panic). The
 # checked-in seed corpora live in internal/store/testdata/fuzz.
@@ -75,4 +83,4 @@ fuzz-smoke:
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime=10s
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotReadJSON$$' -fuzztime=10s
 
-ci: build fmt-check vet test smoke fuzz-smoke bench
+ci: build fmt-check vet test smoke loadgen-smoke fuzz-smoke bench

@@ -1,0 +1,115 @@
+// Command spotlight-gateway fronts a fleet of SpotLight store nodes with
+// one scatter-gather HTTP endpoint (see internal/gateway and
+// docs/replication.md).
+//
+// Usage:
+//
+//	spotlight-gateway -nodes http://a:8080,http://b:8080 [-addr :8090]
+//	                  [-partitioned] [-timeout 10s]
+//
+// Without -partitioned the nodes are assumed to be full replicas (a
+// leader and its -follow followers): each query routes whole to one node
+// by consistent hash, spreading load while preserving per-market cache
+// affinity, and upstream ETags pass through untouched. With -partitioned
+// the nodes are assumed to each own a disjoint subset of markets:
+// market-scoped queries route to the owner, and the scope-less
+// aggregations (summary, stable, volatile) fan out to every node and are
+// merged at the gateway.
+//
+// POST /v2/query batches are split per node and the sub-batches run
+// concurrently; a node failure fails only its own queries (code
+// "upstream", with the node URL in details) while the rest of the batch
+// answers normally. GET /v2/health aggregates the whole fleet.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"spotlight/internal/gateway"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("spotlight-gateway: ", err)
+	}
+}
+
+// parseFlags maps the command line onto a gateway.Config plus the listen
+// address.
+func parseFlags(args []string) (gateway.Config, string, error) {
+	fs := flag.NewFlagSet("spotlight-gateway", flag.ContinueOnError)
+	var (
+		addr  string
+		nodes string
+		cfg   gateway.Config
+	)
+	fs.StringVar(&addr, "addr", ":8090", "HTTP listen address")
+	fs.StringVar(&nodes, "nodes", "",
+		"comma-separated store node base URLs (e.g. http://a:8080,http://b:8080)")
+	fs.BoolVar(&cfg.Partitioned, "partitioned", false,
+		"nodes each own a disjoint market subset (fan out and merge scope-less aggregations) instead of being full replicas")
+	fs.DurationVar(&cfg.Timeout, "timeout", 10*time.Second, "per upstream round-trip timeout")
+	if err := fs.Parse(args); err != nil {
+		return cfg, "", err
+	}
+	for _, n := range strings.Split(nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			cfg.Nodes = append(cfg.Nodes, n)
+		}
+	}
+	if len(cfg.Nodes) == 0 {
+		return cfg, "", errors.New("-nodes is required (comma-separated store node base URLs)")
+	}
+	if cfg.Timeout <= 0 {
+		return cfg, "", errors.New("timeout must be positive")
+	}
+	return cfg, addr, nil
+}
+
+func run(args []string) error {
+	cfg, addr, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	g, err := gateway.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: g.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	mode := "replica-fleet"
+	if cfg.Partitioned {
+		mode = "partitioned"
+	}
+	fmt.Printf("spotlight-gateway: serving on %s (%s, %d nodes)\n", ln.Addr(), mode, len(cfg.Nodes))
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}

@@ -9,6 +9,7 @@
 //	spotlightd [-addr :8080] [-seed 42] [-tick 5m] [-speed 300]
 //	           [-data-dir DIR] [-snapshot-interval 1h]
 //	           [-max-watchers 256] [-smoke]
+//	           [-follow URL] [-follow-backfill 0]
 //
 // With -speed 300, five simulated minutes (one tick) pass per wall-clock
 // second. By default the store is in-memory and a restart starts a fresh
@@ -18,6 +19,15 @@
 // simulated time, and on restart the daemon replays snapshot plus WAL,
 // resumes the recorded study clock, and serves byte-identical responses —
 // ETags included — for everything recovered.
+//
+// With -follow the daemon is a read replica instead: no simulation runs;
+// the store is built by tailing the leader's /v2/watch stream with
+// Last-Event-ID resume, and the node serves the same read-only query
+// surface with the leader's ETag salt and clock, so a caught-up follower
+// answers byte-identically to its leader — ETags included. Replica lag
+// is exposed in /v2/health. See docs/replication.md. -follow-backfill
+// asks the leader for that much trailing history on first attach
+// (bounded server-side to 24h); the default 0 is live-only.
 //
 // The service exposes two API surfaces (see docs/api.md for the full
 // reference):
@@ -39,8 +49,8 @@
 //	                   events (probes, prices, spikes, revocations,
 //	                   outage transitions) with Last-Event-ID resume; see
 //	                   docs/streaming.md and pkg/client.Watch
-//	GET  /v2/health  — store mode, durability state, and watch-stream
-//	                   counters
+//	GET  /v2/health  — store mode, durability state, watch-stream
+//	                   counters, and (on followers) replication lag
 //
 // Windows are absolute (from/to, RFC3339) or relative (window=24h,
 // resolved against the simulation clock). Errors use the machine-readable
@@ -59,17 +69,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
-	"spotlight/internal/experiment"
-	"spotlight/internal/query"
-	"spotlight/internal/store"
+	"spotlight/internal/daemon"
 	"spotlight/pkg/api"
 	"spotlight/pkg/client"
 )
@@ -80,49 +85,49 @@ func main() {
 	}
 }
 
-// options are the parsed command-line flags.
-type options struct {
-	addr         string
-	seed         uint64
-	tick         time.Duration
-	speed        float64
-	smoke        bool
-	dataDir      string
-	snapInterval time.Duration
-	maxWatchers  int
-}
-
-func parseFlags(args []string) (options, error) {
+// parseFlags maps the command line onto daemon.Options plus the
+// command-only -smoke switch.
+func parseFlags(args []string) (daemon.Options, bool, error) {
 	fs := flag.NewFlagSet("spotlightd", flag.ContinueOnError)
-	var o options
-	fs.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
-	fs.Uint64Var(&o.seed, "seed", 42, "simulation seed")
-	fs.DurationVar(&o.tick, "tick", 5*time.Minute, "simulation tick")
-	fs.Float64Var(&o.speed, "speed", 300, "simulated seconds per wall second")
-	fs.BoolVar(&o.smoke, "smoke", false, "serve, query self once via the client SDK, and exit")
-	fs.StringVar(&o.dataDir, "data-dir", "",
+	var (
+		o     daemon.Options
+		smoke bool
+	)
+	fs.StringVar(&o.Addr, "addr", ":8080", "HTTP listen address")
+	fs.Uint64Var(&o.Seed, "seed", 42, "simulation seed")
+	fs.DurationVar(&o.Tick, "tick", 5*time.Minute, "simulation tick")
+	fs.Float64Var(&o.Speed, "speed", 300, "simulated seconds per wall second")
+	fs.BoolVar(&smoke, "smoke", false, "serve, query self once via the client SDK, and exit")
+	fs.StringVar(&o.DataDir, "data-dir", "",
 		"durable store directory (WAL segments + snapshots); empty keeps the store in memory")
-	fs.DurationVar(&o.snapInterval, "snapshot-interval", time.Hour,
+	fs.DurationVar(&o.SnapInterval, "snapshot-interval", time.Hour,
 		"simulated time between store snapshots when -data-dir is set (0: snapshot only at shutdown)")
-	fs.IntVar(&o.maxWatchers, "max-watchers", 256,
+	fs.IntVar(&o.MaxWatchers, "max-watchers", 256,
 		"concurrent /v2/watch subscriber cap (above it new streams get 429)")
+	fs.StringVar(&o.Follow, "follow", "",
+		"run as a read replica of the leader at this base URL (no simulation; see docs/replication.md)")
+	fs.DurationVar(&o.FollowBackfill, "follow-backfill", 0,
+		"trailing history to request from the leader on first attach (bounded server-side to 24h; 0 is live-only)")
 	if err := fs.Parse(args); err != nil {
-		return o, err
+		return o, false, err
 	}
-	if o.speed <= 0 {
-		return o, errors.New("speed must be positive")
+	if o.Speed <= 0 {
+		return o, false, errors.New("speed must be positive")
 	}
-	if o.snapInterval < 0 {
-		return o, errors.New("snapshot-interval must not be negative")
+	if o.SnapInterval < 0 {
+		return o, false, errors.New("snapshot-interval must not be negative")
 	}
-	if o.maxWatchers <= 0 {
-		return o, errors.New("max-watchers must be positive")
+	if o.MaxWatchers <= 0 {
+		return o, false, errors.New("max-watchers must be positive")
 	}
-	return o, nil
+	if o.FollowBackfill < 0 {
+		return o, false, errors.New("follow-backfill must not be negative")
+	}
+	return o, smoke, nil
 }
 
 func run(args []string) error {
-	opts, err := parseFlags(args)
+	opts, smoke, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
@@ -133,15 +138,19 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	d, err := startDaemon(opts)
+	d, err := daemon.Start(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("spotlightd: serving on %s (tick %v, %gx real time%s)\n",
-		d.addr(), opts.tick, opts.speed, d.storeDesc)
+	if opts.Follow != "" {
+		fmt.Printf("spotlightd: serving on %s%s\n", d.Addr(), d.StoreDesc)
+	} else {
+		fmt.Printf("spotlightd: serving on %s (tick %v, %gx real time%s)\n",
+			d.Addr(), opts.Tick, opts.Speed, d.StoreDesc)
+	}
 
-	if opts.smoke {
-		serr := smokeCheck(ctx, "http://"+d.addr())
+	if smoke {
+		serr := smokeCheck(ctx, d.BaseURL())
 		if cerr := d.Close(); serr == nil {
 			serr = cerr
 		}
@@ -149,7 +158,7 @@ func run(args []string) error {
 	}
 
 	select {
-	case err := <-d.serveErr:
+	case err := <-d.ServeErr():
 		// Close's error carries the session's sticky durability errors
 		// (per-tick flush failures only resurface here), so it must not
 		// be swallowed by the serve error.
@@ -157,151 +166,6 @@ func run(args []string) error {
 	case <-ctx.Done():
 		return d.Close()
 	}
-}
-
-// daemon is one running spotlightd instance: the study loop, the HTTP
-// server, and (optionally) the durable store behind both. Tests drive it
-// directly; run wires it to flags and signals.
-type daemon struct {
-	st        *experiment.Study
-	mu        sync.Mutex // owns st.Sim and st.Svc; HTTP touches only the clock under it
-	ln        net.Listener
-	srv       *http.Server
-	apiSrv    *query.API
-	serveErr  chan error
-	stopTick  context.CancelFunc
-	tickDone  chan struct{}
-	storeDesc string
-
-	closeOnce sync.Once
-	closeErr  error
-}
-
-// startDaemon builds the study (recovering a durable store when
-// configured), starts the tick loop and the HTTP server, and returns once
-// the listener is live.
-func startDaemon(opts options) (*daemon, error) {
-	expCfg := experiment.Config{Seed: opts.seed, Days: 1, Tick: opts.tick}
-	d := &daemon{serveErr: make(chan error, 1)}
-
-	var pers *store.Persister
-	if opts.dataDir != "" {
-		db, err := store.Open(opts.dataDir, store.PersistOptions{})
-		if err != nil {
-			return nil, err
-		}
-		pers = db.Persister()
-		expCfg.DB = db
-		expCfg.Spotlight.SnapshotInterval = opts.snapInterval
-		// Resume the study clock where the previous process stopped, so
-		// the recovered record and the new one share a single timeline.
-		expCfg.ResumeAt = pers.Clock()
-		d.storeDesc = fmt.Sprintf(", durable store %s (%d markets recovered)",
-			opts.dataDir, len(db.Markets()))
-	}
-
-	st, err := experiment.New(expCfg)
-	if err != nil {
-		if pers != nil {
-			pers.Close() // release the data-dir lock; nothing was appended
-		}
-		return nil, err
-	}
-	d.st = st
-
-	// The simulator and service are single-threaded by design; the tick
-	// goroutine owns them and the HTTP layer only touches the
-	// (concurrency-safe) store plus the clock under the mutex.
-	interval := time.Duration(float64(opts.tick) / opts.speed)
-	if interval <= 0 {
-		interval = time.Millisecond
-	}
-	tickCtx, stopTick := context.WithCancel(context.Background())
-	d.stopTick = stopTick
-	d.tickDone = make(chan struct{})
-	go func() {
-		defer close(d.tickDone)
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-tickCtx.Done():
-				return
-			case <-ticker.C:
-				d.mu.Lock()
-				st.Sim.Step()
-				st.Svc.OnTick()
-				d.mu.Unlock()
-			}
-		}
-	}()
-
-	engine := query.NewEngine(st.DB, st.Cat)
-	apiSrv := query.NewAPI(engine, func() time.Time {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		return st.Sim.Now()
-	})
-	d.apiSrv = apiSrv
-	// Results cannot change faster than the study ticks, so intermediaries
-	// may cache exactly one wall-clock tick without revalidating.
-	apiSrv.SetCacheTTL(interval)
-	apiSrv.SetWatchLimit(opts.maxWatchers)
-	if pers != nil {
-		// A durable store's generations survive restarts, so its ETags
-		// should too: salt them with the data directory's stable salt
-		// instead of this process's boot instant.
-		apiSrv.SetETagSalt(pers.Salt())
-	}
-
-	// Listen explicitly so ":0" resolves to a concrete port before the
-	// smoke check (and tests) need the base URL.
-	ln, err := net.Listen("tcp", opts.addr)
-	if err != nil {
-		stopTick()
-		<-d.tickDone
-		// Close the durability layer too (flush + data-dir lock release),
-		// so a failed start leaves the directory reusable in-process.
-		if cerr := st.Svc.Close(); cerr != nil {
-			err = errors.Join(err, cerr)
-		}
-		return nil, err
-	}
-	d.ln = ln
-	d.srv = &http.Server{
-		Handler:           apiSrv.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	go func() { d.serveErr <- d.srv.Serve(ln) }()
-	return d, nil
-}
-
-// addr returns the listener's concrete address.
-func (d *daemon) addr() string { return d.ln.Addr().String() }
-
-// Close shuts the daemon down cleanly: HTTP drains, the tick loop stops,
-// and the service closes its durability layer (flushing the WAL, taking
-// a final snapshot, and persisting the study clock). Idempotent.
-func (d *daemon) Close() error {
-	d.closeOnce.Do(func() {
-		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-		defer cancel()
-		// Tear down live /v2/watch streams first: SSE handlers never
-		// return on their own, so without this Shutdown would hang until
-		// its timeout and leak the stream goroutines.
-		d.apiSrv.Shutdown()
-		err := d.srv.Shutdown(shutCtx)
-		d.stopTick()
-		<-d.tickDone
-		d.mu.Lock()
-		cerr := d.st.Svc.Close()
-		d.mu.Unlock()
-		if err == nil {
-			err = cerr
-		}
-		d.closeErr = err
-	})
-	return d.closeErr
 }
 
 // smokeCheck exercises the full serving path end to end: a live

@@ -38,21 +38,43 @@
 //   - internal/experiment  — study harness and the Chapter 6 case studies
 //   - internal/spotcheck   — SpotCheck case study (Fig 6.1)
 //   - internal/spoton      — SpotOn case study + Eq 6.1 (Fig 6.2)
+//   - internal/daemon      — assembles one runnable node (leader or
+//     follower): store, query API, HTTP server, and either the simulated
+//     study or a replication subscription
+//   - internal/replica     — read replication: rebuild a leader's store
+//     by tailing its /v2/watch change feed, adopting the leader's clock
+//     and ETag salt so a caught-up follower answers byte-identically
+//     (docs/replication.md)
+//   - internal/gateway     — the scatter-gather front door: one endpoint
+//     over N store nodes with consistent-hash routing, per-node batch
+//     splitting, per-query upstream error isolation, and
+//     partitioned-fleet merges
+//   - internal/loadgen     — mixed read workload driver recording
+//     per-operation latency distributions
 //   - cmd/spotlight-study  — regenerate every table and figure
+//   - cmd/spotlight-analyze— regenerate Chapter 5 figures from a dumped
+//     store snapshot (collect once, analyze many)
 //   - cmd/spotlightd       — run the service as an HTTP daemon (-smoke
 //     self-checks a v2 batch and a live watch stream through pkg/client
-//     and exits; -data-dir makes the study durable across restarts)
+//     and exits; -data-dir makes the study durable across restarts;
+//     -follow runs the daemon as a read replica of another node)
+//   - cmd/spotlight-gateway— front a replica or partitioned fleet with
+//     one scatter-gather endpoint
+//   - cmd/spotload         — load harness; -smoke boots a leader, a
+//     follower, and a gateway in-process and proves the scale-out path
+//     under concurrent load
 //   - cmd/ec2sim           — inspect the simulator standalone
 //   - examples/            — runnable walkthroughs; each serves a study
 //     over HTTP and consumes it through pkg/client
 //
-// The root-level benchmarks (bench_test.go) regenerate each table and
-// figure of the paper's evaluation; see EXPERIMENTS.md for paper-vs-
-// measured values and DESIGN.md for the system inventory and the
-// simulator-substitution rationale. The BenchmarkStoreAppendParallel and
-// BenchmarkQuery*Parallel families measure the sharded store's concurrent
-// ingestion and query serving.
+// README.md is the front door (quickstart, binary and example index);
+// docs/architecture.md walks the whole pipeline from probe to replicated
+// query answer. The root-level benchmarks (bench_test.go) regenerate
+// each table and figure of the paper's evaluation; the
+// BenchmarkStoreAppendParallel and BenchmarkQuery*Parallel families
+// measure the sharded store's concurrent ingestion and query serving.
 //
 // Development: `make ci` runs the same build / gofmt / vet / race-test /
-// fuzz-smoke / benchmark-smoke pipeline as .github/workflows/ci.yml.
+// http-smoke / scale-out-smoke / fuzz-smoke / benchmark-smoke pipeline
+// as .github/workflows/ci.yml.
 package spotlight

@@ -1,0 +1,283 @@
+// Package daemon assembles one running SpotLight node: store, query API,
+// HTTP server, and either the simulated study that feeds the store
+// (leader mode) or a replication subscription to another node (follower
+// mode). Command spotlightd is a thin flag wrapper over Start; tests and
+// the spotload harness embed nodes directly.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"spotlight/internal/experiment"
+	"spotlight/internal/market"
+	"spotlight/internal/query"
+	"spotlight/internal/replica"
+	"spotlight/internal/store"
+)
+
+// Options configure one node. The zero value is not runnable; commands
+// fill it from flags, tests directly.
+type Options struct {
+	// Addr is the HTTP listen address (":0" for an ephemeral port).
+	Addr string
+	// Seed / Tick / Speed shape the leader's simulated study: Tick of
+	// simulated time passes every Tick/Speed of wall time.
+	Seed  uint64
+	Tick  time.Duration
+	Speed float64
+	// DataDir makes the leader's store durable (WAL + snapshots); empty
+	// keeps it in memory. Incompatible with Follow.
+	DataDir string
+	// SnapInterval is the simulated time between snapshots (DataDir only).
+	SnapInterval time.Duration
+	// MaxWatchers caps concurrent /v2/watch subscribers (0: default).
+	MaxWatchers int
+
+	// Follow switches the node into follower mode: no simulation runs,
+	// and the store is built by tailing the leader at this base URL over
+	// /v2/watch (see internal/replica). The node serves the same
+	// read-only query surface with the leader's ETag salt and clock.
+	Follow string
+	// FollowBackfill asks the leader for that much trailing history on
+	// first attach (bounded server-side to 24h). Zero means live-only.
+	FollowBackfill time.Duration
+	// FollowTimeout bounds the wait for the leader's first hello and
+	// clock before Start fails (default 30s).
+	FollowTimeout time.Duration
+}
+
+// Daemon is one running node. Close is idempotent.
+type Daemon struct {
+	// StoreDesc is a human-readable suffix describing the store ("",
+	// ", durable store DIR (...)", or ", following URL").
+	StoreDesc string
+
+	st     *experiment.Study   // leader mode only
+	rep    *replica.Replicator // follower mode only
+	mu     sync.Mutex          // owns st.Sim and st.Svc; HTTP touches only the clock under it
+	ln     net.Listener
+	srv    *http.Server
+	apiSrv *query.API
+
+	serveErr chan error
+	stopTick context.CancelFunc
+	tickDone chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Addr returns the listener's concrete address.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// BaseURL returns the node's HTTP base URL.
+func (d *Daemon) BaseURL() string { return "http://" + d.Addr() }
+
+// ServeErr delivers the http.Server's terminal error (at most one).
+func (d *Daemon) ServeErr() <-chan error { return d.serveErr }
+
+// Start builds the node and returns once the listener is live: in leader
+// mode the study ticks in the background (recovering a durable store
+// first when configured); in follower mode the replication subscription
+// is attached and the leader's salt and clock are known, so every ETag
+// minted from the first request on is leader-compatible.
+func Start(opts Options) (*Daemon, error) {
+	if opts.Follow != "" {
+		if opts.DataDir != "" {
+			return nil, errors.New("follower mode is memory-only: -data-dir is incompatible with -follow (rebuild by re-tailing the leader)")
+		}
+		return startFollower(opts)
+	}
+	return startLeader(opts)
+}
+
+// startLeader runs the simulated study and serves its store.
+func startLeader(opts Options) (*Daemon, error) {
+	expCfg := experiment.Config{Seed: opts.Seed, Days: 1, Tick: opts.Tick}
+	d := &Daemon{serveErr: make(chan error, 1)}
+
+	var pers *store.Persister
+	if opts.DataDir != "" {
+		db, err := store.Open(opts.DataDir, store.PersistOptions{})
+		if err != nil {
+			return nil, err
+		}
+		pers = db.Persister()
+		expCfg.DB = db
+		expCfg.Spotlight.SnapshotInterval = opts.SnapInterval
+		// Resume the study clock where the previous process stopped, so
+		// the recovered record and the new one share a single timeline.
+		expCfg.ResumeAt = pers.Clock()
+		d.StoreDesc = fmt.Sprintf(", durable store %s (%d markets recovered)",
+			opts.DataDir, len(db.Markets()))
+	}
+
+	st, err := experiment.New(expCfg)
+	if err != nil {
+		if pers != nil {
+			pers.Close() // release the data-dir lock; nothing was appended
+		}
+		return nil, err
+	}
+	d.st = st
+
+	// The simulator and service are single-threaded by design; the tick
+	// goroutine owns them and the HTTP layer only touches the
+	// (concurrency-safe) store plus the clock under the mutex.
+	interval := time.Duration(float64(opts.Tick) / opts.Speed)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	tickCtx, stopTick := context.WithCancel(context.Background())
+	d.stopTick = stopTick
+	d.tickDone = make(chan struct{})
+	go func() {
+		defer close(d.tickDone)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-tickCtx.Done():
+				return
+			case <-ticker.C:
+				d.mu.Lock()
+				st.Sim.Step()
+				st.Svc.OnTick()
+				d.mu.Unlock()
+			}
+		}
+	}()
+
+	engine := query.NewEngine(st.DB, st.Cat)
+	apiSrv := query.NewAPI(engine, func() time.Time {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return st.Sim.Now()
+	})
+	d.apiSrv = apiSrv
+	// Results cannot change faster than the study ticks, so intermediaries
+	// may cache exactly one wall-clock tick without revalidating.
+	apiSrv.SetCacheTTL(interval)
+	apiSrv.SetWatchLimit(opts.MaxWatchers)
+	if pers != nil {
+		// A durable store's generations survive restarts, so its ETags
+		// should too: salt them with the data directory's stable salt
+		// instead of this process's boot instant.
+		apiSrv.SetETagSalt(pers.Salt())
+	}
+
+	if err := d.listen(opts.Addr); err != nil {
+		stopTick()
+		<-d.tickDone
+		// Close the durability layer too (flush + data-dir lock release),
+		// so a failed start leaves the directory reusable in-process.
+		if cerr := st.Svc.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
+	}
+	return d, nil
+}
+
+// startFollower builds an empty store, attaches the replication
+// subscription, and blocks until the leader's salt and clock are known —
+// serving before that point would mint ETags under the wrong salt.
+func startFollower(opts Options) (*Daemon, error) {
+	d := &Daemon{serveErr: make(chan error, 1)}
+	db := store.New()
+	rep, err := replica.New(replica.Config{
+		Leader:   opts.Follow,
+		DB:       db,
+		Backfill: opts.FollowBackfill,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Start(); err != nil {
+		return nil, err
+	}
+	timeout := opts.FollowTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	select {
+	case <-rep.Ready():
+	case <-time.After(timeout):
+		rep.Close()
+		return nil, fmt.Errorf("follower: no hello from leader %s within %v", opts.Follow, timeout)
+	}
+	d.rep = rep
+	d.StoreDesc = ", following " + opts.Follow
+
+	// The catalog is deterministic (market.New is seedless), so the
+	// follower's market metadata matches the leader's without shipping it.
+	engine := query.NewEngine(db, market.New())
+	apiSrv := query.NewAPI(engine, rep.Clock)
+	d.apiSrv = apiSrv
+	apiSrv.SetWatchLimit(opts.MaxWatchers)
+	apiSrv.SetReplication(rep.Status)
+	if salt, ok := rep.Salt(); ok {
+		apiSrv.SetETagSalt(salt)
+	}
+
+	if err := d.listen(opts.Addr); err != nil {
+		rep.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// listen binds the address explicitly (so ":0" resolves to a concrete
+// port before callers need the base URL) and starts serving.
+func (d *Daemon) listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	d.ln = ln
+	d.srv = &http.Server{
+		Handler:           d.apiSrv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { d.serveErr <- d.srv.Serve(ln) }()
+	return nil
+}
+
+// Close shuts the node down cleanly: HTTP drains, the tick loop or
+// replication subscription stops, and a leader's service closes its
+// durability layer (flushing the WAL, taking a final snapshot, and
+// persisting the study clock). Idempotent.
+func (d *Daemon) Close() error {
+	d.closeOnce.Do(func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		// Tear down live /v2/watch streams first: SSE handlers never
+		// return on their own, so without this Shutdown would hang until
+		// its timeout and leak the stream goroutines.
+		d.apiSrv.Shutdown()
+		err := d.srv.Shutdown(shutCtx)
+		if d.stopTick != nil {
+			d.stopTick()
+			<-d.tickDone
+		}
+		if d.rep != nil {
+			d.rep.Close()
+		}
+		if d.st != nil {
+			d.mu.Lock()
+			cerr := d.st.Svc.Close()
+			d.mu.Unlock()
+			if err == nil {
+				err = cerr
+			}
+		}
+		d.closeErr = err
+	})
+	return d.closeErr
+}

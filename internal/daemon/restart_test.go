@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"context"
@@ -53,21 +53,21 @@ func TestRestartServesIdenticalResponsesAndETags(t *testing.T) {
 	dir := t.TempDir()
 	baseGoroutines := runtime.NumGoroutine()
 
-	ingest := options{
-		addr: "127.0.0.1:0", seed: 7, tick: 5 * time.Minute, speed: 30000,
-		dataDir: dir, snapInterval: time.Hour, maxWatchers: 8,
+	ingest := Options{
+		Addr: "127.0.0.1:0", Seed: 7, Tick: 5 * time.Minute, Speed: 30000,
+		DataDir: dir, SnapInterval: time.Hour, MaxWatchers: 8,
 	}
 	quiet := ingest
-	quiet.tick, quiet.speed = 24*time.Hour, 1 // first tick a day of wall clock away
+	quiet.Tick, quiet.Speed = 24*time.Hour, 1 // first tick a day of wall clock away
 
 	// Run 1: ingest until the store holds probes, then shut down cleanly —
 	// with a live watch stream open, which Close must tear down instead of
 	// hanging on (SSE handlers never return by themselves).
-	d1, err := startDaemon(ingest)
+	d1, err := Start(ingest)
 	if err != nil {
 		t.Fatalf("start ingest daemon: %v", err)
 	}
-	wc, err := client.New("http://"+d1.addr(), nil)
+	wc, err := client.New("http://"+d1.Addr(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestRestartServesIdenticalResponsesAndETags(t *testing.T) {
 			t.Fatal("no live event from the ingest daemon")
 		}
 	}
-	waitForProbes(t, d1.addr())
+	waitForProbes(t, d1.Addr())
 	if err := d1.Close(); err != nil {
 		t.Fatalf("close ingest daemon: %v", err)
 	}
@@ -107,32 +107,32 @@ func TestRestartServesIdenticalResponsesAndETags(t *testing.T) {
 	batchBody := fmt.Sprintf(`{"queries":[{"kind":"stable","region":"us-east-1","n":5,"from":%q,"to":%q},{"kind":"summary"}]}`, from, to)
 
 	// Run 2: capture the recovered responses.
-	d2, err := startDaemon(quiet)
+	d2, err := Start(quiet)
 	if err != nil {
 		t.Fatalf("start run 2: %v", err)
 	}
-	if n := probeTotal(t, d2.addr()); n == 0 {
+	if n := probeTotal(t, d2.Addr()); n == 0 {
 		t.Fatal("run 2 recovered no probes; nothing meaningful to compare")
 	}
 	captured := make(map[string]httpCapture)
 	for _, path := range gets {
-		captured[path] = doGET(t, d2.addr(), path, "")
+		captured[path] = doGET(t, d2.Addr(), path, "")
 	}
-	capturedBatch := doPOST(t, d2.addr(), "/v2/query", batchBody, "")
+	capturedBatch := doPOST(t, d2.Addr(), "/v2/query", batchBody, "")
 	if err := d2.Close(); err != nil {
 		t.Fatalf("close run 2: %v", err)
 	}
 
 	// Run 3: every answer must match run 2 exactly, and run 2's
 	// validators must still be fresh.
-	d3, err := startDaemon(quiet)
+	d3, err := Start(quiet)
 	if err != nil {
 		t.Fatalf("start run 3: %v", err)
 	}
 	defer d3.Close()
 	for _, path := range gets {
 		want := captured[path]
-		got := doGET(t, d3.addr(), path, "")
+		got := doGET(t, d3.Addr(), path, "")
 		if got.status != want.status || got.body != want.body {
 			t.Errorf("%s: response changed across restart\n got: %d %.200s\nwant: %d %.200s",
 				path, got.status, got.body, want.status, want.body)
@@ -140,11 +140,11 @@ func TestRestartServesIdenticalResponsesAndETags(t *testing.T) {
 		if got.etag == "" || got.etag != want.etag {
 			t.Errorf("%s: ETag changed across restart: %q -> %q", path, want.etag, got.etag)
 		}
-		if notMod := doGET(t, d3.addr(), path, want.etag); notMod.status != http.StatusNotModified {
+		if notMod := doGET(t, d3.Addr(), path, want.etag); notMod.status != http.StatusNotModified {
 			t.Errorf("%s: If-None-Match with the pre-restart ETag answered %d, want 304", path, notMod.status)
 		}
 	}
-	gotBatch := doPOST(t, d3.addr(), "/v2/query", batchBody, "")
+	gotBatch := doPOST(t, d3.Addr(), "/v2/query", batchBody, "")
 	if gotBatch.status != capturedBatch.status || gotBatch.body != capturedBatch.body {
 		t.Errorf("/v2/query: response changed across restart\n got: %d %.200s\nwant: %d %.200s",
 			gotBatch.status, gotBatch.body, capturedBatch.status, capturedBatch.body)
@@ -152,7 +152,7 @@ func TestRestartServesIdenticalResponsesAndETags(t *testing.T) {
 	if gotBatch.etag == "" || gotBatch.etag != capturedBatch.etag {
 		t.Errorf("/v2/query: ETag changed across restart: %q -> %q", capturedBatch.etag, gotBatch.etag)
 	}
-	if notMod := doPOST(t, d3.addr(), "/v2/query", batchBody, capturedBatch.etag); notMod.status != http.StatusNotModified {
+	if notMod := doPOST(t, d3.Addr(), "/v2/query", batchBody, capturedBatch.etag); notMod.status != http.StatusNotModified {
 		t.Errorf("/v2/query: If-None-Match with the pre-restart ETag answered %d, want 304", notMod.status)
 	}
 

@@ -1,0 +1,604 @@
+// Package gateway is SpotLight's scatter-gather front door: one HTTP
+// endpoint fanning queries out over N store nodes (spotlightd leaders or
+// followers) and reassembling the answers.
+//
+// Two deployment shapes share the code:
+//
+//   - Replica fleet (Partitioned=false): every node holds the full
+//     store (a leader plus its followers). Each query routes whole to
+//     one node — market-scoped queries by consistent hash of the market
+//     (per-market cache affinity), scope-less ones by hash of their spec
+//     — and the gateway is purely a load spreader.
+//   - Partitioned fleet (Partitioned=true): markets are sharded across
+//     nodes by the same consistent hash the ingest tier uses.
+//     Market-scoped queries route to the owner; the scope-less
+//     aggregations (summary, stable, volatile) fan out to every node
+//     and the gateway merges the partial results (counters sum exactly,
+//     rankings re-rank; see docs/replication.md for the caveats on
+//     fallback and predict, whose cross-market context stays
+//     partition-local).
+//
+// A batch envelope is split per node, the node sub-batches run
+// concurrently, and per-query error isolation survives the hop: an
+// unreachable node fails its own queries with code "upstream" while the
+// rest of the batch answers normally.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spotlight/pkg/api"
+	"spotlight/pkg/client"
+)
+
+// Defaults.
+const (
+	// defaultTimeout bounds one upstream round trip.
+	defaultTimeout = 10 * time.Second
+	// defaultVirtualNodes is the ring points per node; 64 keeps the
+	// keyspace split within a few percent of even for small fleets.
+	defaultVirtualNodes = 64
+	// maxBatchBody mirrors the store nodes' envelope bound.
+	maxBatchBody = 1 << 20
+	// defaultRankN mirrors the store nodes' default ranking size, so a
+	// merged fan-out truncates where a single node would have.
+	defaultRankN = 10
+)
+
+// Config wires one Gateway.
+type Config struct {
+	// Nodes are the upstream base URLs (at least one).
+	Nodes []string
+	// Partitioned declares that markets are sharded across Nodes rather
+	// than replicated to all of them; it changes routing and turns on
+	// fan-out merges for the scope-less aggregations.
+	Partitioned bool
+	// Timeout bounds each upstream round trip (default 10s).
+	Timeout time.Duration
+	// VirtualNodes tunes ring granularity (default 64 points per node).
+	VirtualNodes int
+	// HTTPClient overrides the upstream transport (nil: default).
+	HTTPClient *http.Client
+}
+
+// Gateway routes queries across the configured nodes. Build with New;
+// serve Handler.
+type Gateway struct {
+	cfg     Config
+	ring    ring
+	clients []*client.Client
+	proxies []*httputil.ReverseProxy
+	rr      atomic.Uint64
+}
+
+// New validates the config and builds the gateway.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("gateway: at least one upstream node is required")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultTimeout
+	}
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = defaultVirtualNodes
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		ring:    newRing(cfg.Nodes, cfg.VirtualNodes),
+		clients: make([]*client.Client, len(cfg.Nodes)),
+		proxies: make([]*httputil.ReverseProxy, len(cfg.Nodes)),
+	}
+	for i, node := range cfg.Nodes {
+		c, err := client.New(node, cfg.HTTPClient)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: node %d: %w", i, err)
+		}
+		g.clients[i] = c
+		u, err := url.Parse(node)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: node %d: %w", i, err)
+		}
+		p := httputil.NewSingleHostReverseProxy(u)
+		p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			writeErr(w, http.StatusBadGateway,
+				api.Errorf(api.CodeUpstream, "upstream unreachable: %v", err).WithDetail("node", u.Host))
+		}
+		g.proxies[i] = p
+	}
+	return g, nil
+}
+
+// Handler returns the routed HTTP handler: the batch endpoint and the
+// aggregated health are gateway-native; everything else (/v1/*,
+// /v2/watch) proxies to one routed node, upstream ETags passing through
+// untouched.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/query", g.handleBatch)
+	mux.HandleFunc("GET /v2/health", g.handleHealth)
+	mux.HandleFunc("GET /v2/watch", g.handleWatch)
+	mux.HandleFunc("/", g.handleProxy)
+	return mux
+}
+
+// mergeable reports whether a scope-less query of this kind can be
+// fanned out and reassembled from partial stores.
+func mergeable(k api.Kind) bool {
+	switch k {
+	case api.KindSummary, api.KindStable, api.KindVolatile:
+		return true
+	}
+	return false
+}
+
+// route picks the owning node for one query; fan is true when the query
+// must instead go to every node and merge (partitioned scope-less
+// aggregations).
+func (g *Gateway) route(q api.Query) (node int, fan bool) {
+	if q.Market != "" {
+		return g.ring.pick(q.Market), false
+	}
+	if g.cfg.Partitioned && mergeable(q.Kind) {
+		return 0, true
+	}
+	// Scope-less on a replica fleet (or catalog-backed kinds anywhere):
+	// any node can answer; hash the spec so the same question keeps
+	// hitting the same node's memoization cache.
+	return g.ring.pick(string(q.Kind) + "|" + q.Region + "|" + q.Product + "|" + strconv.Itoa(q.N)), false
+}
+
+// handleBatch is the scatter-gather POST /v2/query: split the envelope
+// per node, run the node sub-batches concurrently, reassemble in request
+// order, merge the fanned-out aggregations.
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "bad batch body: %v", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "empty batch: supply at least one query"))
+		return
+	}
+	if len(req.Queries) > api.MaxBatchQueries {
+		writeErr(w, http.StatusBadRequest, api.Errorf(api.CodeTooManyQueries, "batch of %d exceeds the limit", len(req.Queries)).
+			WithDetail("limit", strconv.Itoa(api.MaxBatchQueries)).
+			WithDetail("got", strconv.Itoa(len(req.Queries))))
+		return
+	}
+
+	results, now := g.scatter(r.Context(), req.Queries)
+	writeJSON(w, api.BatchResponse{Now: now, Results: results})
+}
+
+// nodeCall is one upstream sub-batch: which original indexes it answers
+// and what came back.
+type nodeCall struct {
+	idxs    []int
+	queries []api.Query
+	resp    *api.BatchResponse
+	err     error
+}
+
+// scatter runs the queries across the fleet and reassembles results in
+// request order. The returned clock is the newest upstream clock seen.
+func (g *Gateway) scatter(ctx context.Context, queries []api.Query) ([]api.Result, time.Time) {
+	calls := make([]*nodeCall, len(g.clients))
+	forNode := func(n int) *nodeCall {
+		if calls[n] == nil {
+			calls[n] = &nodeCall{}
+		}
+		return calls[n]
+	}
+	fanned := make([]bool, len(queries))
+	for i, q := range queries {
+		node, fan := g.route(q)
+		if fan {
+			fanned[i] = true
+			for n := range g.clients {
+				c := forNode(n)
+				c.idxs = append(c.idxs, i)
+				c.queries = append(c.queries, q)
+			}
+			continue
+		}
+		c := forNode(node)
+		c.idxs = append(c.idxs, i)
+		c.queries = append(c.queries, q)
+	}
+
+	cctx, cancel := context.WithTimeout(ctx, g.cfg.Timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for n, call := range calls {
+		if call == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(n int, call *nodeCall) {
+			defer wg.Done()
+			call.resp, call.err = g.clients[n].Batch(cctx, call.queries...)
+		}(n, call)
+	}
+	wg.Wait()
+
+	var now time.Time
+	results := make([]api.Result, len(queries))
+	// fanParts[i] collects the per-node results of fanned-out query i.
+	fanParts := make(map[int][]api.Result)
+	for n, call := range calls {
+		if call == nil {
+			continue
+		}
+		if call.err != nil {
+			for k, i := range call.idxs {
+				errRes := api.Result{Kind: call.queries[k].Kind, Error: upstreamErr(g.cfg.Nodes[n], call.err)}
+				if fanned[i] {
+					// A fanned-out merge is wrong with a partition
+					// missing: fail the query rather than under-count.
+					results[i] = errRes
+					fanParts[i] = nil
+				} else {
+					results[i] = errRes
+				}
+			}
+			continue
+		}
+		if call.resp.Now.After(now) {
+			now = call.resp.Now
+		}
+		for k, i := range call.idxs {
+			res := call.resp.Results[k]
+			if !fanned[i] {
+				results[i] = res
+				continue
+			}
+			if results[i].Error != nil && results[i].Error.Code == api.CodeUpstream {
+				continue // another partition already failed this query
+			}
+			if res.Error != nil {
+				// Spec-level errors (bad window, bad param) are the same
+				// on every node; surface the first.
+				results[i] = res
+				fanParts[i] = nil
+				continue
+			}
+			fanParts[i] = append(fanParts[i], res)
+		}
+	}
+	for i, parts := range fanParts {
+		if results[i].Error != nil || parts == nil {
+			continue
+		}
+		results[i] = mergeResults(queries[i], parts)
+	}
+	return results, now
+}
+
+// upstreamErr wraps a node failure in the wire envelope.
+func upstreamErr(node string, err error) *api.Error {
+	return api.Errorf(api.CodeUpstream, "store node unreachable: %v", err).WithDetail("node", node)
+}
+
+// mergeResults reassembles one fanned-out query from its per-partition
+// answers.
+func mergeResults(q api.Query, parts []api.Result) api.Result {
+	out := api.Result{Kind: q.Kind}
+	n := q.N
+	if n <= 0 {
+		n = defaultRankN
+	}
+	switch q.Kind {
+	case api.KindSummary:
+		var lists [][]api.RegionSummary
+		for _, p := range parts {
+			lists = append(lists, p.Summary)
+		}
+		out.Summary = mergeSummaries(lists)
+	case api.KindStable:
+		var lists [][]api.StableMarket
+		for _, p := range parts {
+			lists = append(lists, p.Stable)
+		}
+		out.Stable = mergeStable(lists, n)
+	case api.KindVolatile:
+		var lists [][]api.VolatileMarket
+		for _, p := range parts {
+			lists = append(lists, p.Volatile)
+		}
+		out.Volatile = mergeVolatile(lists, n)
+	default:
+		out.Error = api.Errorf(api.CodeInternal, "unmergeable fanned-out kind %q", q.Kind)
+	}
+	return out
+}
+
+// mergeSummaries merges per-partition region summaries: counters sum
+// exactly; the two derived statistics (mean outage duration, rejected
+// spot fraction) recombine weighted by their denominators, which
+// reconstructs the whole-fleet value up to float rounding.
+func mergeSummaries(lists [][]api.RegionSummary) []api.RegionSummary {
+	type acc struct {
+		api.RegionSummary
+		outageWeighted time.Duration
+		rejSpot        float64
+	}
+	byRegion := make(map[string]*acc)
+	for _, rows := range lists {
+		for _, row := range rows {
+			a := byRegion[row.Region]
+			if a == nil {
+				a = &acc{RegionSummary: api.RegionSummary{Region: row.Region}}
+				byRegion[row.Region] = a
+			}
+			a.ODOutages += row.ODOutages
+			a.SpotOutages += row.SpotOutages
+			a.RejectedODProbes += row.RejectedODProbes
+			a.TotalODProbes += row.TotalODProbes
+			a.TotalSpotProbes += row.TotalSpotProbes
+			a.SpikesAboveOD += row.SpikesAboveOD
+			a.ObservedSpikesAll += row.ObservedSpikesAll
+			a.outageWeighted += row.MeanODOutage * time.Duration(row.ODOutages)
+			a.rejSpot += row.RejectedSpotPcnt * float64(row.TotalSpotProbes)
+		}
+	}
+	out := make([]api.RegionSummary, 0, len(byRegion))
+	for _, a := range byRegion {
+		s := a.RegionSummary
+		if a.ODOutages > 0 {
+			s.MeanODOutage = a.outageWeighted / time.Duration(a.ODOutages)
+		}
+		if a.TotalSpotProbes > 0 {
+			s.RejectedSpotPcnt = a.rejSpot / float64(a.TotalSpotProbes)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
+	return out
+}
+
+// mergeStable re-ranks per-partition stability rows. Every node
+// enumerates the full catalog (markets it does not own score zero), so
+// rows dedupe per market by keeping the one with signal, then the
+// fleet-wide ranking re-sorts with the nodes' own comparator.
+func mergeStable(lists [][]api.StableMarket, n int) []api.StableMarket {
+	best := make(map[string]api.StableMarket)
+	for _, rows := range lists {
+		for _, row := range rows {
+			cur, ok := best[row.Market]
+			if !ok || row.Crossings > cur.Crossings ||
+				(row.Crossings == cur.Crossings && row.ODUnavailability > cur.ODUnavailability) {
+				best[row.Market] = row
+			}
+		}
+	}
+	out := make([]api.StableMarket, 0, len(best))
+	for _, row := range best {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Crossings != out[j].Crossings {
+			return out[i].Crossings < out[j].Crossings
+		}
+		if out[i].ODUnavailability != out[j].ODUnavailability {
+			return out[i].ODUnavailability < out[j].ODUnavailability
+		}
+		return out[i].Market < out[j].Market
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// mergeVolatile re-ranks per-partition volatility rows (only owning
+// partitions produce a market's row, so the dedupe rarely fires).
+func mergeVolatile(lists [][]api.VolatileMarket, n int) []api.VolatileMarket {
+	best := make(map[string]api.VolatileMarket)
+	for _, rows := range lists {
+		for _, row := range rows {
+			cur, ok := best[row.Market]
+			if !ok || row.Crossings > cur.Crossings ||
+				(row.Crossings == cur.Crossings && row.MaxRatio > cur.MaxRatio) {
+				best[row.Market] = row
+			}
+		}
+	}
+	out := make([]api.VolatileMarket, 0, len(best))
+	for _, row := range best {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Crossings != out[j].Crossings {
+			return out[i].Crossings > out[j].Crossings
+		}
+		if out[i].MaxRatio != out[j].MaxRatio {
+			return out[i].MaxRatio > out[j].MaxRatio
+		}
+		return out[i].Market < out[j].Market
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// handleWatch proxies one live stream to a node: market-scoped streams
+// go to the market's owner; scope-less ones round-robin across the
+// fleet — except on a partitioned fleet, where no single node sees every
+// market's events, so the gateway refuses rather than silently serving a
+// partial stream.
+func (g *Gateway) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if m := r.URL.Query().Get("market"); m != "" {
+		g.proxies[g.ring.pick(m)].ServeHTTP(w, r)
+		return
+	}
+	if g.cfg.Partitioned {
+		writeErr(w, http.StatusBadRequest, api.Errorf(api.CodeBadParam,
+			"a partitioned gateway serves only market-scoped watches (no node sees every market); subscribe per market or watch the nodes directly").
+			WithDetail("param", "market"))
+		return
+	}
+	g.proxies[int(g.rr.Add(1))%len(g.proxies)].ServeHTTP(w, r)
+}
+
+// handleProxy routes the /v1/* surface. Market-scoped URLs go to the
+// market's owner. Scope-less URLs hash their full spec for cache
+// affinity on a replica fleet; on a partitioned fleet the three
+// mergeable aggregations are answered by scatter-gather here (bare
+// payload, no ETag — the merged answer has no single scope generation),
+// and the rest (catalog-backed /v1/markets) go to any node.
+func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if m := q.Get("market"); m != "" {
+		g.proxies[g.ring.pick(m)].ServeHTTP(w, r)
+		return
+	}
+	if g.cfg.Partitioned {
+		var kind api.Kind
+		switch r.URL.Path {
+		case "/v1/summary":
+			kind = api.KindSummary
+		case "/v1/stable":
+			kind = api.KindStable
+		case "/v1/volatile":
+			kind = api.KindVolatile
+		}
+		if kind != "" {
+			g.v1Fanout(w, r, kind)
+			return
+		}
+	}
+	g.proxies[g.ring.pick(r.URL.RequestURI())].ServeHTTP(w, r)
+}
+
+// v1Fanout answers one mergeable /v1 GET on a partitioned fleet by
+// running the equivalent batch query through scatter and writing the
+// kind's bare payload, mirroring the nodes' own v1 adapter.
+func (g *Gateway) v1Fanout(w http.ResponseWriter, r *http.Request, kind api.Kind) {
+	qs := r.URL.Query()
+	q := api.Query{
+		Kind:    kind,
+		Window:  api.Window{Rel: qs.Get("window")},
+		Region:  qs.Get("region"),
+		Product: qs.Get("product"),
+	}
+	if s := qs.Get("from"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, api.Errorf(api.CodeBadWindow, "bad 'from' %q (want RFC3339)", s))
+			return
+		}
+		q.From = t
+	}
+	if s := qs.Get("to"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, api.Errorf(api.CodeBadWindow, "bad 'to' %q (want RFC3339)", s))
+			return
+		}
+		q.To = t
+	}
+	if s := qs.Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, api.Errorf(api.CodeBadParam, "n must be a positive integer, got %q", s).WithDetail("param", "n"))
+			return
+		}
+		q.N = n
+	}
+	results, _ := g.scatter(r.Context(), []api.Query{q})
+	res := results[0]
+	if res.Error != nil {
+		status := http.StatusBadRequest
+		if res.Error.Code == api.CodeUpstream {
+			status = http.StatusBadGateway
+		}
+		writeErr(w, status, res.Error)
+		return
+	}
+	switch kind {
+	case api.KindSummary:
+		writeJSON(w, res.Summary)
+	case api.KindStable:
+		writeJSON(w, res.Stable)
+	case api.KindVolatile:
+		writeJSON(w, res.Volatile)
+	}
+}
+
+// handleHealth aggregates the fleet's health: every node is polled
+// concurrently, the worst node status wins, and the per-node breakdown
+// rides in the gateway arm.
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	cctx, cancel := context.WithTimeout(r.Context(), g.cfg.Timeout)
+	defer cancel()
+	nodes := make([]api.NodeHealth, len(g.clients))
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		now time.Time
+	)
+	for i := range g.clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nh := api.NodeHealth{URL: g.cfg.Nodes[i]}
+			h, err := g.clients[i].Health(cctx)
+			if err != nil {
+				nh.Status = "unreachable"
+				nh.Error = err.Error()
+			} else {
+				nh.Status = h.Status
+				nh.Generation = h.Store.Generation
+				mu.Lock()
+				if h.Now.After(now) {
+					now = h.Now
+				}
+				mu.Unlock()
+			}
+			nodes[i] = nh
+		}(i)
+	}
+	wg.Wait()
+
+	h := api.Health{
+		Status: "ok",
+		Now:    now,
+		Store:  api.HealthStore{Mode: "gateway", Healthy: true},
+		Gateway: &api.HealthGateway{
+			Partitioned: g.cfg.Partitioned,
+			Nodes:       nodes,
+		},
+	}
+	for _, nh := range nodes {
+		if nh.Status != "ok" {
+			h.Status = "degraded"
+			if nh.Status == "unreachable" {
+				h.Store.Healthy = false
+			}
+		}
+	}
+	writeJSON(w, h)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, e *api.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(e)
+}

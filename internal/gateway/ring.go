@@ -1,0 +1,52 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over the upstream nodes: each node owns
+// vnodes points on a 64-bit circle, and a key routes to the node owning
+// the first point at or after the key's hash. Adding or removing one
+// node then remaps only ~1/N of the keyspace — a resized store fleet
+// keeps most markets (and so most node-side caches) where they were.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// newRing places vnodes points per node, identified by the node's URL so
+// the placement is stable across gateway restarts and fleet reorderings.
+func newRing(nodes []string, vnodes int) ring {
+	r := ring{points: make([]ringPoint, 0, len(nodes)*vnodes)}
+	for i, u := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", u, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// pick routes a key to its owning node index.
+func (r ring) pick(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point owns the top arc
+	}
+	return r.points[i].node
+}
+
+// hash64 is fnv64a — the same family the store's ETags use; cheap and
+// well-spread for short market IDs.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,54 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms, sorted
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.90, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+	} {
+		if got := percentile(samples, tc.q); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile of no samples = %v, want 0", got)
+	}
+}
+
+func TestSummarizeAndRender(t *testing.T) {
+	s := summarize("batch", []time.Duration{
+		3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond,
+	}, 1)
+	if s.Count != 3 || s.Errors != 1 || s.P50 != 2*time.Millisecond || s.Max != 3*time.Millisecond {
+		t.Fatalf("summarize = %+v", s)
+	}
+	if s.Mean != 2*time.Millisecond {
+		t.Errorf("mean = %v, want 2ms", s.Mean)
+	}
+
+	rep := &Report{
+		Targets: []string{"http://x"}, Duration: time.Second,
+		Concurrency: 2, Watchers: 1, Requests: 4, Errors: 1,
+		Throughput: 4, WatchEvents: 7, Ops: []OpStats{s},
+	}
+	out := rep.String()
+	for _, want := range []string{"batch", "p50", "p99", "watch events: 7", "errors: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -74,6 +74,10 @@ type API struct {
 	// stay ring-covered and resume exactly.
 	armOnce sync.Once
 	armed   atomic.Bool
+
+	// replication, when set, contributes a follower's leader-subscription
+	// state to /v2/health (nil on leaders).
+	replication func() *api.HealthReplication
 }
 
 // NewAPI builds the HTTP layer over an engine.
@@ -112,6 +116,14 @@ func (a *API) setCacheControl(w http.ResponseWriter) {
 		secs = 1
 	}
 	w.Header().Set("Cache-Control", "max-age="+strconv.Itoa(secs))
+}
+
+// SetReplication wires a follower's replication-status provider into
+// /v2/health: each health request calls fn for a fresh snapshot. A
+// disconnected follower reports status "degraded" (it keeps serving what
+// it has, increasingly stale). Call before serving.
+func (a *API) SetReplication(fn func() *api.HealthReplication) {
+	a.replication = fn
 }
 
 // SetETagSalt replaces the per-process ETag salt with a stable value —

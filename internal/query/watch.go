@@ -241,10 +241,16 @@ func (a *API) handleWatch(w http.ResponseWriter, r *http.Request) {
 
 	// hello opens the stream (with the SSE retry hint); control frames
 	// carry no id, so a client that has seen no data events reconnects
-	// fresh rather than resuming from a position it never had.
+	// fresh rather than resuming from a position it never had. The salt
+	// lets a read replica mint byte-identical ETags (it is the first
+	// segment of every resume token anyway, so nothing new leaks).
 	if err := writeSSE(w, "retry: 2000\n", api.StreamEvent{
 		Kind: api.EventHello, Gen: feed.Stats().LastGen, At: now,
-		Hello: &api.StreamHello{Gen: a.engine.db.GlobalGeneration(), Resume: resume},
+		Hello: &api.StreamHello{
+			Gen:    a.engine.db.GlobalGeneration(),
+			Resume: resume,
+			Salt:   fmt.Sprintf("%x", uint64(a.epoch)),
+		},
 	}); err != nil {
 		return
 	}
@@ -397,12 +403,22 @@ func (a *API) toStreamEvent(ev store.Event) api.StreamEvent {
 	case store.EventProbe:
 		se.Kind = api.EventProbe
 		se.Probe = &api.StreamProbe{
-			Contract: ev.Probe.Kind.String(),
-			Trigger:  ev.Probe.Trigger.String(),
-			Rejected: ev.Probe.Rejected,
-			Code:     ev.Probe.Code,
-			Bid:      ev.Probe.Bid,
-			Cost:     ev.Probe.Cost,
+			Contract:   ev.Probe.Kind.String(),
+			Trigger:    ev.Probe.Trigger.String(),
+			Rejected:   ev.Probe.Rejected,
+			Code:       ev.Probe.Code,
+			Bid:        ev.Probe.Bid,
+			Cost:       ev.Probe.Cost,
+			SpikeRatio: ev.Probe.SpikeRatio,
+			PriceRatio: ev.Probe.PriceRatio,
+		}
+		// Provenance fields ride along so a replica can rebuild the probe
+		// record exactly; zero values stay off the wire.
+		if ev.Probe.TriggerMarket != (market.SpotID{}) {
+			se.Probe.TriggerMarket = ev.Probe.TriggerMarket.String()
+		}
+		if ev.Probe.SourceKind != 0 {
+			se.Probe.SourceKind = ev.Probe.SourceKind.String()
 		}
 	case store.EventPrice:
 		se.Kind = api.EventPrice
@@ -473,6 +489,14 @@ func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Dropped:     fs.Dropped,
 		Lagged:      fs.Lagged,
 		LastSeq:     fs.LastSeq,
+	}
+	if a.replication != nil {
+		h.Replication = a.replication()
+		if h.Replication != nil && !h.Replication.Connected {
+			// The follower keeps serving, but its answers age while the
+			// leader subscription is down.
+			h.Status = "degraded"
+		}
 	}
 	writeJSON(w, h)
 }

@@ -72,6 +72,20 @@ func (k ProbeKind) String() string {
 	}
 }
 
+// ParseProbeKind reverses ProbeKind.String; 0 for unknown names (which
+// includes the empty string, so an absent wire field round-trips to the
+// zero kind).
+func ParseProbeKind(s string) ProbeKind {
+	switch s {
+	case "on-demand":
+		return ProbeOnDemand
+	case "spot":
+		return ProbeSpot
+	default:
+		return 0
+	}
+}
+
 // Trigger records why SpotLight issued a probe (Chapter 3's policy tree
 // and Chapter 4's five probing functions).
 type Trigger int
@@ -127,6 +141,34 @@ func (tr Trigger) String() string {
 		return "periodic-od"
 	default:
 		return "unknown"
+	}
+}
+
+// ParseTrigger reverses Trigger.String; 0 for unknown names. Together
+// with ParseProbeKind it lets a stream consumer (a read replica) rebuild
+// ProbeRecords from their wire form exactly.
+func ParseTrigger(s string) Trigger {
+	switch s {
+	case "spike":
+		return TriggerSpike
+	case "related-same-zone":
+		return TriggerRelatedSameZone
+	case "related-other-zone":
+		return TriggerRelatedOtherZone
+	case "recheck":
+		return TriggerRecheck
+	case "periodic-spot":
+		return TriggerPeriodicSpot
+	case "cross":
+		return TriggerCross
+	case "bid-spread":
+		return TriggerBidSpread
+	case "revocation":
+		return TriggerRevocation
+	case "periodic-od":
+		return TriggerPeriodicOD
+	default:
+		return 0
 	}
 }
 
@@ -463,9 +505,48 @@ func (s *Store) AppendSpike(e SpikeEvent) {
 	s.shardFor(e.Market).appendSpike(e)
 }
 
+// AppendSpikes logs a batch of spike events grouped per market, one shard
+// lock round per affected market. Within one market the input order is
+// preserved.
+func (s *Store) AppendSpikes(es []SpikeEvent) {
+	switch len(es) {
+	case 0:
+		return
+	case 1:
+		s.AppendSpike(es[0])
+		return
+	}
+	groups := make(map[market.SpotID][]SpikeEvent)
+	for _, e := range es {
+		groups[e.Market] = append(groups[e.Market], e)
+	}
+	for id, group := range groups {
+		s.shardFor(id).appendSpikes(group)
+	}
+}
+
 // AppendBidSpread logs one intrinsic-price search result.
 func (s *Store) AppendBidSpread(r BidSpreadRecord) {
 	s.shardFor(r.Market).appendBidSpread(r)
+}
+
+// AppendBidSpreads logs a batch of intrinsic-price search results grouped
+// per market; within one market the input order is preserved.
+func (s *Store) AppendBidSpreads(rs []BidSpreadRecord) {
+	switch len(rs) {
+	case 0:
+		return
+	case 1:
+		s.AppendBidSpread(rs[0])
+		return
+	}
+	groups := make(map[market.SpotID][]BidSpreadRecord)
+	for _, r := range rs {
+		groups[r.Market] = append(groups[r.Market], r)
+	}
+	for id, group := range groups {
+		s.shardFor(id).appendBidSpreads(group)
+	}
 }
 
 // AppendRevocation logs one completed revocation watch.
@@ -473,10 +554,38 @@ func (s *Store) AppendRevocation(r RevocationRecord) {
 	s.shardFor(r.Market).appendRevocation(r)
 }
 
+// AppendRevocations logs a batch of completed revocation watches grouped
+// per market; within one market the input order is preserved.
+func (s *Store) AppendRevocations(rs []RevocationRecord) {
+	switch len(rs) {
+	case 0:
+		return
+	case 1:
+		s.AppendRevocation(rs[0])
+		return
+	}
+	groups := make(map[market.SpotID][]RevocationRecord)
+	for _, r := range rs {
+		groups[r.Market] = append(groups[r.Market], r)
+	}
+	for id, group := range groups {
+		s.shardFor(id).appendRevocations(group)
+	}
+}
+
 // RecordPrice appends one price observation for a market. Callers decide
 // which markets to track densely (watched markets) versus sample.
 func (s *Store) RecordPrice(id market.SpotID, p PricePoint) {
 	s.shardFor(id).appendPrice(p)
+}
+
+// RecordPrices appends a batch of price observations for one market in
+// one shard lock round, preserving input order.
+func (s *Store) RecordPrices(id market.SpotID, ps []PricePoint) {
+	if len(ps) == 0 {
+		return
+	}
+	s.shardFor(id).appendPrices(ps)
 }
 
 // Markets returns every market with at least one record of any kind, in

@@ -30,6 +30,10 @@ const (
 	CodeOverloaded = "overloaded"
 	// CodeInternal marks a server-side failure evaluating the query.
 	CodeInternal = "internal"
+	// CodeUpstream marks a gateway query whose target store node could
+	// not be reached or answered badly; Details carries "node". Other
+	// queries in the same batch are unaffected.
+	CodeUpstream = "upstream"
 )
 
 // Error is the wire error envelope every SpotLight endpoint returns —

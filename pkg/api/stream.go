@@ -111,7 +111,9 @@ type StreamEvent struct {
 	Resync     *StreamResync     `json:"resync,omitempty"`
 }
 
-// StreamProbe is one logged probe on the stream.
+// StreamProbe is one logged probe on the stream. The payload carries the
+// full probe record — provenance fields included — so a consumer can
+// rebuild the store's probe log exactly; read replicas depend on this.
 type StreamProbe struct {
 	// Contract is the probed tier: "on-demand" or "spot".
 	Contract string `json:"kind"`
@@ -121,6 +123,16 @@ type StreamProbe struct {
 	Code     string  `json:"code,omitempty"`
 	Bid      float64 `json:"bid,omitempty"`
 	Cost     float64 `json:"cost"`
+	// TriggerMarket is the market whose event caused this probe (equal to
+	// the event's market for direct spike probes).
+	TriggerMarket string `json:"triggerMarket,omitempty"`
+	// SourceKind is the contract tier whose event triggered this probe.
+	SourceKind string `json:"sourceKind,omitempty"`
+	// SpikeRatio is spot/on-demand price at the originating trigger.
+	SpikeRatio float64 `json:"spikeRatio,omitempty"`
+	// PriceRatio is the probed market's own spot/on-demand ratio at probe
+	// time.
+	PriceRatio float64 `json:"priceRatio,omitempty"`
 }
 
 // StreamSpike is one threshold crossing on the stream.
@@ -152,6 +164,10 @@ type StreamHello struct {
 	// missed), "replay" (exact ring replay), "resync" (best-effort
 	// windowed rebuild), or "none" (fresh subscription).
 	Resume string `json:"resume"`
+	// Salt is the server's ETag/token salt, hex-encoded — the first
+	// segment of every resume token. A read replica adopts it so the
+	// ETags it mints match the leader's byte for byte.
+	Salt string `json:"salt,omitempty"`
 }
 
 // StreamLagged is the terminal overflow notice.
@@ -179,6 +195,12 @@ type Health struct {
 	Now   time.Time   `json:"now"`
 	Store HealthStore `json:"store"`
 	Watch HealthWatch `json:"watch"`
+	// Replication is present only on follower nodes: the state of the
+	// leader subscription this store is built from.
+	Replication *HealthReplication `json:"replication,omitempty"`
+	// Gateway is present only on gateway nodes: the per-upstream health
+	// the aggregate Status was computed from.
+	Gateway *HealthGateway `json:"gateway,omitempty"`
 }
 
 // HealthStore describes the store behind the service.
@@ -208,4 +230,49 @@ type HealthWatch struct {
 	Lagged    uint64 `json:"lagged"`
 	// LastSeq is the newest assigned event sequence number.
 	LastSeq uint64 `json:"lastSeq"`
+}
+
+// HealthReplication is a follower's view of its leader subscription.
+type HealthReplication struct {
+	// Role is "follower" (leaders omit the whole struct).
+	Role string `json:"role"`
+	// Leader is the base URL of the node this store replicates.
+	Leader string `json:"leader"`
+	// Connected reports whether the watch stream is currently open; the
+	// replicator reconnects with Last-Event-ID resume while it is not.
+	Connected bool `json:"connected"`
+	// LastEventID is the newest resume token applied.
+	LastEventID string `json:"lastEventId,omitempty"`
+	// Applied counts data events applied to the local store.
+	Applied uint64 `json:"applied"`
+	// LocalGeneration and LeaderGeneration are the two stores' global
+	// append generations; Lag is leader minus local (0 when caught up or
+	// when the leader generation is not yet known).
+	LocalGeneration  uint64 `json:"localGeneration"`
+	LeaderGeneration uint64 `json:"leaderGeneration"`
+	Lag              uint64 `json:"lag"`
+	// Resyncs counts best-effort windowed rebuilds (at-least-once replays
+	// — each one may duplicate boundary events); Reconnects counts stream
+	// re-establishments.
+	Resyncs    uint64 `json:"resyncs"`
+	Reconnects uint64 `json:"reconnects"`
+}
+
+// HealthGateway is a gateway's per-upstream health breakdown.
+type HealthGateway struct {
+	// Partitioned reports the routing mode: true when markets are
+	// sharded across upstreams, false when every upstream is a full
+	// replica.
+	Partitioned bool         `json:"partitioned"`
+	Nodes       []NodeHealth `json:"nodes"`
+}
+
+// NodeHealth is one upstream's health as seen by the gateway.
+type NodeHealth struct {
+	URL string `json:"url"`
+	// Status mirrors the node's own health status, or "unreachable".
+	Status string `json:"status"`
+	// Generation is the node's global store generation when reachable.
+	Generation uint64 `json:"generation,omitempty"`
+	Error      string `json:"error,omitempty"`
 }

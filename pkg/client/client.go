@@ -272,6 +272,17 @@ func (c *Client) Summary(ctx context.Context) ([]api.RegionSummary, error) {
 	return out, nil
 }
 
+// Health returns the service's /v2/health payload: store mode and
+// durability state, watch-stream counters, the service clock, and — on
+// followers and gateways — replication or per-upstream detail.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var out api.Health
+	if err := c.get(ctx, "/v2/health", url.Values{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // windowValues encodes a window spec as URL parameters.
 func windowValues(w api.Window) url.Values {
 	v := url.Values{}
