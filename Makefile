@@ -8,15 +8,16 @@ GO ?= go
 # batch ingest, WAL append+flush cycle, boot-time replay), and the
 # change-feed paths (publish round, 1/64/512-subscriber fan-out, and the
 # blocked-watcher ingest twin that proves slow consumers cannot stall
-# appends).
-BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregates|BenchmarkStoreRegionAggregates|BenchmarkGenerationOfScope|BenchmarkStoreAppendMonitorTick|BenchmarkStoreAppendProbesBatchParallel|BenchmarkWALAppend|BenchmarkReplay|BenchmarkFeedPublish|BenchmarkFeedFanout
+# appends), and the advisor ranking path (BenchmarkAdvise matches the
+# generation-cached variant too).
+BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregates|BenchmarkStoreRegionAggregates|BenchmarkGenerationOfScope|BenchmarkStoreAppendMonitorTick|BenchmarkStoreAppendProbesBatchParallel|BenchmarkWALAppend|BenchmarkReplay|BenchmarkFeedPublish|BenchmarkFeedFanout|BenchmarkAdvise
 
 # bench-diff inputs: OLD defaults to the committed baseline, NEW to the
 # latest smoke run.
 OLD ?= bench-baseline.txt
 NEW ?= bench-smoke.txt
 
-.PHONY: all build test vet fmt-check bench bench-diff bench-baseline smoke loadgen-smoke fuzz-smoke ci
+.PHONY: all build test vet fmt-check bench bench-diff bench-baseline smoke loadgen-smoke fuzz-smoke example-smoke ci
 
 all: build
 
@@ -76,6 +77,12 @@ smoke:
 loadgen-smoke:
 	$(GO) run ./cmd/spotload -smoke -report spotload-report.txt
 
+# Decision-layer smoke: run the fleet-manager example end to end — an
+# /v2/advise call through the client SDK, then the threshold vs
+# feedback-control head-to-head on a short identically-seeded run.
+example-smoke:
+	$(GO) run ./examples/fleet-manager -days 1 -target 2
+
 # Fuzz smoke: a short native-fuzz burst over the WAL frame decoder and
 # the snapshot loader (malformed input must error, never panic). The
 # checked-in seed corpora live in internal/store/testdata/fuzz.
@@ -83,4 +90,4 @@ fuzz-smoke:
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime=10s
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotReadJSON$$' -fuzztime=10s
 
-ci: build fmt-check vet test smoke loadgen-smoke fuzz-smoke bench
+ci: build fmt-check vet test smoke loadgen-smoke example-smoke fuzz-smoke bench

@@ -23,12 +23,14 @@ import (
 	"testing"
 	"time"
 
+	"spotlight/internal/advisor"
 	"spotlight/internal/analysis"
 	"spotlight/internal/core"
 	"spotlight/internal/experiment"
 	"spotlight/internal/market"
 	"spotlight/internal/query"
 	"spotlight/internal/store"
+	"spotlight/pkg/api"
 )
 
 // The shared study behind the figure benchmarks: 6 simulated days over
@@ -600,6 +602,58 @@ func BenchmarkQueryStableCached(b *testing.B) {
 	hits, misses := engine.CacheStats()
 	b.ReportMetric(float64(hits), "cache_hits")
 	b.ReportMetric(float64(misses), "cache_misses")
+}
+
+// BenchmarkAdvise measures one cold decision-layer ranking: a fresh
+// advisor walks every priced market of the study, applies the workload
+// constraints, and scores/sorts the admissible set — the cost of a
+// /v2/advise that misses the memo.
+func BenchmarkAdvise(b *testing.B) {
+	st := benchStudy(b)
+	from, to := st.Window()
+	wire := api.AdviseConstraints{
+		Regions:  []string{"us-east-1"},
+		Products: []string{string(market.ProductLinux)},
+		MinVCPU:  4,
+		N:        10,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		adv := advisor.New(st.DB, st.Cat)
+		cons, err := adv.Normalize(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(adv.Advise(cons, from, to))
+	}
+	b.ReportMetric(float64(n), "candidates")
+}
+
+// BenchmarkAdviseCached measures the same ranking with the
+// generation-keyed memo warm: each repeat is a scope-generation sum plus
+// a map probe — the serving cost of a fleet manager calling the advisor
+// every tick against an unchanged store.
+func BenchmarkAdviseCached(b *testing.B) {
+	st := benchStudy(b)
+	from, to := st.Window()
+	adv := advisor.New(st.DB, st.Cat)
+	cons, err := adv.Normalize(api.AdviseConstraints{
+		Regions:  []string{"us-east-1"},
+		Products: []string{string(market.ProductLinux)},
+		MinVCPU:  4,
+		N:        10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv.Advise(cons, from, to) // warm the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv.Advise(cons, from, to)
+	}
 }
 
 // BenchmarkQueryFallback measures the uncorrelated-fallback

@@ -13,8 +13,8 @@
 // affinity, and upstream ETags pass through untouched. With -partitioned
 // the nodes are assumed to each own a disjoint subset of markets:
 // market-scoped queries route to the owner, and the scope-less
-// aggregations (summary, stable, volatile) fan out to every node and are
-// merged at the gateway.
+// aggregations (summary, stable, volatile, and the /v2/advise decision
+// endpoint) fan out to every node and are merged at the gateway.
 //
 // POST /v2/query batches are split per node and the sub-batches run
 // concurrently; a node failure fails only its own queries (code

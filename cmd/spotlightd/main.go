@@ -171,7 +171,9 @@ func run(args []string) error {
 // smokeCheck exercises the full serving path end to end: a live
 // /v2/watch stream opened through the client SDK must deliver at least
 // one ingested event, one v2 batch of three distinct query kinds must
-// succeed, and /v2/health must report an ok service.
+// succeed, and the /v2/advise decision endpoint must accept a
+// constrained workload (an empty ranking is fine this early in a run —
+// the advisor only ranks markets it holds price history for).
 func smokeCheck(ctx context.Context, baseURL string) error {
 	c, err := client.New(baseURL, nil)
 	if err != nil {
@@ -202,6 +204,19 @@ func smokeCheck(ctx context.Context, baseURL string) error {
 		}
 	}
 
+	adv, err := c.Advise(ctx, api.AdviseRequest{
+		AdviseConstraints: api.AdviseConstraints{
+			Regions:  []string{"us-east-1"},
+			Products: []string{"Linux/UNIX"},
+			MinVCPU:  2,
+			N:        5,
+		},
+		Window: api.Last(24 * time.Hour),
+	})
+	if err != nil {
+		return fmt.Errorf("smoke: advise failed: %w", err)
+	}
+
 	// The simulation ticks continuously, so a data event must arrive.
 	var firstEvent api.EventKind
 waitEvent:
@@ -221,7 +236,7 @@ waitEvent:
 		}
 	}
 
-	fmt.Printf("smoke: ok — v2 batch at sim clock %s: %d stable rows, %d markets, %d region summaries; watch delivered a %q event\n",
-		resp.Now.Format(time.RFC3339), len(resp.Results[0].Stable), len(resp.Results[1].Markets), len(resp.Results[2].Summary), firstEvent)
+	fmt.Printf("smoke: ok — v2 batch at sim clock %s: %d stable rows, %d markets, %d region summaries; advise ranked %d candidates; watch delivered a %q event\n",
+		resp.Now.Format(time.RFC3339), len(resp.Results[0].Stable), len(resp.Results[1].Markets), len(resp.Results[2].Summary), len(adv.Candidates), firstEvent)
 	return nil
 }

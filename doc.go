@@ -26,9 +26,21 @@
 //     snapshot-then-WAL (docs/persistence.md)
 //   - internal/query       — query engine (with a generation-keyed
 //     response cache) + the versioned HTTP API: GET /v1/* adapters, the
-//     POST /v2/query batch endpoint, the GET /v2/watch Server-Sent
-//     Events stream with Last-Event-ID resume, and GET /v2/health, all
-//     over the typed DTOs of pkg/api (full reference in docs/api.md)
+//     POST /v2/query batch endpoint, POST /v2/advise, the GET /v2/watch
+//     Server-Sent Events stream with Last-Event-ID resume, and
+//     GET /v2/health, all over the typed DTOs of pkg/api (full
+//     reference in docs/api.md)
+//   - internal/advisor     — the decision layer: ranks spot markets
+//     against workload constraints (capacity floors, price and
+//     interruption ceilings, region/product sets) by a composite score
+//     over the store's rollups, memoized per scope generation; served
+//     as POST /v2/advise (docs/advisor.md)
+//   - internal/fleet       — simulated fleet manager consuming the
+//     advisor and the store change feed: event-steered migration off
+//     revoked/spiking markets, on-demand fallback and repatriation, and
+//     pluggable bidding policies — the paper's threshold policy and a
+//     PI feedback controller (arXiv 1708.01391) run head-to-head in
+//     internal/experiment (docs/advisor.md)
 //   - pkg/api              — the public wire contract: request/response
 //     DTOs per query kind, the batch envelope, the live-stream event
 //     DTOs, and the machine-readable error envelope
@@ -55,9 +67,10 @@
 //   - cmd/spotlight-analyze— regenerate Chapter 5 figures from a dumped
 //     store snapshot (collect once, analyze many)
 //   - cmd/spotlightd       — run the service as an HTTP daemon (-smoke
-//     self-checks a v2 batch and a live watch stream through pkg/client
-//     and exits; -data-dir makes the study durable across restarts;
-//     -follow runs the daemon as a read replica of another node)
+//     self-checks a v2 batch, a /v2/advise call, and a live watch
+//     stream through pkg/client and exits; -data-dir makes the study
+//     durable across restarts; -follow runs the daemon as a read
+//     replica of another node)
 //   - cmd/spotlight-gateway— front a replica or partitioned fleet with
 //     one scatter-gather endpoint
 //   - cmd/spotload         — load harness; -smoke boots a leader, a
@@ -75,6 +88,6 @@
 // measure the sharded store's concurrent ingestion and query serving.
 //
 // Development: `make ci` runs the same build / gofmt / vet / race-test /
-// http-smoke / scale-out-smoke / fuzz-smoke / benchmark-smoke pipeline
-// as .github/workflows/ci.yml.
+// http-smoke / scale-out-smoke / example-smoke / fuzz-smoke /
+// benchmark-smoke pipeline as .github/workflows/ci.yml.
 package spotlight

@@ -1,0 +1,85 @@
+// Fleet-manager example: the full observe→decide→act loop. A SpotLight
+// deployment monitors a simulated cloud; the decision layer is consumed
+// the way an external operator would — POST /v2/advise over HTTP through
+// the Go client SDK — and then the fleet subsystem runs the paper's
+// threshold bidding policy head-to-head against the feedback-control
+// policy (Li/Kihl/Robertsson) on identically-seeded clouds, reporting
+// cost, availability, and migration counts.
+//
+//	go run ./examples/fleet-manager [-days N] [-seed N] [-target N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"spotlight/internal/experiment"
+	"spotlight/internal/query"
+	"spotlight/pkg/api"
+	"spotlight/pkg/client"
+)
+
+func main() {
+	days := flag.Int("days", 2, "simulated days each fleet runs")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	target := flag.Int("target", 4, "fleet size")
+	flag.Parse()
+	if err := run(*days, *seed, *target); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(days int, seed uint64, target int) error {
+	// Part 1: ask the advisor over the wire. One warmed-up study gives
+	// the endpoint price history to rank from.
+	st, err := experiment.Run(experiment.Config{Seed: seed, Days: 1})
+	if err != nil {
+		return err
+	}
+	apiSrv := query.NewAPI(query.NewEngine(st.DB, st.Cat), st.Sim.Now)
+	srv := httptest.NewServer(apiSrv.Handler())
+	defer srv.Close()
+	c, err := client.New(srv.URL, nil)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := c.Advise(ctx, api.AdviseRequest{
+		AdviseConstraints: api.AdviseConstraints{
+			Regions:  []string{"us-east-1"},
+			Products: []string{"Linux/UNIX"},
+			MinVCPU:  4,
+			N:        5,
+		},
+		Window: api.Last(24 * time.Hour),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("POST /v2/advise — top markets for >=4 vCPU Linux in us-east-1 (window %s..%s):\n",
+		resp.From.Format("01-02 15:04"), resp.To.Format("01-02 15:04"))
+	for _, cand := range resp.Candidates {
+		fmt.Printf("  #%d %-34s score %5.1f  mean $%.4f/h (od $%.3f, save %4.1f%%)  interrupt %.2f/h  %d vCPU\n",
+			cand.Rank, cand.Market, cand.Score, cand.SpotPriceMean,
+			cand.OnDemandPrice, cand.SavingsPcnt, cand.InterruptionRate, cand.VCPU)
+	}
+
+	// Part 2: the event-steered fleets, one per bidding policy.
+	fmt.Printf("\nfleet head-to-head — target %d instances, %d simulated day(s) after warm-up:\n\n", target, days)
+	rows, err := experiment.RunFleetComparison(experiment.FleetStudyConfig{
+		Seed:   seed,
+		Days:   days,
+		Target: target,
+	})
+	if err != nil {
+		return err
+	}
+	return experiment.WriteFleetComparison(os.Stdout, rows)
+}

@@ -89,6 +89,13 @@ type Instance struct {
 // IsBlock reports whether the instance is a fixed-duration spot block.
 func (i *Instance) IsBlock() bool { return !i.BlockExpiry.IsZero() }
 
+// LaunchPrice returns the clearing price the instance launched at — the
+// rate a spot instance's runtime bills at (zero for on-demand instances,
+// which bill at the market's fixed on-demand price). Exposed so portfolio
+// managers can do their own cost accounting without waiting for the
+// simulator's end-of-life billing.
+func (i *Instance) LaunchPrice() float64 { return i.launchPrice }
+
 // SpotRequestState is the status of a spot request, following the paper's
 // Fig 3.2 state machine.
 type SpotRequestState int

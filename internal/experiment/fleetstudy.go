@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"spotlight/internal/fleet"
+	"spotlight/internal/market"
+	"spotlight/pkg/api"
+)
+
+// The fleet head-to-head: the same simulated cloud, the same SpotLight
+// deployment, the same workload constraints — once per bidding policy —
+// so the only variable is the decision strategy. Each policy gets its
+// own identically-seeded study (the cloud histories are equal by
+// construction), because a shared study would let one fleet's launches
+// perturb the capacity the other sees.
+
+// FleetStudyConfig parameterizes one policy comparison.
+type FleetStudyConfig struct {
+	// Seed and Days drive each policy's identically-seeded study.
+	Seed uint64
+	Days int
+	// Tick is the simulation step (default 5 minutes).
+	Tick time.Duration
+	// Regions restricts the monitoring deployment (default: all nine).
+	Regions []market.Region
+	// Target is the fleet size (default 4).
+	Target int
+	// Constraints is the workload description (default: the us-east-1
+	// Linux c3/d2 capacity the default study monitors, 4+ vCPUs).
+	Constraints *api.AdviseConstraints
+	// WarmupDays run before the fleet starts, so the advisor has history
+	// to rank from (default 1).
+	WarmupDays int
+	// Policies are the strategies to compare; nil means threshold vs
+	// feedback-control.
+	Policies []fleet.BidPolicy
+}
+
+// FleetResult is one policy's head-to-head row.
+type FleetResult struct {
+	Policy           string
+	Cost             float64
+	AvailabilityPcnt float64
+	Migrations       int
+	Repatriations    int
+	Fallbacks        int
+	Revocations      int
+	SpotLaunches     int
+	Events           int
+}
+
+// defaultFleetConstraints matches the markets the default study monitors
+// (prices are only recorded for watched markets, and the advisor only
+// recommends from price history): us-east-1 Linux, 4 vCPUs or more.
+func defaultFleetConstraints() api.AdviseConstraints {
+	return api.AdviseConstraints{
+		Regions:  []string{"us-east-1"},
+		Products: []string{string(market.ProductLinux)},
+		MinVCPU:  4,
+	}
+}
+
+// RunFleetComparison runs one study per policy and returns the
+// head-to-head rows in policy order.
+func RunFleetComparison(cfg FleetStudyConfig) ([]FleetResult, error) {
+	if cfg.Target <= 0 {
+		cfg.Target = 4
+	}
+	if cfg.WarmupDays <= 0 {
+		cfg.WarmupDays = 1
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 3
+	}
+	policies := cfg.Policies
+	if policies == nil {
+		policies = []fleet.BidPolicy{&fleet.Threshold{}, &fleet.FeedbackControl{}}
+	}
+	cons := defaultFleetConstraints()
+	if cfg.Constraints != nil {
+		cons = *cfg.Constraints
+	}
+
+	out := make([]FleetResult, 0, len(policies))
+	for _, pol := range policies {
+		st, err := New(Config{
+			Seed:    cfg.Seed,
+			Days:    cfg.WarmupDays + cfg.Days,
+			Tick:    cfg.Tick,
+			Regions: cfg.Regions,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.RunDays(cfg.WarmupDays)
+
+		mgr, err := fleet.New(fleet.Config{
+			Sim:         st.Sim,
+			DB:          st.DB,
+			Cat:         st.Cat,
+			Constraints: cons,
+			Target:      cfg.Target,
+			Policy:      pol,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fleet: %w", err)
+		}
+		stepsPerDay := int(24 * time.Hour / st.Cfg.Tick)
+		for i := 0; i < cfg.Days*stepsPerDay; i++ {
+			st.Sim.Step()
+			st.Svc.OnTick()
+			mgr.Step(st.Sim.Now())
+		}
+		st.End = st.Sim.Now()
+		met := mgr.Close(st.Sim.Now())
+		st.Svc.Close()
+
+		out = append(out, FleetResult{
+			Policy:           met.Policy,
+			Cost:             met.Cost,
+			AvailabilityPcnt: met.AvailabilityPcnt(),
+			Migrations:       met.Migrations,
+			Repatriations:    met.Repatriations,
+			Fallbacks:        met.Fallbacks,
+			Revocations:      met.Revocations,
+			SpotLaunches:     met.SpotLaunches,
+			Events:           met.Events,
+		})
+	}
+	return out, nil
+}
+
+// WriteFleetComparison renders the head-to-head table.
+func WriteFleetComparison(w io.Writer, rows []FleetResult) error {
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tcost ($)\tavailability (%)\tmigrations\trepatriations\tod fallbacks\trevocations\tspot launches")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%d\t%d\t%d\t%d\t%d\n",
+			r.Policy, r.Cost, r.AvailabilityPcnt,
+			r.Migrations, r.Repatriations, r.Fallbacks, r.Revocations, r.SpotLaunches)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,137 @@
+package fleet
+
+// BidPolicy decides what to bid for spot capacity. The manager calls Bid
+// when it places an instance and Observe once per tick with the fleet's
+// measured state, so a policy can be a fixed rule (Threshold) or a
+// closed feedback loop (FeedbackControl).
+type BidPolicy interface {
+	// Name labels the policy in metrics and comparison tables.
+	Name() string
+	// Bid returns the maximum price to offer for one instance, given the
+	// market's on-demand price and current published spot price. The
+	// manager clamps the result to the platform's (0, 10x on-demand]
+	// acceptance range.
+	Bid(onDemand, spot float64) float64
+	// Observe feeds the tick's fleet state back to the policy.
+	Observe(o Observation)
+}
+
+// Observation is one tick's fleet state, the feedback signal policies
+// adapt to.
+type Observation struct {
+	// Running and Target are the held vs desired instance counts.
+	Running, Target int
+	// Revocations counts platform revocations detected this tick.
+	Revocations int
+}
+
+// Threshold is the paper's bidding policy (§2.1.2): bid the on-demand
+// price (times an optional multiple). The insight behind SpotLight's
+// stability ranking is that at this bid, mean time to revocation is the
+// window between on-demand price crossings — the policy itself never
+// adapts.
+type Threshold struct {
+	// Multiple scales the on-demand price; 0 means 1.0 (bid exactly the
+	// on-demand price).
+	Multiple float64
+}
+
+// Name implements BidPolicy.
+func (t *Threshold) Name() string { return "threshold" }
+
+// Bid implements BidPolicy: a fixed multiple of the on-demand price.
+func (t *Threshold) Bid(onDemand, _ float64) float64 {
+	m := t.Multiple
+	if m <= 0 {
+		m = 1.0
+	}
+	return m * onDemand
+}
+
+// Observe implements BidPolicy; the threshold policy ignores feedback.
+func (t *Threshold) Observe(Observation) {}
+
+// FeedbackControl adapts the bid with a PI controller on availability
+// error, after Li/Kihl/Robertsson's feedback-control bidding mechanism
+// (arXiv 1708.01391): the controller tracks an availability setpoint,
+// raising the bid multiple when the fleet runs below target (lost
+// auctions, revocations) and relaxing it toward the floor when the
+// target is met — paying the smallest premium that sustains the
+// requested availability, instead of the threshold policy's fixed price.
+type FeedbackControl struct {
+	// Target is the availability setpoint in (0, 1]; 0 means 0.97.
+	Target float64
+	// Kp and Ki are the proportional and integral gains; 0 means the
+	// defaults (2.0 and 0.5 per tick).
+	Kp, Ki float64
+
+	lastErr  float64
+	integral float64
+}
+
+// Controller defaults and output clamps. The bid multiple rides over the
+// on-demand price: the floor keeps the policy cheap when the fleet is
+// healthy, the ceiling stays under the platform's 10x bid cap.
+const (
+	fcDefaultTarget = 0.97
+	fcDefaultKp     = 2.0
+	fcDefaultKi     = 0.5
+	fcMinMultiple   = 0.2
+	fcMaxMultiple   = 9.5
+	fcIntegralClamp = 20.0
+)
+
+// Name implements BidPolicy.
+func (f *FeedbackControl) Name() string { return "feedback-control" }
+
+// Bid implements BidPolicy: the controller's current multiple of the
+// on-demand price.
+func (f *FeedbackControl) Bid(onDemand, _ float64) float64 {
+	return f.multiple() * onDemand
+}
+
+// Observe implements BidPolicy: accumulate the availability error. The
+// integral term is clamped (anti-windup) so a long outage does not leave
+// the controller saturated for hours after recovery.
+func (f *FeedbackControl) Observe(o Observation) {
+	if o.Target <= 0 {
+		return
+	}
+	e := f.target() - float64(o.Running)/float64(o.Target)
+	f.lastErr = e
+	f.integral += e
+	if f.integral > fcIntegralClamp {
+		f.integral = fcIntegralClamp
+	}
+	if f.integral < -fcIntegralClamp {
+		f.integral = -fcIntegralClamp
+	}
+}
+
+func (f *FeedbackControl) target() float64 {
+	if f.Target > 0 && f.Target <= 1 {
+		return f.Target
+	}
+	return fcDefaultTarget
+}
+
+// multiple is the positional PI output: 1.0 (the threshold policy's bid)
+// plus the proportional-integral correction on the availability error,
+// clamped to the output range. Between Observes the output is constant.
+func (f *FeedbackControl) multiple() float64 {
+	kp, ki := f.Kp, f.Ki
+	if kp == 0 {
+		kp = fcDefaultKp
+	}
+	if ki == 0 {
+		ki = fcDefaultKi
+	}
+	m := 1.0 + kp*f.lastErr + ki*f.integral
+	if m < fcMinMultiple {
+		return fcMinMultiple
+	}
+	if m > fcMaxMultiple {
+		return fcMaxMultiple
+	}
+	return m
+}

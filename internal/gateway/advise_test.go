@@ -1,0 +1,200 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/query"
+	"spotlight/internal/store"
+	"spotlight/pkg/api"
+)
+
+func TestMergeAdvise(t *testing.T) {
+	winTo := t0.Add(24 * time.Hour)
+	lists := []*api.AdviseResult{
+		{From: t0, To: winTo, Candidates: []api.AdviseCandidate{
+			{Rank: 1, Market: "mkt-a", Score: 90, PriceSamples: 10},
+			{Rank: 2, Market: "mkt-shared", Score: 70, PriceSamples: 3},
+		}},
+		nil, // a partition with no answer contributes nothing
+		{From: t0, To: winTo, Candidates: []api.AdviseCandidate{
+			{Rank: 1, Market: "mkt-b", Score: 95, PriceSamples: 8},
+			{Rank: 2, Market: "mkt-shared", Score: 72, PriceSamples: 12},
+		}},
+	}
+	got := mergeAdvise(lists, 2)
+	if len(got.Candidates) != 2 {
+		t.Fatalf("merged candidates = %+v, want the top 2", got.Candidates)
+	}
+	if got.Candidates[0].Market != "mkt-b" || got.Candidates[1].Market != "mkt-a" {
+		t.Errorf("merged order = [%s %s], want [mkt-b mkt-a]", got.Candidates[0].Market, got.Candidates[1].Market)
+	}
+	for i, c := range got.Candidates {
+		if c.Rank != i+1 {
+			t.Errorf("rank %d renumbered to %d", i+1, c.Rank)
+		}
+	}
+	if !got.From.Equal(t0) || !got.To.Equal(winTo) {
+		t.Errorf("merged window = %s..%s", got.From, got.To)
+	}
+	// The duplicated market keeps the row with more evidence.
+	full := mergeAdvise(lists, 10)
+	for _, c := range full.Candidates {
+		if c.Market == "mkt-shared" && c.PriceSamples != 12 {
+			t.Errorf("shared market kept %d samples, want the 12-sample row", c.PriceSamples)
+		}
+	}
+}
+
+// postAdviseRaw posts an advise request and returns status, headers, body.
+func postAdviseRaw(t *testing.T, url string, areq api.AdviseRequest, etag string) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(areq)
+	req, err := http.NewRequest(http.MethodPost, url+"/v2/advise", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if etag != "" {
+		req.Header.Set(api.HeaderIfNoneMatch, etag)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp, raw
+}
+
+// seedPrices records a day of hourly samples for id at a flat price.
+func seedPrices(db *store.Store, id market.SpotID, price float64) {
+	for i := 0; i < 24; i++ {
+		db.RecordPrice(id, store.PricePoint{At: t0.Add(time.Duration(i) * time.Hour), Price: price})
+	}
+}
+
+func TestPartitionedAdviseFanOut(t *testing.T) {
+	dbs := []*store.Store{store.New(), store.New()}
+	srv0, srv1 := newNode(t, dbs[0]), newNode(t, dbs[1])
+	g, err := New(Config{Nodes: []string{srv0.URL, srv1.URL}, Partitioned: true, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsrv := gwServer(t, g)
+
+	// Price a handful of markets, each recorded only on its ring owner, so
+	// no single node can produce the full ranking.
+	perNode := make([]int, len(dbs))
+	ids := usEastMarkets(t, 6)
+	for i, id := range ids {
+		n := g.ring.pick(id.String())
+		seedPrices(dbs[n], id, 0.01+0.01*float64(i))
+		perNode[n]++
+	}
+	if perNode[0] == 0 || perNode[1] == 0 {
+		t.Fatalf("ring put all markets on one node: %v", perNode)
+	}
+
+	areq := api.AdviseRequest{
+		AdviseConstraints: api.AdviseConstraints{Regions: []string{"us-east-1"}, N: 10},
+		Window:            api.Between(t0, t0.Add(24*time.Hour)),
+	}
+	resp, body := postAdviseRaw(t, gsrv.URL, areq, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d body=%s", resp.StatusCode, body)
+	}
+	var out api.AdviseResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Candidates) != len(ids) {
+		t.Fatalf("merged candidates = %d, want all %d priced markets across both partitions", len(out.Candidates), len(ids))
+	}
+	seen := make(map[int]bool)
+	for i, c := range out.Candidates {
+		if c.Rank != i+1 {
+			t.Errorf("rank %d carries Rank=%d", i+1, c.Rank)
+		}
+		if i > 0 && out.Candidates[i-1].Score < c.Score {
+			t.Errorf("merged ranking not score-descending at %d", i)
+		}
+		seen[g.ring.pick(c.Market)] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("merged ranking drew from one partition only")
+	}
+
+	// Constraint errors surface as the node's own envelope.
+	bad, body := postAdviseRaw(t, gsrv.URL, api.AdviseRequest{
+		AdviseConstraints: api.AdviseConstraints{Regions: []string{"mars-north-1"}},
+	}, "")
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-region status = %d body=%s", bad.StatusCode, body)
+	}
+	var e api.Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != api.CodeBadParam {
+		t.Errorf("bad-region envelope = %s", body)
+	}
+
+	// A dead partition fails the whole advise: a partial ranking would
+	// silently drop that partition's markets.
+	srv1.Close()
+	degraded, body := postAdviseRaw(t, gsrv.URL, areq, "")
+	if degraded.StatusCode != http.StatusBadGateway {
+		t.Fatalf("degraded status = %d body=%s", degraded.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != api.CodeUpstream {
+		t.Errorf("degraded envelope = %s, want code %q", body, api.CodeUpstream)
+	}
+}
+
+func TestReplicaAdvisePassthrough(t *testing.T) {
+	db := store.New()
+	for i, id := range usEastMarkets(t, 4) {
+		seedPrices(db, id, 0.02+0.01*float64(i))
+	}
+	a := query.NewAPI(query.NewEngine(db, market.New()), func() time.Time { return t0.Add(24 * time.Hour) })
+	t.Cleanup(a.Shutdown)
+	srvA := httptest.NewServer(a.Handler())
+	srvB := httptest.NewServer(a.Handler())
+	t.Cleanup(srvA.Close)
+	t.Cleanup(srvB.Close)
+	g, err := New(Config{Nodes: []string{srvA.URL, srvB.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsrv := gwServer(t, g)
+
+	areq := api.AdviseRequest{
+		AdviseConstraints: api.AdviseConstraints{Regions: []string{"us-east-1"}, N: 4},
+		Window:            api.Between(t0, t0.Add(24*time.Hour)),
+	}
+	viaGW, gwBody := postAdviseRaw(t, gsrv.URL, areq, "")
+	if viaGW.StatusCode != http.StatusOK {
+		t.Fatalf("gateway advise status = %d body=%s", viaGW.StatusCode, gwBody)
+	}
+	direct, directBody := postAdviseRaw(t, srvA.URL, areq, "")
+	if direct.StatusCode != http.StatusOK {
+		t.Fatalf("direct advise status = %d", direct.StatusCode)
+	}
+	if !bytes.Equal(gwBody, directBody) {
+		t.Errorf("gateway advise diverged from direct node\n via: %.300s\nnode: %.300s", gwBody, directBody)
+	}
+
+	// The upstream ETag passes through, and validators revalidate.
+	etag := viaGW.Header.Get(api.HeaderETag)
+	if etag == "" || etag != direct.Header.Get(api.HeaderETag) {
+		t.Fatalf("proxied advise ETag = %q, direct %q", etag, direct.Header.Get(api.HeaderETag))
+	}
+	rnm, body := postAdviseRaw(t, gsrv.URL, areq, etag)
+	if rnm.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("validator through gateway answered %d (%q), want empty 304", rnm.StatusCode, body)
+	}
+}

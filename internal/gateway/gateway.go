@@ -12,10 +12,10 @@
 //   - Partitioned fleet (Partitioned=true): markets are sharded across
 //     nodes by the same consistent hash the ingest tier uses.
 //     Market-scoped queries route to the owner; the scope-less
-//     aggregations (summary, stable, volatile) fan out to every node
-//     and the gateway merges the partial results (counters sum exactly,
-//     rankings re-rank; see docs/replication.md for the caveats on
-//     fallback and predict, whose cross-market context stays
+//     aggregations (summary, stable, volatile, advise) fan out to every
+//     node and the gateway merges the partial results (counters sum
+//     exactly, rankings re-rank; see docs/replication.md for the
+//     caveats on fallback and predict, whose cross-market context stays
 //     partition-local).
 //
 // A batch envelope is split per node, the node sub-batches run
@@ -25,9 +25,11 @@
 package gateway
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
@@ -125,6 +127,7 @@ func New(cfg Config) (*Gateway, error) {
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v2/query", g.handleBatch)
+	mux.HandleFunc("POST /v2/advise", g.handleAdvise)
 	mux.HandleFunc("GET /v2/health", g.handleHealth)
 	mux.HandleFunc("GET /v2/watch", g.handleWatch)
 	mux.HandleFunc("/", g.handleProxy)
@@ -132,10 +135,13 @@ func (g *Gateway) Handler() http.Handler {
 }
 
 // mergeable reports whether a scope-less query of this kind can be
-// fanned out and reassembled from partial stores.
+// fanned out and reassembled from partial stores. Advise qualifies: on a
+// partitioned fleet each node ranks only the markets it holds prices
+// for, the candidate sets are disjoint, and the union's top N is inside
+// the merged per-partition top Ns.
 func mergeable(k api.Kind) bool {
 	switch k {
-	case api.KindSummary, api.KindStable, api.KindVolatile:
+	case api.KindSummary, api.KindStable, api.KindVolatile, api.KindAdvise:
 		return true
 	}
 	return false
@@ -317,6 +323,15 @@ func mergeResults(q api.Query, parts []api.Result) api.Result {
 			lists = append(lists, p.Volatile)
 		}
 		out.Volatile = mergeVolatile(lists, n)
+	case api.KindAdvise:
+		if q.Advise != nil && q.Advise.N > 0 {
+			n = q.Advise.N
+		}
+		var lists []*api.AdviseResult
+		for _, p := range parts {
+			lists = append(lists, p.Advise)
+		}
+		out.Advise = mergeAdvise(lists, n)
 	default:
 		out.Error = api.Errorf(api.CodeInternal, "unmergeable fanned-out kind %q", q.Kind)
 	}
@@ -431,6 +446,96 @@ func mergeVolatile(lists [][]api.VolatileMarket, n int) []api.VolatileMarket {
 		out = out[:n]
 	}
 	return out
+}
+
+// mergeAdvise reassembles one fanned-out advise from its per-partition
+// rankings: dedupe per market (a market priced on two nodes keeps the
+// row built from more samples), re-rank with the advisor's own
+// comparator, truncate, and renumber.
+func mergeAdvise(lists []*api.AdviseResult, n int) *api.AdviseResult {
+	out := &api.AdviseResult{}
+	best := make(map[string]api.AdviseCandidate)
+	for _, res := range lists {
+		if res == nil {
+			continue
+		}
+		if res.To.After(out.To) {
+			out.From, out.To = res.From, res.To
+		}
+		for _, c := range res.Candidates {
+			cur, ok := best[c.Market]
+			if !ok || c.PriceSamples > cur.PriceSamples {
+				best[c.Market] = c
+			}
+		}
+	}
+	cands := make([]api.AdviseCandidate, 0, len(best))
+	for _, c := range best {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		if cands[i].InterruptionRate != cands[j].InterruptionRate {
+			return cands[i].InterruptionRate < cands[j].InterruptionRate
+		}
+		return cands[i].Market < cands[j].Market
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	for i := range cands {
+		cands[i].Rank = i + 1
+	}
+	out.Candidates = cands
+	return out
+}
+
+// handleAdvise routes POST /v2/advise. On a replica fleet the request
+// proxies whole to one node picked by hashing the constraint body —
+// repeated asks hit the same node's advise memo, and that node's ETag
+// passes through untouched so client 304 revalidation keeps working. On
+// a partitioned fleet no single node has every market's price history,
+// so the constraints fan out to every node through scatter and the
+// rankings merge (bare payload, no ETag — the merged answer has no
+// single scope generation); a missing partition fails the advise with
+// code "upstream" rather than silently under-ranking.
+func (g *Gateway) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "read advise body: %v", err))
+		return
+	}
+	if !g.cfg.Partitioned {
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+		g.proxies[g.ring.pick("advise|"+string(body))].ServeHTTP(w, r)
+		return
+	}
+	var req api.AdviseRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "bad advise body: %v", err))
+			return
+		}
+	}
+	q := api.Query{Kind: api.KindAdvise, Window: req.Window, Advise: &req.AdviseConstraints}
+	results, now := g.scatter(r.Context(), []api.Query{q})
+	res := results[0]
+	if res.Error != nil {
+		status := http.StatusBadRequest
+		if res.Error.Code == api.CodeUpstream {
+			status = http.StatusBadGateway
+		}
+		writeErr(w, status, res.Error)
+		return
+	}
+	if res.Advise == nil {
+		writeErr(w, http.StatusBadGateway, api.Errorf(api.CodeInternal, "advise fan-out returned no result"))
+		return
+	}
+	writeJSON(w, api.AdviseResponse{Now: now, AdviseResult: *res.Advise})
 }
 
 // handleWatch proxies one live stream to a node: market-scoped streams

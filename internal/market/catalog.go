@@ -85,6 +85,34 @@ var typeTable = map[InstanceType]typeSpec{
 	"cg1.4xlarge": {units: 64, price: 2.100},
 }
 
+// familyMemPerVCPU maps an instance family to its approximate memory per
+// vCPU in GB (2015-era generations). Families absent from the table use
+// defaultMemPerVCPU. Together with the units-derived vCPU count this
+// gives every type the capacity attributes (vCPU, memory) the advisor
+// filters workload floors against.
+var familyMemPerVCPU = map[Family]float64{
+	"t1":  0.6,
+	"t2":  1.0,
+	"m1":  1.7,
+	"m2":  8.6,
+	"m3":  3.75,
+	"m4":  4.0,
+	"c1":  0.9,
+	"c3":  1.875,
+	"c4":  1.875,
+	"r3":  7.625,
+	"i2":  7.625,
+	"d2":  7.625,
+	"g2":  3.75,
+	"cc2": 2.6,
+	"cr1": 15.25,
+	"hi1": 7.5,
+	"hs1": 7.3,
+	"cg1": 1.4,
+}
+
+const defaultMemPerVCPU = 2.0
+
 // regionSpec describes a region: its zone letters and its on-demand price
 // multiplier relative to us-east-1.
 type regionSpec struct {
@@ -243,6 +271,41 @@ func (c *Catalog) Units(t InstanceType) (int, error) {
 		return 0, fmt.Errorf("market: unknown instance type %q", t)
 	}
 	return spec.units, nil
+}
+
+// VCPU returns the vCPU count of instance type t, derived from its
+// capacity weight (four units per vCPU, minimum one). It returns an error
+// for unknown types.
+func (c *Catalog) VCPU(t InstanceType) (int, error) {
+	spec, ok := typeTable[t]
+	if !ok {
+		return 0, fmt.Errorf("market: unknown instance type %q", t)
+	}
+	v := spec.units / 4
+	if v < 1 {
+		v = 1
+	}
+	return v, nil
+}
+
+// MemoryGB returns the memory of instance type t in GB, from the family's
+// memory-per-vCPU profile. It returns an error for unknown types.
+func (c *Catalog) MemoryGB(t InstanceType) (float64, error) {
+	v, err := c.VCPU(t)
+	if err != nil {
+		return 0, err
+	}
+	per, ok := familyMemPerVCPU[t.Family()]
+	if !ok {
+		per = defaultMemPerVCPU
+	}
+	return float64(v) * per, nil
+}
+
+// HasRegion reports whether r is in the catalog.
+func (c *Catalog) HasRegion(r Region) bool {
+	_, ok := regionTable[r]
+	return ok
 }
 
 // OnDemandPrice returns the hourly on-demand price in dollars for the

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"spotlight/internal/advisor"
 	"spotlight/internal/market"
 	"spotlight/internal/stats"
 	"spotlight/internal/store"
@@ -34,13 +35,19 @@ type Engine struct {
 	db    *store.Store
 	cat   *market.Catalog
 	cache *resultCache
+	adv   *advisor.Advisor
 }
 
 // NewEngine builds a query engine over db and the catalog, with response
 // caching enabled.
 func NewEngine(db *store.Store, cat *market.Catalog) *Engine {
-	return &Engine{db: db, cat: cat, cache: newResultCache(0)}
+	return &Engine{db: db, cat: cat, cache: newResultCache(0), adv: advisor.New(db, cat)}
 }
+
+// Advisor returns the engine's decision layer, for in-process consumers
+// (the fleet manager) that want to share its generation-keyed memo with
+// the /v2/advise endpoint.
+func (e *Engine) Advisor() *advisor.Advisor { return e.adv }
 
 // SetCaching enables or disables the response cache (it is on by
 // default). Disabling exists for benchmarks that measure the raw query

@@ -45,6 +45,19 @@ func (a *API) queryScopeGen(q api.Query) uint64 {
 		// The predictor backs off to region- and global-level history when
 		// the market's own sample is thin, so its scope is the store.
 		return db.GlobalGeneration()
+	case api.KindAdvise:
+		// The advisor reads every priced market in the constraint's region
+		// set; its own ScopeGen computes the matching validity token
+		// (per-region generations when restricted, global otherwise).
+		var cons api.AdviseConstraints
+		if q.Advise != nil {
+			cons = *q.Advise
+		}
+		c, err := a.engine.adv.Normalize(cons)
+		if err != nil {
+			return 0
+		}
+		return a.engine.adv.ScopeGen(c)
 	case api.KindSummary:
 		return db.GlobalGeneration()
 	case api.KindMarkets:
@@ -57,9 +70,11 @@ func (a *API) queryScopeGen(q api.Query) uint64 {
 
 // dependsOnNow reports whether the query's answer changes with the
 // service clock even when no append lands: relative windows resolve
-// against now, and the summary measures open outages to now.
+// against now, the summary measures open outages to now, and an advise
+// spec with no window at all defaults to a relative one.
 func dependsOnNow(q api.Query) bool {
-	return q.Kind == api.KindSummary || q.Rel != ""
+	return q.Kind == api.KindSummary || q.Rel != "" ||
+		(q.Kind == api.KindAdvise && q.Window.IsZero())
 }
 
 // etagFor computes the strong ETag of a query set evaluated at service
@@ -79,6 +94,12 @@ func (a *API) etagFor(qs []api.Query, now time.Time) string {
 			q.Ratio, q.Horizon, q.Utilization,
 			q.From.UnixNano(), q.To.UnixNano(), q.Rel,
 			a.queryScopeGen(q))
+		if c := q.Advise; c != nil {
+			fmt.Fprintf(h, "advise|%s|%s|%s|%d|%g|%g|%g|%d\n",
+				strings.Join(c.Regions, ","), strings.Join(c.Products, ","),
+				c.InstanceTypes, c.MinVCPU, c.MinMemoryGB,
+				c.MaxPricePerHour, c.MaxInterruptionRate, c.N)
+		}
 		clockBound = clockBound || dependsOnNow(q)
 	}
 	if clockBound {

@@ -37,6 +37,7 @@ import (
 //	GET /v1/markets?region=R&product=P
 //	GET /v1/summary
 //	POST /v2/query            {"queries": [{"kind": ..., ...}, ...]}
+//	POST /v2/advise           — ranked market recommendations (advise.go)
 //	GET  /v2/watch            — live Server-Sent Events stream (watch.go)
 //	GET  /v2/health           — store + stream health (watch.go)
 //
@@ -151,6 +152,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/markets", a.v1(api.KindMarkets, func(r api.Result) any { return r.Markets }))
 	mux.HandleFunc("GET /v1/summary", a.v1(api.KindSummary, func(r api.Result) any { return r.Summary }))
 	mux.HandleFunc("POST /v2/query", a.handleBatch)
+	mux.HandleFunc("POST /v2/advise", a.handleAdvise)
 	mux.HandleFunc("GET /v2/watch", a.handleWatch)
 	mux.HandleFunc("GET /v2/health", a.handleHealth)
 	return mux

@@ -118,6 +118,8 @@ func (a *API) exec(q api.Query, now time.Time) api.Result {
 		res.Markets, res.Error = a.execMarkets(q)
 	case api.KindSummary:
 		res.Summary = toAPISummary(a.engine.Summary(now))
+	case api.KindAdvise:
+		res.Advise, res.Error = a.execAdvise(q, now)
 	default:
 		res.Error = api.Errorf(api.CodeUnknownKind, "unknown query kind %q", string(q.Kind))
 	}

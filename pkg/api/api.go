@@ -52,6 +52,9 @@ const (
 	KindSummary Kind = "summary"
 )
 
+// KindAdvise (the eleventh kind, the decision layer) is declared in
+// advise.go next to its DTOs.
+
 // MaxBatchQueries is the largest number of queries one POST /v2/query
 // request may carry.
 const MaxBatchQueries = 64
@@ -72,6 +75,7 @@ const MaxBatchQueries = 64
 //	reserved-value  Market, Utilization in [0,1], Window
 //	markets         Region?, Product?
 //	summary         (none)
+//	advise          Advise (constraints), Window
 type Query struct {
 	Kind Kind `json:"kind"`
 	Window
@@ -93,6 +97,8 @@ type Query struct {
 	Horizon string `json:"horizon,omitempty"`
 	// Utilization is the planned duty cycle in [0,1] for reserved-value.
 	Utilization float64 `json:"utilization,omitempty"`
+	// Advise carries the workload constraints for KindAdvise.
+	Advise *AdviseConstraints `json:"advise,omitempty"`
 }
 
 // BatchRequest is the body of POST /v2/query: up to MaxBatchQueries
@@ -127,6 +133,7 @@ type Result struct {
 	ReservedValue  *ReservedValue   `json:"reservedValue,omitempty"`
 	Markets        []MarketInfo     `json:"markets,omitempty"`
 	Summary        []RegionSummary  `json:"summary,omitempty"`
+	Advise         *AdviseResult    `json:"advise,omitempty"`
 }
 
 // Unavailability answers an unavailability query.

@@ -146,6 +146,30 @@ func (c *Client) Batch(ctx context.Context, queries ...api.Query) (*api.BatchRes
 	return &resp, nil
 }
 
+// Advise asks the decision layer for ranked market recommendations: up
+// to req.N markets satisfying the constraints, scored over the request
+// window (the trailing 24h when the window is zero). An empty candidate
+// list is a valid answer; constraint violations (unknown region,
+// out-of-range ceilings) come back as *api.Error with code bad_param.
+// The same question can ride a Batch as a Query{Kind: api.KindAdvise,
+// Advise: &req.AdviseConstraints, Window: req.Window} spec.
+func (c *Client) Advise(ctx context.Context, areq api.AdviseRequest) (*api.AdviseResponse, error) {
+	body, err := json.Marshal(areq)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode advise: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/advise", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var resp api.AdviseResponse
+	if err := c.do(req, "POST /v2/advise "+string(body), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Unavailability returns the fraction of the window one market's contract
 // tier ("od" or "spot"; "" means od) was detected unavailable.
 func (c *Client) Unavailability(ctx context.Context, market, contract string, w api.Window) (*api.Unavailability, error) {
