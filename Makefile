@@ -17,7 +17,7 @@ BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregate
 OLD ?= bench-baseline.txt
 NEW ?= bench-smoke.txt
 
-.PHONY: all build test vet fmt-check bench bench-diff bench-baseline smoke loadgen-smoke fuzz-smoke example-smoke ci
+.PHONY: all build test vet fmt-check bench bench-diff bench-baseline smoke loadgen-smoke chaos-smoke fuzz-smoke example-smoke ci
 
 all: build
 
@@ -77,6 +77,17 @@ smoke:
 loadgen-smoke:
 	$(GO) run ./cmd/spotload -smoke -report spotload-report.txt
 
+# Chaos smoke: the failure-domain drill, under the race detector. One
+# process boots a leader, a durable follower behind a fault-injecting
+# TCP proxy, a memory follower, and a gateway with injected delays and
+# resets, then — while load runs — kills streams, restarts the durable
+# follower from disk (byte-comparing it against the never-killed
+# replica, ETags included), kills the leader, and promotes a follower.
+# Fails unless gateway read availability stays >= 99% and replication
+# stays exactly-once. Report archived by CI next to spotload-report.txt.
+chaos-smoke:
+	$(GO) run -race ./cmd/spotload -chaos -report chaos-report.txt
+
 # Decision-layer smoke: run the fleet-manager example end to end — an
 # /v2/advise call through the client SDK, then the threshold vs
 # feedback-control head-to-head on a short identically-seeded run.
@@ -90,4 +101,4 @@ fuzz-smoke:
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime=10s
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotReadJSON$$' -fuzztime=10s
 
-ci: build fmt-check vet test smoke loadgen-smoke example-smoke fuzz-smoke bench
+ci: build fmt-check vet test smoke loadgen-smoke chaos-smoke example-smoke fuzz-smoke bench

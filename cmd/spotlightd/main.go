@@ -9,7 +9,7 @@
 //	spotlightd [-addr :8080] [-seed 42] [-tick 5m] [-speed 300]
 //	           [-data-dir DIR] [-snapshot-interval 1h]
 //	           [-max-watchers 256] [-smoke]
-//	           [-follow URL] [-follow-backfill 0]
+//	           [-follow URL] [-follow-backfill 0] [-follow-stale-after 45s]
 //
 // With -speed 300, five simulated minutes (one tick) pass per wall-clock
 // second. By default the store is in-memory and a restart starts a fresh
@@ -28,6 +28,19 @@
 // is exposed in /v2/health. See docs/replication.md. -follow-backfill
 // asks the leader for that much trailing history on first attach
 // (bounded server-side to 24h); the default 0 is live-only.
+//
+// -follow combines with -data-dir: the follower then persists the
+// replicated store through the same WAL/snapshot layer a leader uses and
+// WALs its stream cursor, so a restart replays locally and resumes the
+// leader's stream from the durable cursor instead of re-tailing the
+// backfill window — with zero duplicated or lost events. A follower can
+// also be promoted to leader when its leader dies: SIGUSR1 (or POST
+// /v2/admin/promote) drains the subscription and resumes a study over
+// the replicated store, preserving the ETag salt, clock timeline, and
+// generations. Promotion is refused while the leader still streams
+// (split-brain guard) — the endpoint's ?force=1 overrides; the signal
+// path never forces. -follow-stale-after tunes how quickly a silent
+// stream is declared disconnected.
 //
 // The service exposes two API surfaces (see docs/api.md for the full
 // reference):
@@ -108,6 +121,8 @@ func parseFlags(args []string) (daemon.Options, bool, error) {
 		"run as a read replica of the leader at this base URL (no simulation; see docs/replication.md)")
 	fs.DurationVar(&o.FollowBackfill, "follow-backfill", 0,
 		"trailing history to request from the leader on first attach (bounded server-side to 24h; 0 is live-only)")
+	fs.DurationVar(&o.FollowStaleAfter, "follow-stale-after", 0,
+		"how long without stream progress before the follower reports disconnected (0: 45s default)")
 	if err := fs.Parse(args); err != nil {
 		return o, false, err
 	}
@@ -157,14 +172,30 @@ func run(args []string) error {
 		return serr
 	}
 
-	select {
-	case err := <-d.ServeErr():
-		// Close's error carries the session's sticky durability errors
-		// (per-tick flush failures only resurface here), so it must not
-		// be swallowed by the serve error.
-		return errors.Join(err, d.Close())
-	case <-ctx.Done():
-		return d.Close()
+	// SIGUSR1 asks a follower to promote itself to leader — the
+	// operator's failover lever when the leader host is gone. The signal
+	// path never forces past the split-brain guard; use the
+	// /v2/admin/promote endpoint with ?force=1 for that.
+	promote := make(chan os.Signal, 1)
+	signal.Notify(promote, syscall.SIGUSR1)
+	defer signal.Stop(promote)
+
+	for {
+		select {
+		case <-promote:
+			if err := d.Promote(false); err != nil {
+				log.Printf("spotlightd: promote: %v", err)
+			} else {
+				fmt.Println("spotlightd: promoted to leader")
+			}
+		case err := <-d.ServeErr():
+			// Close's error carries the session's sticky durability errors
+			// (per-tick flush failures only resurface here), so it must not
+			// be swallowed by the serve error.
+			return errors.Join(err, d.Close())
+		case <-ctx.Done():
+			return d.Close()
+		}
 	}
 }
 

@@ -7,6 +7,7 @@
 //	spotload -targets http://gateway:8090 [-duration 10s]
 //	         [-concurrency 8] [-watchers 2] [-report FILE]
 //	spotload -smoke [-report FILE]
+//	spotload -chaos [-report FILE]
 //
 // With -targets the harness loads whatever is listening there — a single
 // spotlightd, a follower, or a spotlight-gateway fleet front.
@@ -18,6 +19,16 @@
 // the CI proof that the whole scale-out path (replication, routing,
 // batch splitting) serves under concurrent load. The report is printed
 // and, with -report, also written to a file for archiving.
+//
+// With -chaos the harness runs the failure-domain drill instead: a
+// leader, a durable follower replicating through a fault-injecting TCP
+// proxy, a memory follower, and a health-aware gateway whose upstream
+// transport injects delays and connection resets. Under continuous
+// gateway load it kills the replication stream, restarts the durable
+// follower from its data dir, kills the leader, byte-compares the
+// replicas, and promotes the durable follower — exiting non-zero unless
+// replication is exactly-once and gateway read availability stays at or
+// above 99%. See cmd/spotload/chaos.go for the full script.
 package main
 
 import (
@@ -51,6 +62,7 @@ type options struct {
 	watchers    int
 	report      string
 	smoke       bool
+	chaos       bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -66,6 +78,8 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.report, "report", "", "also write the report to this file")
 	fs.BoolVar(&o.smoke, "smoke", false,
 		"boot a leader + follower + gateway in-process, load the gateway briefly, and verify the run")
+	fs.BoolVar(&o.chaos, "chaos", false,
+		"run the self-contained failure-domain drill (leader kill, follower restart, promotion) and verify availability")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -74,8 +88,11 @@ func parseFlags(args []string) (options, error) {
 			o.targets = append(o.targets, t)
 		}
 	}
-	if !o.smoke && len(o.targets) == 0 {
-		return o, errors.New("-targets is required (or use -smoke for the self-contained run)")
+	if o.smoke && o.chaos {
+		return o, errors.New("-smoke and -chaos are separate runs; pick one")
+	}
+	if !o.smoke && !o.chaos && len(o.targets) == 0 {
+		return o, errors.New("-targets is required (or use -smoke / -chaos for a self-contained run)")
 	}
 	if o.duration <= 0 || o.concurrency <= 0 || o.watchers < 0 {
 		return o, errors.New("duration and concurrency must be positive; watchers must not be negative")
@@ -87,6 +104,9 @@ func run(args []string) error {
 	o, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+	if o.chaos {
+		return runChaos(o)
 	}
 	ctx := context.Background()
 

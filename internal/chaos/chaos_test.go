@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosClient wires a test server behind a fresh Transport.
+func chaosClient(t *testing.T, seed int64) (*httptest.Server, *Transport, *http.Client) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 4096))
+	}))
+	t.Cleanup(srv.Close)
+	tr := NewTransport(nil, seed)
+	return srv, tr, &http.Client{Transport: tr}
+}
+
+func TestTransportPassThrough(t *testing.T) {
+	srv, _, hc := chaosClient(t, 1)
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("clean transport failed: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != 4096 {
+		t.Fatalf("clean transport body: %d bytes, err %v", len(body), err)
+	}
+}
+
+func TestTransportResetRate(t *testing.T) {
+	srv, tr, hc := chaosClient(t, 2)
+	tr.SetResetRate(1)
+	if _, err := hc.Get(srv.URL); err == nil {
+		t.Fatal("reset rate 1.0 let a request through")
+	}
+	tr.SetResetRate(0)
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("after clearing reset rate: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestTransportServerErrors(t *testing.T) {
+	srv, tr, hc := chaosClient(t, 3)
+	tr.SetServerErrorRate(1)
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("synthetic 500 should be an HTTP answer, got transport error %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("got status %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestTransportTruncation(t *testing.T) {
+	srv, tr, hc := chaosClient(t, 4)
+	tr.SetTruncateRate(1)
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("truncated request should connect: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Fatalf("truncated body read %d bytes without error", len(body))
+	}
+	if len(body) >= 4096 {
+		t.Fatalf("truncation served the whole %d-byte body", len(body))
+	}
+}
+
+func TestTransportKillStreams(t *testing.T) {
+	srv, tr, hc := chaosClient(t, 5)
+	tr.KillStreams(1)
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("killed stream should connect: %v", err)
+	}
+	// First read succeeds, then the stream dies.
+	buf := make([]byte, 10)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("first read of killed stream: %v", err)
+	}
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("killed stream read to EOF without error")
+	}
+	resp.Body.Close()
+
+	// The kill budget is consumed: the next request is clean.
+	resp, err = hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("post-kill request: %v", err)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatalf("post-kill body: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestTransportDelay(t *testing.T) {
+	srv, tr, hc := chaosClient(t, 6)
+	tr.SetDelay(50*time.Millisecond, 0)
+	start := time.Now()
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("delayed request: %v", err)
+	}
+	resp.Body.Close()
+	if took := time.Since(start); took < 50*time.Millisecond {
+		t.Fatalf("delayed request returned in %v, want >= 50ms", took)
+	}
+}
+
+func TestProxyRelaysAndKills(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello")
+	}))
+	defer srv.Close()
+
+	target := strings.TrimPrefix(srv.URL, "http://")
+	p, err := NewProxy("127.0.0.1:0", target)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+
+	// Through the proxy, the server answers normally.
+	resp, err := http.Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatalf("through proxy: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello" {
+		t.Fatalf("through proxy got %q", body)
+	}
+
+	// Blackholed, new connections die.
+	p.SetBlackhole(true)
+	hc := &http.Client{Timeout: time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+	if _, err := hc.Get("http://" + p.Addr()); err == nil {
+		t.Fatal("blackholed proxy served a request")
+	}
+	p.SetBlackhole(false)
+
+	// Healed, it relays again.
+	resp, err = hc.Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatalf("healed proxy: %v", err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+}

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a misbehaving TCP relay: it listens on its own address,
+// forwards every accepted connection to a target address, and injects
+// wire-level faults on command — per-direction byte delay, a total
+// blackhole, and mid-flight kills of every open connection. Splice it
+// into a replication path (follower -> proxy -> leader) to exercise
+// stream death and reconnect without touching either endpoint.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu        sync.Mutex
+	delay     time.Duration
+	blackhole bool
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// NewProxy starts a proxy on addr ("127.0.0.1:0" for ephemeral)
+// relaying to target ("host:port").
+func NewProxy(addr, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — point clients here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetDelay sleeps d before relaying each read chunk, in both
+// directions. 0 restores transparent relaying.
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// SetBlackhole makes the proxy refuse new connections and drop
+// existing ones as soon as they next carry bytes — the shape of a
+// network partition that a peer only notices when it tries to talk.
+func (p *Proxy) SetBlackhole(on bool) {
+	p.mu.Lock()
+	p.blackhole = on
+	p.mu.Unlock()
+}
+
+// KillConnections resets every open relayed connection — both sides see
+// the peer vanish mid-flight. New connections are still accepted
+// (unless blackholed), which is exactly a flaky-network stream kill.
+func (p *Proxy) KillConnections() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down: the listener closes, every open
+// connection resets, and the relay goroutines drain.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.KillConnections()
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.blackhole || p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.relay(conn)
+	}
+}
+
+// relay connects to the target and pumps bytes both ways until either
+// side (or a KillConnections) closes.
+func (p *Proxy) relay(client net.Conn) {
+	defer p.wg.Done()
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		client.Close()
+		server.Close()
+		return
+	}
+	p.conns[client] = struct{}{}
+	p.conns[server] = struct{}{}
+	p.mu.Unlock()
+
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	pump := func(dst, src net.Conn) {
+		defer pumps.Done()
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				p.mu.Lock()
+				d, hole := p.delay, p.blackhole
+				p.mu.Unlock()
+				if hole {
+					break // partition: the bytes never arrive
+				}
+				if d > 0 {
+					time.Sleep(d)
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		// Half-close so the peer's reader sees EOF promptly.
+		if tc, ok := dst.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}
+	go pump(server, client)
+	go pump(client, server)
+	pumps.Wait()
+
+	p.mu.Lock()
+	delete(p.conns, client)
+	delete(p.conns, server)
+	p.mu.Unlock()
+	client.Close()
+	server.Close()
+}

@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spotlight/internal/experiment"
@@ -19,6 +20,7 @@ import (
 	"spotlight/internal/query"
 	"spotlight/internal/replica"
 	"spotlight/internal/store"
+	"spotlight/pkg/api"
 )
 
 // Options configure one node. The zero value is not runnable; commands
@@ -31,8 +33,11 @@ type Options struct {
 	Seed  uint64
 	Tick  time.Duration
 	Speed float64
-	// DataDir makes the leader's store durable (WAL + snapshots); empty
-	// keeps it in memory. Incompatible with Follow.
+	// DataDir makes the node's store durable (WAL + snapshots); empty
+	// keeps it in memory. On a leader the study resumes from the
+	// recovered record; on a follower the replica replays locally and
+	// resumes the leader's stream from its durable cursor instead of
+	// re-tailing the backfill window.
 	DataDir string
 	// SnapInterval is the simulated time between snapshots (DataDir only).
 	SnapInterval time.Duration
@@ -50,6 +55,11 @@ type Options struct {
 	// FollowTimeout bounds the wait for the leader's first hello and
 	// clock before Start fails (default 30s).
 	FollowTimeout time.Duration
+	// FollowStaleAfter is how long without stream progress before the
+	// follower reports Connected: false (default 45s; see
+	// replica.Config.StaleAfter). Failover tests shorten it so a dead
+	// leader is detected quickly.
+	FollowStaleAfter time.Duration
 }
 
 // Daemon is one running node. Close is idempotent.
@@ -58,12 +68,24 @@ type Daemon struct {
 	// ", durable store DIR (...)", or ", following URL").
 	StoreDesc string
 
-	st     *experiment.Study   // leader mode only
-	rep    *replica.Replicator // follower mode only
+	opts Options
+	db   *store.Store     // follower mode only (leaders keep theirs in st.DB)
+	pers *store.Persister // durable stores only; nil for in-memory nodes
+
+	st     *experiment.Study   // leader mode, or a follower after Promote
+	rep    *replica.Replicator // follower mode (kept after Promote for status)
 	mu     sync.Mutex          // owns st.Sim and st.Svc; HTTP touches only the clock under it
 	ln     net.Listener
 	srv    *http.Server
 	apiSrv *query.API
+
+	// now is the API clock indirection: followers read the replicated
+	// leader clock, and Promote atomically swaps in the local simulation
+	// clock without racing in-flight request handlers.
+	now atomic.Pointer[func() time.Time]
+
+	promoteMu sync.Mutex // serializes Promote vs Close teardown
+	promoted  atomic.Bool
 
 	serveErr chan error
 	stopTick context.CancelFunc
@@ -89,9 +111,6 @@ func (d *Daemon) ServeErr() <-chan error { return d.serveErr }
 // minted from the first request on is leader-compatible.
 func Start(opts Options) (*Daemon, error) {
 	if opts.Follow != "" {
-		if opts.DataDir != "" {
-			return nil, errors.New("follower mode is memory-only: -data-dir is incompatible with -follow (rebuild by re-tailing the leader)")
-		}
 		return startFollower(opts)
 	}
 	return startLeader(opts)
@@ -100,7 +119,7 @@ func Start(opts Options) (*Daemon, error) {
 // startLeader runs the simulated study and serves its store.
 func startLeader(opts Options) (*Daemon, error) {
 	expCfg := experiment.Config{Seed: opts.Seed, Days: 1, Tick: opts.Tick}
-	d := &Daemon{serveErr: make(chan error, 1)}
+	d := &Daemon{opts: opts, serveErr: make(chan error, 1)}
 
 	var pers *store.Persister
 	if opts.DataDir != "" {
@@ -117,6 +136,7 @@ func startLeader(opts Options) (*Daemon, error) {
 		d.StoreDesc = fmt.Sprintf(", durable store %s (%d markets recovered)",
 			opts.DataDir, len(db.Markets()))
 	}
+	d.pers = pers
 
 	st, err := experiment.New(expCfg)
 	if err != nil {
@@ -127,10 +147,48 @@ func startLeader(opts Options) (*Daemon, error) {
 	}
 	d.st = st
 
-	// The simulator and service are single-threaded by design; the tick
-	// goroutine owns them and the HTTP layer only touches the
-	// (concurrency-safe) store plus the clock under the mutex.
-	interval := time.Duration(float64(opts.Tick) / opts.Speed)
+	interval := d.startTicking(st)
+
+	engine := query.NewEngine(st.DB, st.Cat)
+	simNow := func() time.Time {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return st.Sim.Now()
+	}
+	d.now.Store(&simNow)
+	apiSrv := query.NewAPI(engine, d.clock)
+	d.apiSrv = apiSrv
+	// Results cannot change faster than the study ticks, so intermediaries
+	// may cache exactly one wall-clock tick without revalidating.
+	apiSrv.SetCacheTTL(interval)
+	apiSrv.SetWatchLimit(opts.MaxWatchers)
+	if pers != nil {
+		// A durable store's generations survive restarts, so its ETags
+		// should too: salt them with the data directory's stable salt
+		// instead of this process's boot instant.
+		apiSrv.SetETagSalt(pers.Salt())
+	}
+
+	if err := d.listen(opts.Addr); err != nil {
+		d.stopTick()
+		<-d.tickDone
+		// Close the durability layer too (flush + data-dir lock release),
+		// so a failed start leaves the directory reusable in-process.
+		if cerr := st.Svc.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
+	}
+	return d, nil
+}
+
+// startTicking launches the tick goroutine driving st and returns the
+// wall-clock tick interval. The simulator and service are
+// single-threaded by design; the tick goroutine owns them and the HTTP
+// layer only touches the (concurrency-safe) store plus the clock under
+// the mutex. Used at leader start and again at follower promotion.
+func (d *Daemon) startTicking(st *experiment.Study) time.Duration {
+	interval := time.Duration(float64(d.opts.Tick) / d.opts.Speed)
 	if interval <= 0 {
 		interval = time.Millisecond
 	}
@@ -153,53 +211,48 @@ func startLeader(opts Options) (*Daemon, error) {
 			}
 		}
 	}()
-
-	engine := query.NewEngine(st.DB, st.Cat)
-	apiSrv := query.NewAPI(engine, func() time.Time {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		return st.Sim.Now()
-	})
-	d.apiSrv = apiSrv
-	// Results cannot change faster than the study ticks, so intermediaries
-	// may cache exactly one wall-clock tick without revalidating.
-	apiSrv.SetCacheTTL(interval)
-	apiSrv.SetWatchLimit(opts.MaxWatchers)
-	if pers != nil {
-		// A durable store's generations survive restarts, so its ETags
-		// should too: salt them with the data directory's stable salt
-		// instead of this process's boot instant.
-		apiSrv.SetETagSalt(pers.Salt())
-	}
-
-	if err := d.listen(opts.Addr); err != nil {
-		stopTick()
-		<-d.tickDone
-		// Close the durability layer too (flush + data-dir lock release),
-		// so a failed start leaves the directory reusable in-process.
-		if cerr := st.Svc.Close(); cerr != nil {
-			err = errors.Join(err, cerr)
-		}
-		return nil, err
-	}
-	return d, nil
+	return interval
 }
 
-// startFollower builds an empty store, attaches the replication
-// subscription, and blocks until the leader's salt and clock are known —
-// serving before that point would mint ETags under the wrong salt.
+// clock is the API's Now function: one pointer load, then whichever
+// clock the node currently lives on (replicated or simulated).
+func (d *Daemon) clock() time.Time { return (*d.now.Load())() }
+
+// startFollower attaches the replication subscription over a fresh or
+// recovered store and blocks until the leader's salt and clock are
+// known — serving before that point would mint ETags under the wrong
+// salt. (A durable follower with a recovered cursor knows both from
+// disk and is ready immediately, leader reachable or not.)
 func startFollower(opts Options) (*Daemon, error) {
-	d := &Daemon{serveErr: make(chan error, 1)}
-	db := store.New()
+	d := &Daemon{opts: opts, serveErr: make(chan error, 1)}
+	var db *store.Store
+	if opts.DataDir != "" {
+		var err error
+		db, err = store.Open(opts.DataDir, store.PersistOptions{})
+		if err != nil {
+			return nil, err
+		}
+		d.pers = db.Persister()
+		d.StoreDesc = fmt.Sprintf(", following %s (durable store %s, %d markets recovered)",
+			opts.Follow, opts.DataDir, len(db.Markets()))
+	} else {
+		db = store.New()
+		d.StoreDesc = ", following " + opts.Follow
+	}
+	d.db = db
 	rep, err := replica.New(replica.Config{
-		Leader:   opts.Follow,
-		DB:       db,
-		Backfill: opts.FollowBackfill,
+		Leader:     opts.Follow,
+		DB:         db,
+		Backfill:   opts.FollowBackfill,
+		StaleAfter: opts.FollowStaleAfter,
+		Persist:    d.pers,
 	})
 	if err != nil {
+		d.closePersister()
 		return nil, err
 	}
 	if err := rep.Start(); err != nil {
+		d.closePersister()
 		return nil, err
 	}
 	timeout := opts.FollowTimeout
@@ -210,27 +263,129 @@ func startFollower(opts Options) (*Daemon, error) {
 	case <-rep.Ready():
 	case <-time.After(timeout):
 		rep.Close()
+		d.closePersister()
 		return nil, fmt.Errorf("follower: no hello from leader %s within %v", opts.Follow, timeout)
 	}
 	d.rep = rep
-	d.StoreDesc = ", following " + opts.Follow
 
+	repNow := rep.Clock
+	d.now.Store(&repNow)
 	// The catalog is deterministic (market.New is seedless), so the
 	// follower's market metadata matches the leader's without shipping it.
 	engine := query.NewEngine(db, market.New())
-	apiSrv := query.NewAPI(engine, rep.Clock)
+	apiSrv := query.NewAPI(engine, d.clock)
 	d.apiSrv = apiSrv
 	apiSrv.SetWatchLimit(opts.MaxWatchers)
-	apiSrv.SetReplication(rep.Status)
+	apiSrv.SetReplication(d.replicationStatus)
+	apiSrv.SetPromote(d.Promote)
 	if salt, ok := rep.Salt(); ok {
 		apiSrv.SetETagSalt(salt)
 	}
 
 	if err := d.listen(opts.Addr); err != nil {
 		rep.Close()
+		d.closePersister()
 		return nil, err
 	}
 	return d, nil
+}
+
+// closePersister releases the data-dir durability layer (flush, final
+// snapshot, flock). Safe on nil and after an earlier close.
+func (d *Daemon) closePersister() {
+	if d.pers != nil {
+		d.pers.Close()
+	}
+}
+
+// replicationStatus decorates the replicator's status with the node's
+// post-promotion role. The health handler degrades a disconnected
+// *follower* but not a promoted node: after promotion the stream is
+// closed by design and the node is the authority.
+func (d *Daemon) replicationStatus() *api.HealthReplication {
+	st := d.rep.Status()
+	if d.promoted.Load() {
+		st.Role = "promoted"
+	}
+	return st
+}
+
+// Promote converts a running follower into a leader: the replication
+// subscription drains and stops, and the replicated store opens for
+// writes by resuming a simulated study over it — same ETag salt, same
+// clock timeline, continuous generations, so every validator a client
+// cached against the follower survives the failover. The node serves
+// reads throughout.
+//
+// Unless force is set, promotion is refused while the old leader still
+// answers the stream (split-brain guard): two writers appending under
+// one salt would mint colliding ETags for different data.
+func (d *Daemon) Promote(force bool) error {
+	d.promoteMu.Lock()
+	defer d.promoteMu.Unlock()
+	if d.rep == nil {
+		return errors.New("promote: this node is a leader, not a follower")
+	}
+	if d.promoted.Load() {
+		return errors.New("promote: already promoted")
+	}
+	if !force {
+		if st := d.rep.Status(); st.Connected {
+			return fmt.Errorf("promote: leader %s still streaming (split-brain guard; retry with force once it is confirmed dead)", d.opts.Follow)
+		}
+	}
+	// Drain: Close applies every event already received before returning,
+	// and a durable follower persists its final cursor in the same pass.
+	d.rep.Close()
+
+	opts := d.opts
+	if opts.Tick <= 0 {
+		opts.Tick = 5 * time.Minute
+	}
+	if opts.Speed <= 0 {
+		opts.Speed = 300
+	}
+	d.opts = opts
+	expCfg := experiment.Config{
+		Seed: opts.Seed, Days: 1, Tick: opts.Tick,
+		DB:       d.db,
+		ResumeAt: d.rep.Clock(),
+	}
+	expCfg.Spotlight.SnapshotInterval = opts.SnapInterval
+	st, err := experiment.New(expCfg)
+	if err != nil {
+		return fmt.Errorf("promote: resume study over replicated store: %w", err)
+	}
+	d.mu.Lock()
+	d.st = st
+	d.mu.Unlock()
+	// From here Svc owns the persister: its OnTick flushes and its Close
+	// (via Daemon.Close) snapshots and releases the flock.
+	d.promoted.Store(true)
+	interval := d.startTicking(st)
+	simNow := func() time.Time {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return st.Sim.Now()
+	}
+	d.now.Store(&simNow)
+	d.apiSrv.SetCacheTTL(interval)
+	return nil
+}
+
+// Halt freezes the node's own simulation: the tick loop stops, the
+// store stops appending, and the HTTP surface — queries, health, live
+// streams — keeps serving the frozen state. Operationally this is the
+// first half of a graceful handoff: stop producing, let followers drain
+// to the final generation, then retire the node. A follower has no
+// simulation to halt; Halt is a no-op there. Idempotent.
+func (d *Daemon) Halt() {
+	d.promoteMu.Lock()
+	defer d.promoteMu.Unlock()
+	if d.stopTick != nil {
+		d.stopTick()
+		<-d.tickDone
+	}
 }
 
 // listen binds the address explicitly (so ":0" resolves to a concrete
@@ -250,9 +405,10 @@ func (d *Daemon) listen(addr string) error {
 }
 
 // Close shuts the node down cleanly: HTTP drains, the tick loop or
-// replication subscription stops, and a leader's service closes its
-// durability layer (flushing the WAL, taking a final snapshot, and
-// persisting the study clock). Idempotent.
+// replication subscription stops, and a durable store's layer closes
+// (flushing the WAL, taking a final snapshot, persisting the clock —
+// via the service on a leader or promoted node, directly on a
+// follower). Idempotent.
 func (d *Daemon) Close() error {
 	d.closeOnce.Do(func() {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
@@ -262,6 +418,10 @@ func (d *Daemon) Close() error {
 		// its timeout and leak the stream goroutines.
 		d.apiSrv.Shutdown()
 		err := d.srv.Shutdown(shutCtx)
+		// Hold promoteMu so a concurrent Promote cannot hand the store to
+		// a new study while we are tearing the node down.
+		d.promoteMu.Lock()
+		defer d.promoteMu.Unlock()
 		if d.stopTick != nil {
 			d.stopTick()
 			<-d.tickDone
@@ -274,6 +434,12 @@ func (d *Daemon) Close() error {
 			cerr := d.st.Svc.Close()
 			d.mu.Unlock()
 			if err == nil {
+				err = cerr
+			}
+		} else if d.pers != nil {
+			// Un-promoted durable follower: no service owns the persister,
+			// so the daemon flushes and releases the data dir itself.
+			if cerr := d.pers.Close(); err == nil {
 				err = cerr
 			}
 		}

@@ -1,0 +1,120 @@
+package daemon
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"spotlight/pkg/client"
+)
+
+// Leader failover through the public surface: promotion is refused
+// while the leader still streams (the split-brain guard), succeeds once
+// the leader is dead, resumes the simulation so the store generation
+// keeps climbing, and refuses to run twice.
+func TestPromoteFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon failover test skipped in -short mode")
+	}
+	leader, err := Start(Options{
+		Addr: "127.0.0.1:0", Seed: 7, Tick: 5 * time.Minute, Speed: 3000,
+		MaxWatchers: 8,
+	})
+	if err != nil {
+		t.Fatalf("start leader: %v", err)
+	}
+	leaderClosed := false
+	defer func() {
+		if !leaderClosed {
+			leader.Close()
+		}
+	}()
+	waitForProbes(t, leader.Addr())
+
+	follower, err := Start(Options{
+		Addr: "127.0.0.1:0", Follow: "http://" + leader.Addr(),
+		FollowBackfill: 24 * time.Hour, FollowTimeout: 15 * time.Second,
+		FollowStaleAfter: 500 * time.Millisecond, MaxWatchers: 8,
+		Tick: 5 * time.Minute, Speed: 3000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("start follower: %v", err)
+	}
+	defer follower.Close()
+	fc, err := client.New("http://"+follower.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// A leader is not promotable at all.
+	if err := leader.Promote(false); err == nil || !strings.Contains(err.Error(), "leader") {
+		t.Errorf("promoting the leader itself = %v, want a refusal naming it a leader", err)
+	}
+
+	// While the leader still streams, promotion without force trips the
+	// split-brain guard.
+	if _, err := fc.Promote(ctx, false); err == nil {
+		t.Fatal("promote with live leader succeeded, want split-brain refusal")
+	} else if !strings.Contains(err.Error(), "split-brain") {
+		t.Errorf("split-brain refusal reads %q, want it to name the guard", err)
+	}
+
+	// Kill the leader and wait for the follower to notice the silence.
+	if err := leader.Close(); err != nil {
+		t.Fatalf("close leader: %v", err)
+	}
+	leaderClosed = true
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		h, err := fc.Health(ctx)
+		if err == nil && h.Replication != nil && !h.Replication.Connected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reported the leader dead (health %+v, err %v)", h, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	h, err := fc.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genBefore := h.Store.Generation
+
+	// Now promotion goes through.
+	pr, err := fc.Promote(ctx, false)
+	if err != nil {
+		t.Fatalf("promote after leader death: %v", err)
+	}
+	if !pr.Promoted || pr.Now.IsZero() {
+		t.Fatalf("promote response = %+v, want promoted with a resumed clock", pr)
+	}
+
+	// The promoted node runs its own study: the generation must climb
+	// past everything replicated from the old leader.
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		h, err := fc.Health(ctx)
+		if err == nil && h.Store.Generation > genBefore {
+			if h.Status != "ok" {
+				t.Errorf("promoted node health = %q, want ok", h.Status)
+			}
+			if h.Replication == nil || h.Replication.Role != "promoted" {
+				t.Errorf("promoted node replication = %+v, want role promoted", h.Replication)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("promoted node never advanced past generation %d (health %+v, err %v)", genBefore, h, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Promotion is one-way; a second attempt errors.
+	if _, err := fc.Promote(ctx, true); err == nil || !strings.Contains(err.Error(), "already") {
+		t.Errorf("second promote = %v, want already-promoted refusal", err)
+	}
+}

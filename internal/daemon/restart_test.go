@@ -184,7 +184,10 @@ func probeTotal(t *testing.T, addr string) int {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Generous: under -race with the full suite's packages running in
+	// parallel, a single summary round trip can stall well past a few
+	// seconds without anything being wrong.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	rows, err := c.Summary(ctx)
 	if err != nil {

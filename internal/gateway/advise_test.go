@@ -92,7 +92,7 @@ func TestPartitionedAdviseFanOut(t *testing.T) {
 	// Price a handful of markets, each recorded only on its ring owner, so
 	// no single node can produce the full ranking.
 	perNode := make([]int, len(dbs))
-	ids := usEastMarkets(t, 6)
+	ids := partitionedMarkets(t, g, len(dbs), 6)
 	for i, id := range ids {
 		n := g.ring.pick(id.String())
 		seedPrices(dbs[n], id, 0.01+0.01*float64(i))
@@ -143,15 +143,31 @@ func TestPartitionedAdviseFanOut(t *testing.T) {
 		t.Errorf("bad-region envelope = %s", body)
 	}
 
-	// A dead partition fails the whole advise: a partial ranking would
-	// silently drop that partition's markets.
+	// A dead partition degrades the advise instead of failing it: the
+	// live partitions' markets are still ranked, and Partial names the
+	// missing node so callers know the ranking is narrower than the fleet.
 	srv1.Close()
 	degraded, body := postAdviseRaw(t, gsrv.URL, areq, "")
-	if degraded.StatusCode != http.StatusBadGateway {
+	if degraded.StatusCode != http.StatusOK {
 		t.Fatalf("degraded status = %d body=%s", degraded.StatusCode, body)
 	}
-	if err := json.Unmarshal(body, &e); err != nil || e.Code != api.CodeUpstream {
-		t.Errorf("degraded envelope = %s, want code %q", body, api.CodeUpstream)
+	var part api.AdviseResponse
+	if err := json.Unmarshal(body, &part); err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Partial) != 1 || part.Partial[0] != srv1.URL {
+		t.Errorf("degraded partial = %v, want [%s]", part.Partial, srv1.URL)
+	}
+	if len(part.Candidates) != perNode[0] {
+		t.Errorf("degraded candidates = %d, want partition 0's %d markets", len(part.Candidates), perNode[0])
+	}
+	for _, c := range part.Candidates {
+		if g.ring.pick(c.Market) != 0 {
+			t.Errorf("degraded ranking includes dead partition's market %s", c.Market)
+		}
+	}
+	if degraded.Header.Get(api.HeaderETag) != "" {
+		t.Errorf("degraded advise carries ETag %q; partial responses must not be cacheable", degraded.Header.Get(api.HeaderETag))
 	}
 }
 

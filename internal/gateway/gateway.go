@@ -25,7 +25,6 @@
 package gateway
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -35,6 +34,7 @@ import (
 	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +71,26 @@ type Config struct {
 	VirtualNodes int
 	// HTTPClient overrides the upstream transport (nil: default).
 	HTTPClient *http.Client
+
+	// Retries is how many extra candidates an idempotent call may try
+	// after its first choice fails (default 1; negative disables). On a
+	// replica fleet retries go to distinct peers; on a partitioned fleet
+	// only the owning node has the data, so they re-try it.
+	Retries int
+	// HedgeAfter, when positive, launches a duplicate attempt at the
+	// next candidate if the current one has not answered within this
+	// long — tail-latency insurance for replica fleets. 0 disables.
+	HedgeAfter time.Duration
+	// FailThreshold is how many consecutive failures eject a node from
+	// rotation (breaker opens; default 3).
+	FailThreshold int
+	// EjectFor is how long an ejected node sits out before a trial call
+	// may probe it (default 5s).
+	EjectFor time.Duration
+	// ProbeInterval, when positive, starts a background goroutine that
+	// health-polls ejected nodes every interval so they rejoin without
+	// waiting for live traffic; stop it with Close. 0 disables.
+	ProbeInterval time.Duration
 }
 
 // Gateway routes queries across the configured nodes. Build with New;
@@ -81,6 +101,11 @@ type Gateway struct {
 	clients []*client.Client
 	proxies []*httputil.ReverseProxy
 	rr      atomic.Uint64
+
+	health    *tracker
+	probeStop chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
 }
 
 // New validates the config and builds the gateway.
@@ -116,6 +141,12 @@ func New(cfg Config) (*Gateway, error) {
 				api.Errorf(api.CodeUpstream, "upstream unreachable: %v", err).WithDetail("node", u.Host))
 		}
 		g.proxies[i] = p
+	}
+	g.health = newTracker(len(cfg.Nodes), cfg.FailThreshold, cfg.EjectFor)
+	if cfg.ProbeInterval > 0 {
+		g.probeStop = make(chan struct{})
+		g.probeDone = make(chan struct{})
+		go g.probeLoop(cfg.ProbeInterval)
 	}
 	return g, nil
 }
@@ -183,8 +214,33 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	results, now := g.scatter(r.Context(), req.Queries)
+	results, now, etag := g.scatter(r.Context(), req.Queries)
+	if etag != "" {
+		if etagMatches(r.Header.Get(api.HeaderIfNoneMatch), etag) {
+			w.Header().Set(api.HeaderETag, etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set(api.HeaderETag, etag)
+	}
 	writeJSON(w, api.BatchResponse{Now: now, Results: results})
+}
+
+// etagMatches implements the If-None-Match comparison the store nodes
+// use: "*" matches anything, otherwise any listed tag must equal ours.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // nodeCall is one upstream sub-batch: which original indexes it answers
@@ -193,12 +249,18 @@ type nodeCall struct {
 	idxs    []int
 	queries []api.Query
 	resp    *api.BatchResponse
+	etag    string
+	node    int // the node that actually answered (failover may move it)
 	err     error
 }
 
 // scatter runs the queries across the fleet and reassembles results in
 // request order. The returned clock is the newest upstream clock seen.
-func (g *Gateway) scatter(ctx context.Context, queries []api.Query) ([]api.Result, time.Time) {
+// The returned ETag is the merged gateway validator — an FNV-64a fold
+// of every answering node's own ETag — minted only when every sub-batch
+// succeeded and carried a tag; any failure, partial answer, or untagged
+// upstream yields "" (no validator is safer than a wrong one).
+func (g *Gateway) scatter(ctx context.Context, queries []api.Query) ([]api.Result, time.Time, string) {
 	calls := make([]*nodeCall, len(g.clients))
 	forNode := func(n int) *nodeCall {
 		if calls[n] == nil {
@@ -233,32 +295,42 @@ func (g *Gateway) scatter(ctx context.Context, queries []api.Query) ([]api.Resul
 		wg.Add(1)
 		go func(n int, call *nodeCall) {
 			defer wg.Done()
-			call.resp, call.err = g.clients[n].Batch(cctx, call.queries...)
+			a := g.batchNode(cctx, n, call.queries)
+			call.resp, call.etag, call.node, call.err = a.resp, a.etag, a.node, a.err
 		}(n, call)
 	}
 	wg.Wait()
 
 	var now time.Time
 	results := make([]api.Result, len(queries))
-	// fanParts[i] collects the per-node results of fanned-out query i.
+	// fanParts[i] collects the per-node results of fanned-out query i;
+	// fanMissing[i] the nodes whose share is absent from the merge.
 	fanParts := make(map[int][]api.Result)
-	for n, call := range calls {
+	fanMissing := make(map[int][]string)
+	tagged := true
+	var tagParts []string
+	for _, call := range calls {
 		if call == nil {
 			continue
 		}
 		if call.err != nil {
+			tagged = false
 			for k, i := range call.idxs {
-				errRes := api.Result{Kind: call.queries[k].Kind, Error: upstreamErr(g.cfg.Nodes[n], call.err)}
 				if fanned[i] {
-					// A fanned-out merge is wrong with a partition
-					// missing: fail the query rather than under-count.
-					results[i] = errRes
-					fanParts[i] = nil
-				} else {
-					results[i] = errRes
+					// Degrade, don't die: the merge proceeds over the
+					// partitions that answered, and the missing ones are
+					// named in the result's partial list.
+					fanMissing[i] = append(fanMissing[i], g.cfg.Nodes[call.node])
+					continue
 				}
+				results[i] = api.Result{Kind: call.queries[k].Kind, Error: upstreamErr(g.cfg.Nodes[call.node], call.err)}
 			}
 			continue
+		}
+		if call.etag == "" {
+			tagged = false
+		} else {
+			tagParts = append(tagParts, g.cfg.Nodes[call.node]+"\x00"+call.etag)
 		}
 		if call.resp.Now.After(now) {
 			now = call.resp.Now
@@ -268,9 +340,6 @@ func (g *Gateway) scatter(ctx context.Context, queries []api.Query) ([]api.Resul
 			if !fanned[i] {
 				results[i] = res
 				continue
-			}
-			if results[i].Error != nil && results[i].Error.Code == api.CodeUpstream {
-				continue // another partition already failed this query
 			}
 			if res.Error != nil {
 				// Spec-level errors (bad window, bad param) are the same
@@ -282,13 +351,45 @@ func (g *Gateway) scatter(ctx context.Context, queries []api.Query) ([]api.Resul
 			fanParts[i] = append(fanParts[i], res)
 		}
 	}
-	for i, parts := range fanParts {
-		if results[i].Error != nil || parts == nil {
+	for i := range queries {
+		if !fanned[i] || results[i].Error != nil {
 			continue
 		}
-		results[i] = mergeResults(queries[i], parts)
+		parts, missing := fanParts[i], fanMissing[i]
+		if len(parts) == 0 {
+			results[i] = api.Result{Kind: queries[i].Kind,
+				Error: api.Errorf(api.CodeUpstream, "all %d partitions unreachable", len(g.clients))}
+			continue
+		}
+		merged := mergeResults(queries[i], parts)
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			merged.Partial = missing
+		}
+		results[i] = merged
 	}
-	return results, now
+	return results, now, g.mergedETag(tagged, tagParts)
+}
+
+// mergedETag folds the per-node upstream ETags into one strong gateway
+// validator. Sorting makes the fold independent of node iteration
+// order; the node URL rides along so two nodes coincidentally minting
+// equal tags still produce a distinct merged value per fleet shape.
+func (g *Gateway) mergedETag(tagged bool, parts []string) string {
+	if !tagged || len(parts) == 0 {
+		return ""
+	}
+	sort.Strings(parts)
+	h := uint64(1469598103934665603) // FNV-64a offset basis
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 1099511628211
+		}
+		h ^= '\n'
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("\"gw-%016x\"", h)
 }
 
 // upstreamErr wraps a node failure in the wire envelope.
@@ -493,14 +594,15 @@ func mergeAdvise(lists []*api.AdviseResult, n int) *api.AdviseResult {
 }
 
 // handleAdvise routes POST /v2/advise. On a replica fleet the request
-// proxies whole to one node picked by hashing the constraint body —
-// repeated asks hit the same node's advise memo, and that node's ETag
-// passes through untouched so client 304 revalidation keeps working. On
-// a partitioned fleet no single node has every market's price history,
-// so the constraints fan out to every node through scatter and the
-// rankings merge (bare payload, no ETag — the merged answer has no
-// single scope generation); a missing partition fails the advise with
-// code "upstream" rather than silently under-ranking.
+// forwards whole to one node picked by hashing the constraint body —
+// repeated asks hit the same node's advise memo, the node's ETag passes
+// through untouched, and a dead node fails over to a healthy peer (the
+// advise read is idempotent, so re-sending the buffered body is safe).
+// On a partitioned fleet no single node has every market's price
+// history, so the constraints fan out to every node through scatter and
+// the rankings merge; missing partitions degrade the answer to partial
+// (named in "partial") instead of failing it, and a full fan-out mints
+// a merged gateway ETag honored against If-None-Match.
 func (g *Gateway) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBody))
 	if err != nil {
@@ -508,9 +610,7 @@ func (g *Gateway) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !g.cfg.Partitioned {
-		r.Body = io.NopCloser(bytes.NewReader(body))
-		r.ContentLength = int64(len(body))
-		g.proxies[g.ring.pick("advise|"+string(body))].ServeHTTP(w, r)
+		g.forward(w, r, g.ring.pick("advise|"+string(body)), body)
 		return
 	}
 	var req api.AdviseRequest
@@ -521,7 +621,7 @@ func (g *Gateway) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	q := api.Query{Kind: api.KindAdvise, Window: req.Window, Advise: &req.AdviseConstraints}
-	results, now := g.scatter(r.Context(), []api.Query{q})
+	results, now, etag := g.scatter(r.Context(), []api.Query{q})
 	res := results[0]
 	if res.Error != nil {
 		status := http.StatusBadRequest
@@ -535,7 +635,15 @@ func (g *Gateway) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadGateway, api.Errorf(api.CodeInternal, "advise fan-out returned no result"))
 		return
 	}
-	writeJSON(w, api.AdviseResponse{Now: now, AdviseResult: *res.Advise})
+	if etag != "" && len(res.Partial) == 0 {
+		if etagMatches(r.Header.Get(api.HeaderIfNoneMatch), etag) {
+			w.Header().Set(api.HeaderETag, etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set(api.HeaderETag, etag)
+	}
+	writeJSON(w, api.AdviseResponse{Now: now, AdviseResult: *res.Advise, Partial: res.Partial})
 }
 
 // handleWatch proxies one live stream to a node: market-scoped streams
@@ -545,7 +653,13 @@ func (g *Gateway) handleAdvise(w http.ResponseWriter, r *http.Request) {
 // partial stream.
 func (g *Gateway) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if m := r.URL.Query().Get("market"); m != "" {
-		g.proxies[g.ring.pick(m)].ServeHTTP(w, r)
+		n := g.ring.pick(m)
+		if !g.cfg.Partitioned {
+			// Any replica holds the full stream; skip ejected nodes so a
+			// dead leader repoints watches to a live peer.
+			n = g.firstHealthy(n)
+		}
+		g.proxies[n].ServeHTTP(w, r)
 		return
 	}
 	if g.cfg.Partitioned {
@@ -554,19 +668,20 @@ func (g *Gateway) handleWatch(w http.ResponseWriter, r *http.Request) {
 			WithDetail("param", "market"))
 		return
 	}
-	g.proxies[int(g.rr.Add(1))%len(g.proxies)].ServeHTTP(w, r)
+	g.proxies[g.firstHealthy(int(g.rr.Add(1))%len(g.proxies))].ServeHTTP(w, r)
 }
 
 // handleProxy routes the /v1/* surface. Market-scoped URLs go to the
-// market's owner. Scope-less URLs hash their full spec for cache
-// affinity on a replica fleet; on a partitioned fleet the three
-// mergeable aggregations are answered by scatter-gather here (bare
-// payload, no ETag — the merged answer has no single scope generation),
-// and the rest (catalog-backed /v1/markets) go to any node.
+// market's owner (with failover to a replica peer on a replica fleet).
+// Scope-less URLs hash their full spec for cache affinity on a replica
+// fleet; on a partitioned fleet the three mergeable aggregations are
+// answered by scatter-gather here, and the rest (catalog-backed
+// /v1/markets) go to any node. Every route uses the retrying forwarder,
+// so a single slow or dead node costs a retry, not a 502.
 func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	if m := q.Get("market"); m != "" {
-		g.proxies[g.ring.pick(m)].ServeHTTP(w, r)
+		g.forward(w, r, g.ring.pick(m), nil)
 		return
 	}
 	if g.cfg.Partitioned {
@@ -584,7 +699,7 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	g.proxies[g.ring.pick(r.URL.RequestURI())].ServeHTTP(w, r)
+	g.forward(w, r, g.ring.pick(r.URL.RequestURI()), nil)
 }
 
 // v1Fanout answers one mergeable /v1 GET on a partitioned fleet by
@@ -622,7 +737,7 @@ func (g *Gateway) v1Fanout(w http.ResponseWriter, r *http.Request, kind api.Kind
 		}
 		q.N = n
 	}
-	results, _ := g.scatter(r.Context(), []api.Query{q})
+	results, _, etag := g.scatter(r.Context(), []api.Query{q})
 	res := results[0]
 	if res.Error != nil {
 		status := http.StatusBadRequest
@@ -631,6 +746,18 @@ func (g *Gateway) v1Fanout(w http.ResponseWriter, r *http.Request, kind api.Kind
 		}
 		writeErr(w, status, res.Error)
 		return
+	}
+	if len(res.Partial) > 0 {
+		// v1 payloads are bare (no envelope to carry the partial list),
+		// so the degradation detail rides a response header.
+		w.Header().Set(api.HeaderPartial, strings.Join(res.Partial, ","))
+	} else if etag != "" {
+		if etagMatches(r.Header.Get(api.HeaderIfNoneMatch), etag) {
+			w.Header().Set(api.HeaderETag, etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set(api.HeaderETag, etag)
 	}
 	switch kind {
 	case api.KindSummary:
@@ -663,15 +790,18 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				nh.Status = "unreachable"
 				nh.Error = err.Error()
+				g.health.fail(i)
 			} else {
 				nh.Status = h.Status
 				nh.Generation = h.Store.Generation
+				g.health.succeed(i)
 				mu.Lock()
 				if h.Now.After(now) {
 					now = h.Now
 				}
 				mu.Unlock()
 			}
+			nh.Breaker, nh.ConsecutiveFails = g.health.snapshot(i)
 			nodes[i] = nh
 		}(i)
 	}

@@ -125,6 +125,43 @@ func postBatch(t *testing.T, url string, req api.BatchRequest) (int, api.BatchRe
 }
 
 // usEastMarkets returns catalog spot markets in us-east-1.
+// partitionedMarkets returns n us-east-1 spot markets chosen so every
+// ring partition owns at least one. The ring hashes the node URLs, and
+// httptest ports are ephemeral, so a fixed prefix of the catalog can
+// land entirely on one node for an unlucky port draw — scan the whole
+// region and seed each partition first instead.
+func partitionedMarkets(t *testing.T, g *Gateway, parts, n int) []market.SpotID {
+	t.Helper()
+	byNode := make([][]market.SpotID, parts)
+	for _, id := range market.New().SpotMarkets() {
+		if strings.HasPrefix(string(id.Zone), "us-east-1") {
+			p := g.ring.pick(id.String())
+			byNode[p] = append(byNode[p], id)
+		}
+	}
+	var ids []market.SpotID
+	for p, owned := range byNode {
+		if len(owned) == 0 {
+			t.Fatalf("ring assigned no us-east-1 market to partition %d", p)
+		}
+		ids = append(ids, owned[0])
+		byNode[p] = owned[1:]
+	}
+	for p, idle := 0, 0; len(ids) < n && idle < parts; p = (p + 1) % parts {
+		if len(byNode[p]) == 0 {
+			idle++
+			continue
+		}
+		idle = 0
+		ids = append(ids, byNode[p][0])
+		byNode[p] = byNode[p][1:]
+	}
+	if len(ids) < n {
+		t.Fatalf("catalog has only %d us-east-1 spot markets, want %d", len(ids), n)
+	}
+	return ids
+}
+
 func usEastMarkets(t *testing.T, n int) []market.SpotID {
 	t.Helper()
 	var ids []market.SpotID
@@ -173,7 +210,7 @@ func TestPartitionedScatterGather(t *testing.T) {
 	// the routing assertions are deterministic.
 	perNode := make([]market.SpotID, len(nodes))
 	total := 0
-	for i, id := range usEastMarkets(t, 8) {
+	for i, id := range partitionedMarkets(t, g, len(nodes), 8) {
 		n := g.ring.pick(id.String())
 		count := 10 + i
 		seedProbes(dbs[n], id, count, 2)
@@ -238,8 +275,10 @@ func TestPartitionedScatterGather(t *testing.T) {
 		t.Fatalf("partitioned scope-less watch status = %d, want 400", rw.StatusCode)
 	}
 
-	// Kill partition 1: its market queries and every fan-out fail with
-	// code "upstream" naming the node; partition 0's queries still answer.
+	// Kill partition 1: its market-scoped queries fail with code
+	// "upstream" naming the node, fanned queries degrade to a partial
+	// merge over the answering partitions, and partition 0's queries
+	// still answer.
 	srv1.Close()
 	status, resp = postBatch(t, gsrv.URL, api.BatchRequest{Queries: []api.Query{
 		{Kind: api.KindUnavailability, Market: perNode[0].String(), Window: window},
@@ -252,15 +291,15 @@ func TestPartitionedScatterGather(t *testing.T) {
 	if err := resp.Results[0].Error; err != nil {
 		t.Errorf("live partition's query failed: %+v", err)
 	}
-	for _, i := range []int{1, 2} {
-		err := resp.Results[i].Error
-		if err == nil || err.Code != api.CodeUpstream {
-			t.Errorf("query %d error = %+v, want code %q", i, err, api.CodeUpstream)
-			continue
-		}
-		if err.Details["node"] != nodes[1] {
-			t.Errorf("query %d error names node %q, want %q", i, err.Details["node"], nodes[1])
-		}
+	if err := resp.Results[1].Error; err == nil || err.Code != api.CodeUpstream {
+		t.Errorf("dead partition's market query error = %+v, want code %q", err, api.CodeUpstream)
+	} else if err.Details["node"] != nodes[1] {
+		t.Errorf("dead partition's market query names node %q, want %q", err.Details["node"], nodes[1])
+	}
+	if err := resp.Results[2].Error; err != nil {
+		t.Errorf("fanned summary on degraded fleet failed: %+v, want partial merge", err)
+	} else if p := resp.Results[2].Partial; len(p) != 1 || p[0] != nodes[1] {
+		t.Errorf("fanned summary partial = %v, want [%s]", p, nodes[1])
 	}
 
 	// Aggregated health: degraded, with the dead node called out.

@@ -40,6 +40,7 @@ import (
 //	POST /v2/advise           — ranked market recommendations (advise.go)
 //	GET  /v2/watch            — live Server-Sent Events stream (watch.go)
 //	GET  /v2/health           — store + stream health (watch.go)
+//	POST /v2/admin/promote    — follower → leader failover (followers only)
 //
 // See docs/api.md for the full schema reference and docs/streaming.md
 // for the live stream.
@@ -79,6 +80,9 @@ type API struct {
 	// replication, when set, contributes a follower's leader-subscription
 	// state to /v2/health (nil on leaders).
 	replication func() *api.HealthReplication
+	// promote, when set, exposes POST /v2/admin/promote (followers only):
+	// the daemon's failover hook that turns this node into the leader.
+	promote func(force bool) error
 }
 
 // NewAPI builds the HTTP layer over an engine.
@@ -127,6 +131,43 @@ func (a *API) SetReplication(fn func() *api.HealthReplication) {
 	a.replication = fn
 }
 
+// SetPromote exposes POST /v2/admin/promote backed by fn — the daemon's
+// leader-failover hook. fn must be safe for concurrent calls and return
+// an error when promotion is refused (not a follower, already promoted,
+// or the split-brain guard fired without force). Call before serving;
+// leaders leave it unset and the route answers 404.
+func (a *API) SetPromote(fn func(force bool) error) {
+	a.promote = fn
+}
+
+// handlePromote turns the node into the leader. Promotion is an
+// explicit operator action (or a gateway/orchestrator one), so the
+// endpoint is POST-only and never retried implicitly; ?force=1 skips
+// the split-brain guard. A refusal is a 409-style client error carried
+// in the standard error envelope.
+func (a *API) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if a.promote == nil {
+		http.NotFound(w, r)
+		return
+	}
+	force := false
+	switch v := r.URL.Query().Get("force"); v {
+	case "", "0", "false":
+	case "1", "true":
+		force = true
+	default:
+		writeAPIErr(w, api.Errorf(api.CodeBadParam, "bad force %q (want 0 or 1)", v).WithDetail("param", "force"))
+		return
+	}
+	if err := a.promote(force); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		_ = json.NewEncoder(w).Encode(api.Errorf(api.CodeBadRequest, "%s", err.Error()))
+		return
+	}
+	writeJSON(w, api.PromoteResponse{Promoted: true, Now: a.Now()})
+}
+
 // SetETagSalt replaces the per-process ETag salt with a stable value —
 // the durable store's persisted salt (store.Persister.Salt). Over a
 // recovered store the generations a tag was minted against survive the
@@ -155,6 +196,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("POST /v2/advise", a.handleAdvise)
 	mux.HandleFunc("GET /v2/watch", a.handleWatch)
 	mux.HandleFunc("GET /v2/health", a.handleHealth)
+	mux.HandleFunc("POST /v2/admin/promote", a.handlePromote)
 	return mux
 }
 

@@ -492,9 +492,10 @@ func (a *API) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if a.replication != nil {
 		h.Replication = a.replication()
-		if h.Replication != nil && !h.Replication.Connected {
+		if h.Replication != nil && !h.Replication.Connected && h.Replication.Role == "follower" {
 			// The follower keeps serving, but its answers age while the
-			// leader subscription is down.
+			// leader subscription is down. A promoted node is disconnected
+			// by design — it IS the leader now — and stays "ok".
 			h.Status = "degraded"
 		}
 	}

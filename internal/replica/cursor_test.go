@@ -1,0 +1,118 @@
+package replica
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+// The cursor round-trip and its skip arithmetic, without a stream: a
+// cursor encoded at one position must load back with the same identity
+// (salt, token, leader generation, clock), and loadCursor must arm the
+// skip counters so that records the recovered store holds beyond the
+// cursor are counted off, while a cursor that claims more than the
+// store holds (a machine crash that ate flushed bytes) clamps instead
+// of double-applying.
+func TestCursorRoundTripAndSkipArithmetic(t *testing.T) {
+	db, err := store.Open(t.TempDir(), store.PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := db.Persister()
+	defer p.Close()
+
+	ids := market.New().SpotMarkets()[:2]
+	at := time.Date(2015, 9, 1, 12, 0, 0, 0, time.UTC)
+	appendN := func(id market.SpotID, n int) uint64 {
+		for i := 0; i < n; i++ {
+			db.AppendProbes([]store.ProbeRecord{{
+				At: at.Add(time.Duration(i) * time.Minute), Market: id,
+				Kind: store.ProbeOnDemand, Trigger: store.TriggerRecheck, Cost: 0.01,
+			}})
+		}
+		return db.Generation(id)
+	}
+	gen0, gen1 := appendN(ids[0], 5), appendN(ids[1], 3)
+	if gen0 == 0 || gen1 == 0 {
+		t.Fatalf("appends did not advance generations: %d, %d", gen0, gen1)
+	}
+
+	cfg := Config{Leader: "http://127.0.0.1:9", DB: db, Persist: p}
+	r1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.salt.Store(0x1234abcd5678ef90)
+	r1.saltKnown.Store(true)
+	r1.leaderGen.Store(77)
+	r1.advanceClock(at)
+	r1.mu.Lock()
+	r1.lastID = "17-245"
+	r1.mu.Unlock()
+	// Market 0's cursor count trails its recovered generation by 2 (the
+	// normal crash gap: records flushed after the cursor was written).
+	// Market 1's count exceeds its generation by 3 (flushed bytes lost
+	// to a machine crash) and must clamp.
+	r1.counts = map[string]uint64{
+		ids[0].String(): gen0 - 2,
+		ids[1].String(): gen1 + 3,
+	}
+	data := r1.encodeCursor()
+	if data == nil {
+		t.Fatal("encodeCursor returned nil")
+	}
+	if err := p.SaveCursor(data); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.salt.Load(); got != 0x1234abcd5678ef90 {
+		t.Errorf("salt = %#x, want %#x", got, uint64(0x1234abcd5678ef90))
+	}
+	if !r2.saltKnown.Load() {
+		t.Error("salt not marked known after cursor load")
+	}
+	if got := r2.leaderGen.Load(); got != 77 {
+		t.Errorf("leaderGen = %d, want 77", got)
+	}
+	if !r2.Clock().Equal(at) {
+		t.Errorf("clock = %v, want %v", r2.Clock(), at)
+	}
+	if r2.resumeID != "17-245" {
+		t.Errorf("resumeID = %q, want %q", r2.resumeID, "17-245")
+	}
+	if got := r2.counts[ids[0].String()]; got != gen0-2 {
+		t.Errorf("counts[%s] = %d, want %d", ids[0], got, gen0-2)
+	}
+	// Skip = recovered − count: market 0 skips exactly the 2 records the
+	// store holds past the cursor; market 1 clamps recovered up to the
+	// cursor count so the lost records stay lost instead of reappearing
+	// as duplicates.
+	if got := r2.recovered[ids[0].String()]; got != gen0 {
+		t.Errorf("recovered[%s] = %d, want %d (skip of %d)", ids[0], got, gen0, 2)
+	}
+	if got := r2.recovered[ids[1].String()]; got != gen1+3 {
+		t.Errorf("recovered[%s] = %d, want clamped %d", ids[1], got, gen1+3)
+	}
+
+	// A corrupt cursor must refuse to construct rather than guess at a
+	// stream position.
+	if err := p.SaveCursor([]byte("{broken")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "decode cursor") {
+		t.Errorf("corrupt cursor error = %v, want decode failure", err)
+	}
+	if err := p.SaveCursor([]byte(`{"version":999}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version cursor error = %v, want version failure", err)
+	}
+}

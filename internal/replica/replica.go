@@ -61,6 +61,9 @@ const (
 	// watchBuffer is the client-side event buffer; deep enough that one
 	// simulated tick's burst never marks the replicator lagged.
 	watchBuffer = 4096
+	// defaultCursorInterval throttles durable-cursor saves (each one is
+	// two fsyncs; see persistCursor).
+	defaultCursorInterval = 250 * time.Millisecond
 )
 
 // Config wires one Replicator.
@@ -84,6 +87,19 @@ type Config struct {
 	// StaleAfter is the no-frame interval after which Status reports the
 	// stream disconnected (default 45s).
 	StaleAfter time.Duration
+	// Persist, when set, makes the follower durable: it must be DB's own
+	// persister (DB opened with store.Open). Every applied batch is
+	// flushed through it and the stream cursor — leader salt, resume
+	// token, per-market record counts — is persisted alongside, so a
+	// restarted replicator replays the store locally and resumes the
+	// stream from the cursor instead of re-tailing history, applying
+	// each record exactly once (see cursor.go).
+	Persist *store.Persister
+	// CursorInterval bounds how often the durable cursor is saved
+	// (default 250ms; the final save on Close always runs). A cursor
+	// that trails the WAL only lengthens the resume replay after a
+	// restart — the skip arithmetic keeps exactly-once intact.
+	CursorInterval time.Duration
 }
 
 // Replicator tails one leader and applies its event stream to a local
@@ -110,6 +126,21 @@ type Replicator struct {
 	mu     sync.Mutex
 	lastID string
 
+	// Stream-position state, owned by the apply goroutine (loadCursor
+	// initializes it before Start): counts is how many of each market's
+	// records the stream position covers (applied or counted off);
+	// recovered is each market's generation at recovery — events up to
+	// it are already in the store and are skipped, not re-applied.
+	counts    map[string]uint64
+	recovered map[string]uint64
+	skipped   atomic.Uint64
+	// resumeID, when set by loadCursor, resumes the first attach from
+	// the durable cursor instead of requesting a Backfill window.
+	resumeID string
+	// lastCursorSave timestamps the newest durable-cursor save (apply
+	// goroutine only; drives the CursorInterval throttle).
+	lastCursorSave time.Time
+
 	ready     chan struct{}
 	readyOnce sync.Once
 	cancel    context.CancelFunc
@@ -134,12 +165,26 @@ func New(cfg Config) (*Replicator, error) {
 	if cfg.StaleAfter <= 0 {
 		cfg.StaleAfter = defaultStaleAfter
 	}
-	return &Replicator{
-		cfg:   cfg,
-		c:     c,
-		ready: make(chan struct{}),
-		done:  make(chan struct{}),
-	}, nil
+	if cfg.CursorInterval <= 0 {
+		cfg.CursorInterval = defaultCursorInterval
+	}
+	if cfg.Persist != nil && cfg.DB.Persister() != cfg.Persist {
+		return nil, errors.New("replica: Config.Persist must be Config.DB's own persister")
+	}
+	r := &Replicator{
+		cfg:    cfg,
+		c:      c,
+		counts: make(map[string]uint64),
+		ready:  make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if cfg.Persist != nil {
+		if _, err := r.loadCursor(cfg.Persist); err != nil {
+			return nil, err
+		}
+		r.maybeReady()
+	}
+	return r, nil
 }
 
 // Start opens the leader subscription (synchronously, so an unreachable
@@ -147,11 +192,19 @@ func New(cfg Config) (*Replicator, error) {
 // stops both.
 func (r *Replicator) Start() error {
 	ctx, cancel := context.WithCancel(context.Background())
-	w, err := r.c.Watch(ctx, client.WatchOptions{
+	opts := client.WatchOptions{
 		Since:      r.cfg.Backfill,
 		Buffer:     watchBuffer,
 		Heartbeats: true,
-	})
+	}
+	if r.resumeID != "" {
+		// A durable cursor resumes exactly where the flushed store ends;
+		// asking for a backfill window on top would re-ship history the
+		// recovery already replayed.
+		opts.LastEventID = r.resumeID
+		opts.Since = 0
+	}
+	w, err := r.c.Watch(ctx, opts)
 	if err != nil {
 		cancel()
 		return fmt.Errorf("replica: attach to leader %s: %w", r.cfg.Leader, err)
@@ -252,6 +305,9 @@ func (r *Replicator) run(ctx context.Context, w *client.Watch) {
 		}
 		r.apply(batch)
 	}
+	// Stream closed (Close or context end): whatever the throttle held
+	// back becomes durable now, so the next life resumes from here.
+	r.persistCursor(true)
 }
 
 // pollHealth keeps the leader clock and generation fresh while the event
@@ -319,14 +375,15 @@ func (r *Replicator) apply(batch []api.StreamEvent) {
 		if err != nil {
 			continue // future event family or malformed frame: skip
 		}
+		key := id.String()
 		switch ev.Kind {
 		case api.EventProbe:
-			if ev.Probe == nil {
+			if ev.Probe == nil || !r.takeRecord(key) {
 				continue
 			}
 			probes = append(probes, probeRecord(id, ev))
 		case api.EventPrice:
-			if ev.Price == nil {
+			if ev.Price == nil || !r.takeRecord(key) {
 				continue
 			}
 			if prices == nil {
@@ -334,7 +391,7 @@ func (r *Replicator) apply(batch []api.StreamEvent) {
 			}
 			prices[id] = append(prices[id], store.PricePoint{At: ev.Price.At, Price: ev.Price.Price})
 		case api.EventSpike:
-			if ev.Spike == nil {
+			if ev.Spike == nil || !r.takeRecord(key) {
 				continue
 			}
 			spikes = append(spikes, store.SpikeEvent{
@@ -342,7 +399,7 @@ func (r *Replicator) apply(batch []api.StreamEvent) {
 				Price: ev.Spike.Price, Ratio: ev.Spike.Ratio, Probed: ev.Spike.Probed,
 			})
 		case api.EventRevocation:
-			if ev.Revocation == nil {
+			if ev.Revocation == nil || !r.takeRecord(key) {
 				continue
 			}
 			revs = append(revs, store.RevocationRecord{
@@ -350,7 +407,7 @@ func (r *Replicator) apply(batch []api.StreamEvent) {
 				Bid: ev.Revocation.Bid, Held: ev.Revocation.Held,
 			})
 		case api.EventBidSpread:
-			if ev.BidSpread == nil {
+			if ev.BidSpread == nil || !r.takeRecord(key) {
 				continue
 			}
 			spreads = append(spreads, store.BidSpreadRecord{
@@ -374,6 +431,24 @@ func (r *Replicator) apply(batch []api.StreamEvent) {
 	if applied > 0 {
 		r.applied.Add(applied)
 	}
+	// The records of this round are in memory; make them durable and
+	// record the stream position they end at, so a restart resumes here
+	// instead of re-tailing (throttled to one save per CursorInterval).
+	r.persistCursor(false)
+}
+
+// takeRecord advances market key's stream position by one record and
+// reports whether that record must be applied — false means the
+// recovered store already holds it (it was flushed after the cursor it
+// was recovered with) and applying it again would double-count.
+func (r *Replicator) takeRecord(key string) bool {
+	n := r.counts[key] + 1
+	r.counts[key] = n
+	if n <= r.recovered[key] {
+		r.skipped.Add(1)
+		return false
+	}
+	return true
 }
 
 // onHello folds one hello frame: the first one carries the salt the

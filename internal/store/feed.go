@@ -170,8 +170,15 @@ const (
 	// DefaultSubscribeBuffer is the event-channel capacity of a
 	// subscription that doesn't choose one.
 	DefaultSubscribeBuffer = 256
-	// defaultRingCapacity bounds the feed's resume replay ring.
-	defaultRingCapacity = 4096
+	// defaultRingCapacity bounds the feed's resume replay ring. Sized so
+	// a reconnect gap of tens of seconds at realistic event rates still
+	// resumes exactly from the ring: a durable follower that restarts
+	// (WAL replay takes seconds) or briefly lags must come back through
+	// the exactly-once token path, not the at-least-once windowed
+	// resync — duplicates there skew a replica's generations and break
+	// its ETag compatibility until it is rebuilt. ~32k events of
+	// retained ring costs a few MB on a serving node.
+	defaultRingCapacity = 32768
 )
 
 // Subscription is one registered consumer of the change feed. Receive

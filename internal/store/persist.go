@@ -57,6 +57,7 @@ type PersistOptions struct {
 const (
 	defaultSegmentSize = 1 << 20
 	metaFileName       = "meta.json"
+	cursorFileName     = "cursor.json"
 	walDirName         = "wal"
 	snapshotPrefix     = "snapshot-"
 	snapshotSuffix     = ".json"
@@ -666,6 +667,54 @@ func (p *Persister) Clock() time.Time {
 // next snapshot and on Close.
 func (p *Persister) NoteClock(t time.Time) {
 	p.clock.Store(t.UnixNano())
+}
+
+// SaveCursor atomically persists an opaque replication cursor blob next
+// to the WAL (dir/cursor.json). The blob's schema belongs to the caller
+// (internal/replica stores its stream position there); the store only
+// guarantees the same durability as a snapshot — the file is always
+// either the old or the new complete contents. Call it after Flush: a
+// cursor that claims records the WAL has not acknowledged yet would, on
+// recovery, skip the stream events that were supposed to re-deliver
+// them. Fail-stop like every other write: once the durability layer has
+// a sticky error the cursor stops advancing too.
+func (p *Persister) SaveCursor(data []byte) error {
+	if err := p.Err(); err != nil {
+		return err
+	}
+	return p.fail(writeFileAtomic(filepath.Join(p.dir, cursorFileName), data))
+}
+
+// LoadCursor returns the last blob SaveCursor persisted; ok is false
+// when no cursor has ever been saved in this data directory.
+func (p *Persister) LoadCursor() (data []byte, ok bool, err error) {
+	data, err = os.ReadFile(filepath.Join(p.dir, cursorFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: read %s: %w", cursorFileName, err)
+	}
+	return data, true, nil
+}
+
+// Abandon drops the persister without flushing, snapshotting, or writing
+// the clean marker, releasing the directory flock exactly the way a
+// process death would. It exists for failure-domain tests that need to
+// simulate kill -9 and then re-Open the same directory in-process; real
+// owners always Close. After Abandon every write is a no-op and the next
+// Open recovers: WAL replay truncates any torn tail and the recovery
+// counter bumps (rotating Salt) because the clean marker was never
+// written.
+func (p *Persister) Abandon() {
+	p.snapMu.Lock()
+	defer p.snapMu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.fail(errors.New("store: persister abandoned (simulated crash)"))
+	p.lock.Close()
 }
 
 // fail records the first durability error; later writes become no-ops

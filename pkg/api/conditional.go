@@ -27,4 +27,9 @@ const (
 	HeaderETag = "ETag"
 	// HeaderIfNoneMatch is the request header revalidating a held tag.
 	HeaderIfNoneMatch = "If-None-Match"
+	// HeaderPartial is set by the gateway on bare /v1 fan-out payloads
+	// whose merge is missing partitions (the envelope-carrying endpoints
+	// report the same list in the "partial" field instead): a
+	// comma-separated list of the unreachable upstream nodes.
+	HeaderPartial = "X-Spotlight-Partial"
 )

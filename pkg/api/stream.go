@@ -234,7 +234,8 @@ type HealthWatch struct {
 
 // HealthReplication is a follower's view of its leader subscription.
 type HealthReplication struct {
-	// Role is "follower" (leaders omit the whole struct).
+	// Role is "follower", or "promoted" after the node took over as
+	// leader (leaders that never were followers omit the whole struct).
 	Role string `json:"role"`
 	// Leader is the base URL of the node this store replicates.
 	Leader string `json:"leader"`
@@ -275,4 +276,20 @@ type NodeHealth struct {
 	// Generation is the node's global store generation when reachable.
 	Generation uint64 `json:"generation,omitempty"`
 	Error      string `json:"error,omitempty"`
+	// Breaker is the gateway's circuit-breaker state for this upstream:
+	// "closed" (healthy), "open" (ejected), or "half-open" (probing
+	// re-admission). Empty when the gateway runs without health tracking.
+	Breaker string `json:"breaker,omitempty"`
+	// ConsecutiveFails counts back-to-back call failures; it resets to
+	// zero on any success.
+	ConsecutiveFails int `json:"consecutiveFails,omitempty"`
+}
+
+// PromoteResponse is the body of a successful POST /v2/admin/promote:
+// the node drained its leader subscription and now accepts writes from
+// its own study, preserving the ETag salt, clock timeline, and store
+// generations of the failed leader.
+type PromoteResponse struct {
+	Promoted bool      `json:"promoted"`
+	Now      time.Time `json:"now"`
 }

@@ -1,0 +1,58 @@
+package client
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Full-jitter bounds: every draw lands in [min, ceiling], the range is
+// actually used (a thundering herd of reconnecting watchers must spread
+// out), and the degenerate ranges collapse rather than panic.
+func TestJitteredBackoffBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	min, ceiling := 100*time.Millisecond, 5*time.Second
+	var low, high int
+	for i := 0; i < 2000; i++ {
+		d := jitteredBackoff(rng, min, ceiling)
+		if d < min || d > ceiling {
+			t.Fatalf("draw %d: %v outside [%v, %v]", i, d, min, ceiling)
+		}
+		mid := min + (ceiling-min)/2
+		if d < mid {
+			low++
+		} else {
+			high++
+		}
+	}
+	// Uniform over ~4.9s: both halves of the range must be hit often.
+	if low < 500 || high < 500 {
+		t.Errorf("draws not spread over the range: %d below midpoint, %d above", low, high)
+	}
+
+	if d := jitteredBackoff(rng, time.Second, time.Second); d != time.Second {
+		t.Errorf("min==ceiling draw = %v, want exactly 1s", d)
+	}
+	if d := jitteredBackoff(rng, 2*time.Second, time.Second); d != time.Second {
+		t.Errorf("inverted-range draw = %v, want the ceiling", d)
+	}
+}
+
+// NoJitter turns the delay into exactly the current ceiling — the
+// deterministic mode tests and simulations rely on.
+func TestBackoffDelayNoJitter(t *testing.T) {
+	w := &Watch{opts: WatchOptions{NoJitter: true, MinBackoff: 100 * time.Millisecond, MaxBackoff: 5 * time.Second}}
+	for _, ceiling := range []time.Duration{100 * time.Millisecond, 800 * time.Millisecond, 5 * time.Second} {
+		if d := w.backoffDelay(ceiling); d != ceiling {
+			t.Errorf("NoJitter delay for ceiling %v = %v, want the ceiling", ceiling, d)
+		}
+	}
+	// Jittered mode stays within [min, ceiling].
+	w2 := &Watch{opts: WatchOptions{MinBackoff: 100 * time.Millisecond, MaxBackoff: 5 * time.Second},
+		rng: rand.New(rand.NewSource(7))}
+	for i := 0; i < 100; i++ {
+		if d := w2.backoffDelay(time.Second); d < 100*time.Millisecond || d > time.Second {
+			t.Fatalf("jittered delay %v outside [100ms, 1s]", d)
+		}
+	}
+}

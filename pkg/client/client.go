@@ -137,13 +137,61 @@ func (c *Client) Batch(ctx context.Context, queries ...api.Query) (*api.BatchRes
 	// Conditional key: the batch body identifies the query set. On a 304
 	// the remembered response replays, including its earlier Now echo —
 	// the service guarantees the results are unchanged, not the clock.
-	if err := c.do(req, "POST /v2/query "+string(body), &resp); err != nil {
+	if _, err := c.do(req, "POST /v2/query "+string(body), &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Results) != len(queries) {
 		return nil, fmt.Errorf("client: batch returned %d results for %d queries", len(resp.Results), len(queries))
 	}
 	return &resp, nil
+}
+
+// BatchTagged is Batch plus the response's ETag ("" when the service
+// sent none). Aggregators — the gateway's scatter-gather — use the
+// per-upstream tags as ingredients for a merged validator; plain
+// consumers wanting transparent 304 handling should use Batch with
+// EnableConditionalRequests instead.
+func (c *Client) BatchTagged(ctx context.Context, queries ...api.Query) (*api.BatchResponse, string, error) {
+	body, err := json.Marshal(api.BatchRequest{Queries: queries})
+	if err != nil {
+		return nil, "", fmt.Errorf("client: encode batch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var resp api.BatchResponse
+	etag, err := c.do(req, "POST /v2/query "+string(body), &resp)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(resp.Results) != len(queries) {
+		return nil, "", fmt.Errorf("client: batch returned %d results for %d queries", len(resp.Results), len(queries))
+	}
+	return &resp, etag, nil
+}
+
+// Promote asks a follower to take over as leader (POST
+// /v2/admin/promote): its replication subscription drains and stops and
+// the node starts accepting writes with the failed leader's ETag salt,
+// clock timeline, and generations. force skips the split-brain guard
+// that refuses promotion while the old leader still streams. Refusals
+// come back as *api.Error.
+func (c *Client) Promote(ctx context.Context, force bool) (*api.PromoteResponse, error) {
+	u := c.base + "/v2/admin/promote"
+	if force {
+		u += "?force=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out api.PromoteResponse
+	if _, err := c.do(req, "", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Advise asks the decision layer for ranked market recommendations: up
@@ -164,7 +212,7 @@ func (c *Client) Advise(ctx context.Context, areq api.AdviseRequest) (*api.Advis
 	}
 	req.Header.Set("Content-Type", "application/json")
 	var resp api.AdviseResponse
-	if err := c.do(req, "POST /v2/advise "+string(body), &resp); err != nil {
+	if _, err := c.do(req, "POST /v2/advise "+string(body), &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -348,47 +396,56 @@ func (c *Client) get(ctx context.Context, path string, params url.Values, out an
 	if err != nil {
 		return err
 	}
-	return c.do(req, "GET "+u, out)
+	_, err = c.do(req, "GET "+u, out)
+	return err
 }
 
 // do executes the request, decoding either the payload or the service's
-// error envelope (returned as *api.Error). key identifies the request in
-// the conditional cache; when a remembered ETag revalidates (304), the
-// remembered body decodes instead.
-func (c *Client) do(req *http.Request, key string, out any) error {
-	prior, held := c.lookupCached(key)
+// error envelope (returned as *api.Error), and reports the response's
+// ETag ("" when absent). key identifies the request in the conditional
+// cache ("" skips caching); when a remembered ETag revalidates (304),
+// the remembered body decodes instead and the held tag is returned.
+func (c *Client) do(req *http.Request, key string, out any) (string, error) {
+	var (
+		prior cachedResponse
+		held  bool
+	)
+	if key != "" {
+		prior, held = c.lookupCached(key)
+	}
 	if held {
 		req.Header.Set(api.HeaderIfNoneMatch, prior.etag)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotModified {
 		if !held {
-			return fmt.Errorf("client: %s %s: unexpected 304 without a held ETag", req.Method, req.URL.Path)
+			return "", fmt.Errorf("client: %s %s: unexpected 304 without a held ETag", req.Method, req.URL.Path)
 		}
 		c.mu.Lock()
 		c.notModified++
 		c.mu.Unlock()
-		return decodeBody(prior.body, req.URL.Path, out)
+		return prior.etag, decodeBody(prior.body, req.URL.Path, out)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return fmt.Errorf("client: read %s response: %w", req.URL.Path, err)
+		return "", fmt.Errorf("client: read %s response: %w", req.URL.Path, err)
 	}
 	if resp.StatusCode/100 != 2 {
 		var aerr api.Error
 		if err := json.Unmarshal(body, &aerr); err != nil || aerr.Code == "" {
-			return fmt.Errorf("client: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+			return "", fmt.Errorf("client: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
 		}
-		return &aerr
+		return "", &aerr
 	}
-	if etag := resp.Header.Get(api.HeaderETag); etag != "" {
+	etag := resp.Header.Get(api.HeaderETag)
+	if etag != "" && key != "" {
 		c.storeCached(key, etag, body)
 	}
-	return decodeBody(body, req.URL.Path, out)
+	return etag, decodeBody(body, req.URL.Path, out)
 }
 
 // decodeBody unmarshals a response body into out (nil out skips).

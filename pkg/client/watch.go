@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -56,9 +57,17 @@ type WatchOptions struct {
 	// the stream lagged, and the watch reconnects with resume.
 	Buffer int
 	// MinBackoff/MaxBackoff bound the reconnect backoff (defaults 100ms
-	// and 5s; backoff doubles per consecutive failure and resets after a
-	// healthy connection).
+	// and 5s; the backoff ceiling doubles per consecutive failure up to
+	// MaxBackoff and resets after a healthy connection).
 	MinBackoff, MaxBackoff time.Duration
+	// NoJitter makes reconnect delays deterministic (exactly the current
+	// ceiling) instead of the default full jitter, which sleeps a uniform
+	// random duration in [MinBackoff, ceiling]. Jitter is the default
+	// because a leader restart disconnects every follower and SDK watcher
+	// at the same instant — deterministic backoff would march them all
+	// back in synchronized waves, and the thundering herd re-kills the
+	// node the waves hit. Tests wanting exact timings opt out.
+	NoJitter bool
 	// Heartbeats delivers heartbeat frames to the consumer too (by
 	// default they are consumed internally as liveness only).
 	Heartbeats bool
@@ -72,6 +81,10 @@ type Watch struct {
 	events chan api.StreamEvent
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// rng drives reconnect jitter; per-watch so concurrent watches do not
+	// contend on a shared source. Guarded by mu.
+	rng *rand.Rand
 
 	mu         sync.Mutex
 	lastID     string
@@ -143,6 +156,7 @@ func (c *Client) Watch(ctx context.Context, opts WatchOptions) (*Watch, error) {
 		cancel: cancel,
 		done:   make(chan struct{}),
 		lastID: opts.LastEventID,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	resp, err := w.connect(wctx, true)
 	if err != nil {
@@ -246,25 +260,29 @@ func watchErrFromBody(status int, body []byte) error {
 func (w *Watch) run(ctx context.Context, resp *http.Response) {
 	defer close(w.done)
 	defer close(w.events)
-	backoff := w.opts.MinBackoff
+	ceiling := w.opts.MinBackoff
 	for {
-		healthy := w.consume(ctx, resp.Body)
-		resp.Body.Close()
+		// resp is nil when the previous reconnect attempt failed — there
+		// is nothing to consume, only more backing off to do.
+		if resp != nil {
+			healthy := w.consume(ctx, resp.Body)
+			resp.Body.Close()
+			if healthy {
+				ceiling = w.opts.MinBackoff
+			}
+		}
 		if ctx.Err() != nil {
 			w.setErr(ctx.Err())
 			return
 		}
-		if healthy {
-			backoff = w.opts.MinBackoff
-		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(w.backoffDelay(ceiling)):
 		case <-ctx.Done():
 			w.setErr(ctx.Err())
 			return
 		}
-		if backoff *= 2; backoff > w.opts.MaxBackoff {
-			backoff = w.opts.MaxBackoff
+		if ceiling *= 2; ceiling > w.opts.MaxBackoff {
+			ceiling = w.opts.MaxBackoff
 		}
 		var err error
 		resp, err = w.connect(ctx, false)
@@ -274,12 +292,36 @@ func (w *Watch) run(ctx context.Context, resp *http.Response) {
 				return
 			}
 			// Transient failure (refused, mid-restart): keep trying.
+			resp = nil
 			continue
 		}
 		w.mu.Lock()
 		w.reconnects++
 		w.mu.Unlock()
 	}
+}
+
+// backoffDelay turns the current ceiling into the actual sleep: the
+// ceiling itself under NoJitter, otherwise full jitter over
+// [MinBackoff, ceiling].
+func (w *Watch) backoffDelay(ceiling time.Duration) time.Duration {
+	if w.opts.NoJitter {
+		return ceiling
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return jitteredBackoff(w.rng, w.opts.MinBackoff, ceiling)
+}
+
+// jitteredBackoff picks a uniform random delay in [min, ceiling]
+// (degenerating to ceiling when the range is empty). Full jitter
+// decorrelates the reconnect times of clients that a single server
+// failure disconnected together.
+func jitteredBackoff(rng *rand.Rand, min, ceiling time.Duration) time.Duration {
+	if ceiling <= min {
+		return ceiling
+	}
+	return min + time.Duration(rng.Int63n(int64(ceiling-min)+1))
 }
 
 // consume reads one connection's frames; it reports whether at least one
