@@ -10,7 +10,15 @@ GO ?= go
 # blocked-watcher ingest twin that proves slow consumers cannot stall
 # appends), and the advisor ranking path (BenchmarkAdvise matches the
 # generation-cached variant too).
-BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregates|BenchmarkStoreRegionAggregates|BenchmarkGenerationOfScope|BenchmarkStoreAppendMonitorTick|BenchmarkStoreAppendProbesBatchParallel|BenchmarkWALAppend|BenchmarkReplay|BenchmarkFeedPublish|BenchmarkFeedFanout|BenchmarkAdvise
+BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregates|BenchmarkStoreRegionAggregates|BenchmarkGenerationOfScope|BenchmarkStoreAppendMonitorTick|BenchmarkStoreAppendProbesBatchParallel|BenchmarkWALAppend|BenchmarkReplay|BenchmarkFeedPublish|BenchmarkFeedFanout|BenchmarkAdvise|BenchmarkPriceStatsIn|BenchmarkSpikesInWindow|BenchmarkEventsSince
+
+# Benchmark iteration control. The CI smoke keeps the 1x default (it only
+# proves the benchmarks run); any measurement that will be *compared* —
+# the committed baseline above all — must use enough iterations that
+# per-op numbers are averages, not a single cold pass. Override per run:
+# `make bench BENCH_TIME=2s BENCH_COUNT=5`.
+BENCH_TIME ?= 1x
+BENCH_COUNT ?= 1
 
 # bench-diff inputs: OLD defaults to the committed baseline, NEW to the
 # latest smoke run.
@@ -42,7 +50,7 @@ fmt-check:
 # (BenchmarkQueryStable matches the cached variant too). Capture-then-cat
 # instead of tee so the exit status survives /bin/sh.
 bench:
-	@$(GO) test -bench='$(BENCH_SMOKE)' -benchtime=1x -run='^$$' . >bench-smoke.txt 2>&1; \
+	@$(GO) test -bench='$(BENCH_SMOKE)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -run='^$$' . >bench-smoke.txt 2>&1; \
 	rc=$$?; cat bench-smoke.txt; exit $$rc
 
 # bench-diff compares two benchmark outputs (`make bench-diff OLD=a NEW=b`)
@@ -61,6 +69,11 @@ bench-diff:
 	fi
 
 # bench-baseline refreshes the committed comparison point for bench-diff.
+# The baseline is measured, not smoked: it defaults to enough iterations
+# that the recorded ns/op and B/op are stable averages (a 1x baseline
+# once recorded the cached summary query as slower than the uncached one
+# purely from first-iteration effects).
+bench-baseline: BENCH_TIME = 100x
 bench-baseline: bench
 	cp bench-smoke.txt $(OLD)
 
@@ -100,5 +113,6 @@ example-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime=10s
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotReadJSON$$' -fuzztime=10s
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotV2Decode$$' -fuzztime=10s
 
 ci: build fmt-check vet test smoke loadgen-smoke chaos-smoke example-smoke fuzz-smoke bench

@@ -1104,6 +1104,70 @@ func BenchmarkGenerationOfScope(b *testing.B) {
 	}
 }
 
+// Windowed-read benchmarks --------------------------------------------
+//
+// The columnar shard layout exists so windowed folds are linear scans
+// over per-field slices. PriceStatsIn and SpikesInWindowAppend (with a
+// warm buffer) are the allocation-free contracts: 0 allocs/op each.
+
+// BenchmarkPriceStatsIn folds min/mean/max over a 5000-price window
+// in-shard: a binary search plus a linear pass over the price column,
+// allocating nothing.
+func BenchmarkPriceStatsIn(b *testing.B) {
+	db := store.New()
+	id := benchMarkets(1)[0]
+	base := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	ps := make([]store.PricePoint, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		ps = append(ps, store.PricePoint{At: base.Add(time.Duration(i) * time.Minute), Price: 0.05 + float64(i%40)/1000})
+	}
+	db.RecordPrices(id, ps)
+	from, to := base.Add(time.Hour), base.Add(72*time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := db.PriceStatsIn(id, from, to); st.Samples == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkSpikesInWindow scans the spike windows of 1000 markets through
+// SpikesInWindowAppend with a reused buffer: once the buffer's capacity
+// is warm, the steady state allocates nothing.
+func BenchmarkSpikesInWindow(b *testing.B) {
+	db, base := benchWideStore(1000)
+	from, to := base, base.Add(24*time.Hour)
+	buf := db.SpikesInWindow(from, to, nil) // warm the reuse buffer
+	if len(buf) == 0 {
+		b.Fatal("empty window")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = db.SpikesInWindowAppend(buf[:0], from, to, nil)
+		if len(buf) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkEventsSince is the watch-resume replay path: rebuilding the
+// event stream of the last day from the shards' windowed indexes. One
+// slice per (shard, family) window plus the output — not zero-alloc, but
+// no longer one whole-store record materialization per call.
+func BenchmarkEventsSince(b *testing.B) {
+	db, base := benchWideStore(1000)
+	since := base.Add(8 * time.Minute) // second half of each market's history
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if evs := db.EventsSince(since, store.EventFilter{}); len(evs) == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
 // BenchmarkStoreAppendMonitorTick is the monitor-shaped ingest workload:
 // concurrent region scanners each buffer a tick's worth of records (~9
 // probes, the spike/cross/related/recheck fan-out of one detection) per

@@ -1,6 +1,9 @@
 package query
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // resultCache memoizes query results keyed by the query's parameters plus
 // the store generation of the shards the query reads (its scope). A hit
@@ -18,6 +21,11 @@ type resultCache struct {
 	max     int
 
 	hits, misses uint64
+
+	// fastHits/fastMisses count probes of lock-free single-slot caches
+	// (the engine's Summary slot) that bypass the keyed map; stats()
+	// folds them in so observability covers both tiers.
+	fastHits, fastMisses atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -85,20 +93,9 @@ func memoize[T any](c *resultCache, key string, gen uint64, compute func() (T, e
 	return val, nil
 }
 
-// demoteHit reclassifies the caller's last get from hit to miss, for
-// entries with a secondary validity condition the cache cannot see (the
-// summary slot's clock instant): the generations matched but the caller
-// rejected the value and will recompute.
-func (c *resultCache) demoteHit() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hits--
-	c.misses++
-}
-
 // stats returns the hit/miss counters (test and benchmark visibility).
 func (c *resultCache) stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits + c.fastHits.Load(), c.misses + c.fastMisses.Load()
 }

@@ -1,0 +1,188 @@
+package query
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spotlight/internal/market"
+	"spotlight/internal/store"
+)
+
+// TestCrossVersionServingIdentical is the migration property test for the
+// v2 snapshot format: the same records served from a legacy v1 data
+// directory (whole-store snapshot-<SEQ>.json) and from a current v2
+// directory (per-shard binary snapshot + manifest) must produce
+// byte-identical HTTP bodies AND byte-identical ETags on every query
+// endpoint. Both directories share a handwritten meta.json with the same
+// salt, so the only variable is the snapshot encoding recovery reads.
+func TestCrossVersionServingIdentical(t *testing.T) {
+	base := time.Date(2015, 9, 1, 12, 0, 0, 0, time.UTC)
+
+	// The v1 directory: meta + the legacy whole-store JSON snapshot,
+	// exactly what a clean pre-migration shutdown left behind.
+	dirV1 := t.TempDir()
+	writeCrossMeta(t, dirV1, base)
+	mem := store.New()
+	crossWorkload(mem, base)
+	var snap bytes.Buffer
+	if err := mem.WriteJSON(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirV1, "snapshot-00000001.json"), snap.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The v2 directory: same salt, same records appended through the
+	// live path, snapshotted in the current format, closed cleanly.
+	dirV2 := t.TempDir()
+	writeCrossMeta(t, dirV2, base)
+	db, err := store.Open(dirV2, store.PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossWorkload(db, base)
+	if err := db.Persister().Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Persister().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srvV1 := crossServer(t, dirV1)
+	srvV2 := crossServer(t, dirV2)
+
+	from, to := base, base.Add(24*time.Hour)
+	window := url.Values{
+		"from": {from.Format(time.RFC3339)},
+		"to":   {to.Format(time.RFC3339)},
+	}
+	queries := []struct {
+		path string
+		q    url.Values
+	}{
+		{"/v1/summary", nil},
+		{"/v1/stable", withValues(window, "region", "us-east-1", "n", "5")},
+		{"/v1/volatile", withValues(window, "region", "us-east-1", "n", "5")},
+		{"/v1/unavailability", withValues(window, "market", crossA.String())},
+		{"/v1/prices", withValues(window, "market", crossA.String())},
+		{"/v1/outages", withValues(window, "market", crossA.String())},
+		{"/v1/markets", nil},
+	}
+	for _, qc := range queries {
+		u := qc.path
+		if qc.q != nil {
+			u += "?" + qc.q.Encode()
+		}
+		s1, etag1, body1 := crossGet(t, srvV1, u)
+		s2, etag2, body2 := crossGet(t, srvV2, u)
+		if s1 != s2 {
+			t.Errorf("%s: status %d (v1) vs %d (v2)", u, s1, s2)
+			continue
+		}
+		if !bytes.Equal(body1, body2) {
+			t.Errorf("%s: bodies diverge across snapshot formats\n v1: %.300s\n v2: %.300s", u, body1, body2)
+		}
+		if etag1 == "" || etag1 != etag2 {
+			t.Errorf("%s: ETags diverge across snapshot formats: %q (v1) vs %q (v2)", u, etag1, etag2)
+		}
+	}
+}
+
+var (
+	crossA = market.SpotID{Zone: "us-east-1a", Type: "m3.large", Product: market.ProductLinux}
+	crossB = market.SpotID{Zone: "us-east-1b", Type: "c3.xlarge", Product: market.ProductLinux}
+)
+
+// crossWorkload appends the fixed record set — probes (with an outage),
+// spikes, prices, a bid spread, and a revocation across two markets — in
+// one deterministic order.
+func crossWorkload(db *store.Store, base time.Time) {
+	for i := 0; i < 8; i++ {
+		rejected := i >= 2 && i < 4
+		code := ""
+		if rejected {
+			code = "InsufficientInstanceCapacity"
+		}
+		db.AppendProbe(store.ProbeRecord{
+			At: base.Add(time.Duration(i) * time.Minute), Market: crossA,
+			Kind: store.ProbeOnDemand, Trigger: store.TriggerRecheck, TriggerMarket: crossA,
+			Rejected: rejected, Code: code,
+			Cost: 0.02,
+		})
+		db.AppendProbe(store.ProbeRecord{
+			At: base.Add(time.Duration(i)*time.Minute + 30*time.Second), Market: crossB,
+			Kind: store.ProbeSpot, Trigger: store.TriggerPeriodicSpot, TriggerMarket: crossB,
+			Bid: 0.5, Cost: 0.01,
+		})
+	}
+	db.AppendSpike(store.SpikeEvent{At: base.Add(2 * time.Minute), Market: crossA, Price: 0.31, Ratio: 1.7, Probed: true})
+	db.AppendSpike(store.SpikeEvent{At: base.Add(5 * time.Minute), Market: crossB, Price: 0.22, Ratio: 0.9})
+	for i := 0; i < 5; i++ {
+		db.RecordPrice(crossA, store.PricePoint{At: base.Add(time.Duration(i) * 2 * time.Minute), Price: 0.1 + float64(i)/100})
+	}
+	db.AppendBidSpread(store.BidSpreadRecord{At: base.Add(3 * time.Minute), Market: crossB, Published: 0.5, Intrinsic: 0.33, Attempts: 4})
+	db.AppendRevocation(store.RevocationRecord{At: base.Add(6 * time.Minute), Market: crossB, Bid: 1.0, Held: 45 * time.Minute})
+}
+
+// writeCrossMeta hand-writes a clean meta.json with a fixed salt, so the
+// two directories' recovered stores mint identical ETags.
+func writeCrossMeta(t *testing.T, dir string, clock time.Time) {
+	t.Helper()
+	meta := fmt.Sprintf(`{"version":1,"salt":42,"clean":true,"recoveries":0,"clock":%q}`,
+		clock.Format(time.RFC3339Nano))
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte(meta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crossServer recovers dir and serves it exactly as the daemon would: the
+// engine over the recovered store, the ETag salt pinned to the persisted
+// one, and a fixed service clock shared by both servers.
+func crossServer(t *testing.T, dir string) *httptest.Server {
+	t.Helper()
+	db, err := store.Open(dir, store.PersistOptions{})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { db.Persister().Close() })
+	base := time.Date(2015, 9, 1, 12, 0, 0, 0, time.UTC)
+	a := NewAPI(NewEngine(db, market.New()), func() time.Time { return base.Add(24 * time.Hour) })
+	a.SetETagSalt(db.Persister().Salt())
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func crossGet(t *testing.T, srv *httptest.Server, u string) (status int, etag string, body []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("ETag"), b
+}
+
+// withValues copies base and sets the given key/value pairs.
+func withValues(base url.Values, kv ...string) url.Values {
+	out := url.Values{}
+	for k, vs := range base {
+		out[k] = vs
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		out.Set(kv[i], kv[i+1])
+	}
+	return out
+}

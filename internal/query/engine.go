@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"spotlight/internal/advisor"
@@ -36,6 +37,14 @@ type Engine struct {
 	cat   *market.Catalog
 	cache *resultCache
 	adv   *advisor.Advisor
+
+	// summary is the single-slot Summary cache: one pointer swap per
+	// recompute, one atomic load per probe. Summary is the hottest
+	// cached query (every dashboard poll and every service tick reads
+	// it), and its validity check — generation AND instant — is fully
+	// contained in the slot, so it skips the keyed map and its mutex
+	// entirely. nil while caching is disabled or before the first fold.
+	summary atomic.Pointer[summarySlot]
 }
 
 // NewEngine builds a query engine over db and the catalog, with response
@@ -53,6 +62,7 @@ func (e *Engine) Advisor() *advisor.Advisor { return e.adv }
 // default). Disabling exists for benchmarks that measure the raw query
 // path and for callers that mutate returned slices.
 func (e *Engine) SetCaching(on bool) {
+	e.summary.Store(nil)
 	if on {
 		if e.cache == nil {
 			e.cache = newResultCache(0)
@@ -293,13 +303,16 @@ func (e *Engine) Summary(now time.Time) []RegionSummary {
 	// queries within one instant hit.
 	var gen uint64
 	if e.cache != nil {
+		// Generation is read *before* the fold (same ordering rule as
+		// memoize): an append racing the recompute leaves the slot
+		// stored at the older generation, so the next probe recomputes
+		// rather than serving stale rows.
 		gen = e.db.GlobalGeneration()
-		if v, ok := e.cache.get("summary", gen); ok {
-			if se := v.(summarySlot); se.now.Equal(now) {
-				return se.rows
-			}
-			e.cache.demoteHit() // same generation, different instant
+		if slot := e.summary.Load(); slot != nil && slot.gen == gen && slot.now.Equal(now) {
+			e.cache.fastHits.Add(1)
+			return slot.rows
 		}
+		e.cache.fastMisses.Add(1)
 	}
 	var out []RegionSummary
 	for _, agg := range e.db.RegionAggregates(now) {
@@ -325,14 +338,15 @@ func (e *Engine) Summary(now time.Time) []RegionSummary {
 		out = append(out, s)
 	}
 	if e.cache != nil {
-		e.cache.put("summary", gen, summarySlot{now: now, rows: out})
+		e.summary.Store(&summarySlot{gen: gen, now: now, rows: out})
 	}
 	return out
 }
 
-// summarySlot is the single cached Summary fold plus the instant it was
-// computed at.
+// summarySlot is the single cached Summary fold plus the generation and
+// instant it is valid at.
 type summarySlot struct {
+	gen  uint64
 	now  time.Time
 	rows []RegionSummary
 }

@@ -54,18 +54,28 @@ func (s *Store) captureAll() []shardCapture {
 func assembleSnapshot(captures []shardCapture) Snapshot {
 	snap := Snapshot{Prices: make(map[string][]PricePoint)}
 	snap.Probes = mergeCaptured(captures,
-		func(c *shardCapture) ([]ProbeRecord, bool) { return c.probes, c.probesOrdered }, probeAt)
+		func(c *shardCapture) ([]ProbeRecord, bool) {
+			return c.probes.appendTo(nil, c.id, 0, c.probes.n()), c.probesOrdered
+		}, probeAt)
 	snap.Spikes = mergeCaptured(captures,
-		func(c *shardCapture) ([]SpikeEvent, bool) { return c.spikes, c.spikesOrdered }, spikeAt)
+		func(c *shardCapture) ([]SpikeEvent, bool) {
+			return c.spikes.appendTo(nil, c.id, 0, c.spikes.n()), c.spikesOrdered
+		}, spikeAt)
 	snap.BidSpreads = mergeCaptured(captures,
-		func(c *shardCapture) ([]BidSpreadRecord, bool) { return c.bidSpreads, c.bidSpreadsOrdered }, bidSpreadAt)
+		func(c *shardCapture) ([]BidSpreadRecord, bool) {
+			return c.bidSpreads.appendTo(nil, c.id, 0, c.bidSpreads.n()), c.bidSpreadsOrdered
+		}, bidSpreadAt)
 	snap.Revocations = mergeCaptured(captures,
-		func(c *shardCapture) ([]RevocationRecord, bool) { return c.revocations, c.revocationsOrdered }, revocationAt)
+		func(c *shardCapture) ([]RevocationRecord, bool) {
+			return c.revocations.appendTo(nil, c.id, 0, c.revocations.n()), c.revocationsOrdered
+		}, revocationAt)
 	snap.Outages = mergeCaptured(captures,
-		func(c *shardCapture) ([]OutageRecord, bool) { return c.outages, c.outagesOrdered }, outageAt)
+		func(c *shardCapture) ([]OutageRecord, bool) {
+			return c.outages.appendTo(nil, c.id, 0, c.outages.n()), c.outagesOrdered
+		}, outageAt)
 	for _, c := range captures {
-		if len(c.prices) > 0 {
-			snap.Prices[c.id.String()] = c.prices
+		if c.prices.n() > 0 {
+			snap.Prices[c.id.String()] = c.prices.appendTo(nil, 0, c.prices.n())
 		}
 	}
 	return snap

@@ -290,8 +290,11 @@ type Feed struct {
 	lastGen uint64
 
 	// ring is the bounded replay buffer: a circular window of the most
-	// recent events, contiguous in Seq.
+	// recent events, contiguous in Seq. Allocated on first publish —
+	// stores that never stream (offline analysis, recovery benchmarks)
+	// never pay for a multi-megabyte buffer of empty Event slots.
 	ring      []Event
+	ringCap   int
 	ringStart int // index of the oldest entry
 	ringLen   int
 
@@ -305,9 +308,9 @@ func newFeed(curGen func() uint64, ringCap int) *Feed {
 		ringCap = defaultRingCapacity
 	}
 	return &Feed{
-		curGen: curGen,
-		subs:   make(map[*Subscription]struct{}),
-		ring:   make([]Event, ringCap),
+		curGen:  curGen,
+		subs:    make(map[*Subscription]struct{}),
+		ringCap: ringCap,
 	}
 }
 
@@ -507,6 +510,9 @@ func (f *Feed) publish(evs []Event, gen uint64) {
 }
 
 func (f *Feed) ringPush(ev Event) {
+	if f.ring == nil {
+		f.ring = make([]Event, f.ringCap)
+	}
 	if f.ringLen < len(f.ring) {
 		f.ring[(f.ringStart+f.ringLen)%len(f.ring)] = ev
 		f.ringLen++
@@ -527,7 +533,7 @@ func (s *Store) EventsSince(since time.Time, f EventFilter) []Event {
 	gen := s.GlobalGeneration()
 	mask := f.kindMask()
 	want := func(k EventKind) bool { return mask == 0 || mask&(1<<k) != 0 }
-	// windowSlice bounds are inclusive; cap the far end inside time.Time's
+	// Window bounds are inclusive; cap the far end inside time.Time's
 	// int64-nanosecond range.
 	to := time.Unix(0, 1<<62)
 
@@ -537,52 +543,50 @@ func (s *Store) EventsSince(since time.Time, f EventFilter) []Event {
 			continue
 		}
 		id := sh.id
-		add := func(kind EventKind, at time.Time, set func(*Event)) {
-			ev := Event{Kind: kind, Gen: gen, Market: id, At: at}
-			set(&ev)
-			out = append(out, ev)
-		}
+		// Each family materializes its window once, exactly sized by the
+		// shard's time index, and events point into that slice — one
+		// allocation per (shard, family) instead of one more per record.
 		if want(EventProbe) {
-			for _, r := range sh.probesIn(nil, since, to) {
-				r := r
-				add(EventProbe, r.At, func(ev *Event) { ev.Probe = &r })
+			recs := sh.probesIn(nil, since, to)
+			for i := range recs {
+				out = append(out, Event{Kind: EventProbe, Gen: gen, Market: id, At: recs[i].At, Probe: &recs[i]})
 			}
 		}
 		if want(EventPrice) {
-			for _, p := range sh.pricesIn(nil, since, to) {
-				p := p
-				add(EventPrice, p.At, func(ev *Event) { ev.Price = &p })
+			recs := sh.pricesIn(nil, since, to)
+			for i := range recs {
+				out = append(out, Event{Kind: EventPrice, Gen: gen, Market: id, At: recs[i].At, Price: &recs[i]})
 			}
 		}
 		if want(EventSpike) {
-			for _, e := range sh.spikesIn(nil, since, to) {
-				e := e
-				add(EventSpike, e.At, func(ev *Event) { ev.Spike = &e })
+			recs := sh.spikesIn(nil, since, to)
+			for i := range recs {
+				out = append(out, Event{Kind: EventSpike, Gen: gen, Market: id, At: recs[i].At, Spike: &recs[i]})
 			}
 		}
 		if want(EventRevocation) {
-			for _, r := range sh.revocationsIn(nil, since, to) {
-				r := r
-				add(EventRevocation, r.At, func(ev *Event) { ev.Revocation = &r })
+			recs := sh.revocationsIn(nil, since, to)
+			for i := range recs {
+				out = append(out, Event{Kind: EventRevocation, Gen: gen, Market: id, At: recs[i].At, Revocation: &recs[i]})
 			}
 		}
 		if want(EventBidSpread) {
-			for _, r := range sh.bidSpreadsIn(nil, since, to) {
-				r := r
-				add(EventBidSpread, r.At, func(ev *Event) { ev.BidSpread = &r })
+			recs := sh.bidSpreadsIn(nil, since, to)
+			for i := range recs {
+				out = append(out, Event{Kind: EventBidSpread, Gen: gen, Market: id, At: recs[i].At, BidSpread: &recs[i]})
 			}
 		}
 		if want(EventOutageOpen) || want(EventOutageClose) {
 			sh.mu.RLock()
-			outages := append([]OutageRecord(nil), sh.outages...)
+			outages := sh.outages.appendTo(nil, id, 0, sh.outages.n())
 			sh.mu.RUnlock()
-			for _, o := range outages {
-				o := o
+			for i := range outages {
+				o := &outages[i]
 				if want(EventOutageOpen) && !o.Start.Before(since) {
-					add(EventOutageOpen, o.Start, func(ev *Event) { ev.Outage = &o })
+					out = append(out, Event{Kind: EventOutageOpen, Gen: gen, Market: id, At: o.Start, Outage: o})
 				}
 				if want(EventOutageClose) && !o.End.IsZero() && !o.End.Before(since) {
-					add(EventOutageClose, o.End, func(ev *Event) { ev.Outage = &o })
+					out = append(out, Event{Kind: EventOutageClose, Gen: gen, Market: id, At: o.End, Outage: o})
 				}
 			}
 		}
@@ -605,5 +609,5 @@ func (s *Store) EventsSince(since time.Time, f EventFilter) []Event {
 func (sh *shard) bidSpreadsIn(dst []BidSpreadRecord, from, to time.Time) []BidSpreadRecord {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return windowSlice(dst, sh.bidSpreads, sh.bidSpreadsOrdered, bidSpreadAt, from, to)
+	return sh.bidSpreads.window(dst, sh.id, sh.bidSpreadsOrdered, from, to)
 }

@@ -73,12 +73,26 @@ func goldenWorkload(s *Store, p *Persister) error {
 
 func TestGoldenFixture(t *testing.T) {
 	root := goldenDir(t)
+	if os.Getenv("STORE_GOLDEN_REGEN") != "" {
+		regenGolden(t, filepath.Join(root, "store"), filepath.Join(root, "expected-state.json"))
+	}
+	assertGoldenState(t, root)
+}
+
+// TestGoldenV1Fixture opens the frozen pre-v2 fixture — a data directory
+// whose snapshot is the legacy whole-store snapshot-<SEQ>.json — and
+// holds it to the exact same recovered state as the live-format fixture.
+// This is the migration contract: v1 directories keep opening, byte for
+// byte, with no regeneration path (the fixture is a historical artifact;
+// it must never be rewritten).
+func TestGoldenV1Fixture(t *testing.T) {
+	assertGoldenState(t, filepath.Join("testdata", "golden-v1"))
+}
+
+func assertGoldenState(t *testing.T, root string) {
+	t.Helper()
 	storeFixture := filepath.Join(root, "store")
 	expectedPath := filepath.Join(root, "expected-state.json")
-
-	if os.Getenv("STORE_GOLDEN_REGEN") != "" {
-		regenGolden(t, storeFixture, expectedPath)
-	}
 
 	// Recover from a copy: Open repairs torn tails in place and the
 	// committed fixture must stay pristine.
@@ -160,6 +174,17 @@ func regenGolden(t *testing.T, storeFixture, expectedPath string) {
 	writeFuzzSeed(t, "FuzzWALDecode", "seed-torn-tail", fuzzSegment()[:60])
 	writeFuzzSeed(t, "FuzzSnapshotReadJSON", "seed-valid-snapshot", dump.Bytes())
 	writeFuzzSeed(t, "FuzzSnapshotReadJSON", "seed-truncated", dump.Bytes()[:dump.Len()/3])
+	// A real v2 snapshot shard from the fixture seeds the binary decoder.
+	snapDirs, err := filepath.Glob(filepath.Join(storeFixture, snapshotPrefix+"*"))
+	if err != nil || len(snapDirs) != 1 {
+		t.Fatalf("fixture snapshot dirs: %v %v", snapDirs, err)
+	}
+	shardData, err := os.ReadFile(filepath.Join(snapDirs[0], snapFileName(goldenA)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFuzzSeed(t, "FuzzSnapshotV2Decode", "seed-valid-shard", shardData)
+	writeFuzzSeed(t, "FuzzSnapshotV2Decode", "seed-truncated", shardData[:len(shardData)*2/3])
 	t.Log("golden fixture regenerated; commit testdata/")
 }
 

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -22,10 +23,14 @@ import (
 //
 //	dir/
 //	  meta.json                  salt + last noted service clock
-//	  snapshot-<SEQ>.json        whole-store snapshot (the export.go schema)
+//	  snapshot-<SEQ>/            whole-store snapshot (snapshot.go)
+//	    manifest.json            shard file list + record counts
+//	    <market>.snap            per-shard binary record stream
 //	  wal/<market>/seg-<EPOCH>-<IDX>.wal
 //
-// where <market> is the URL-path-escaped market ID. Every append frames
+// where <market> is the URL-path-escaped market ID. (Directories written
+// by older versions hold a single snapshot-<SEQ>.json instead — still
+// read, superseded by the first new snapshot.) Every append frames
 // its records into the owning shard's pending WAL buffer inside the same
 // shard lock round as the in-memory append; Flush moves pending bytes to
 // the active segment files (the durability boundary — a record is
@@ -118,8 +123,11 @@ type Persister struct {
 	dirty   []*shardWAL
 
 	// snapMu serializes Snapshot, Flush, and Close against each other.
-	snapMu sync.Mutex
-	closed bool
+	// It also guards lastSnap, the incremental-encoding state of the
+	// newest published v2 snapshot (nil before the first one).
+	snapMu   sync.Mutex
+	closed   bool
+	lastSnap *snapDirState
 }
 
 // shardWAL is one shard's log state. Appends run while holding the
@@ -201,19 +209,31 @@ func Open(dir string, opts PersistOptions) (*Store, error) {
 	}
 
 	s := New()
-	snapSeq, snapAt, err := loadLatestSnapshot(dir, s)
+	info, err := findLatestSnapshot(dir)
 	if err != nil {
 		lock.Close()
 		return nil, err
+	}
+	var snapAt time.Time
+	if info.seq > 0 && !info.v2 {
+		// Legacy single-file JSON snapshot: replay it serially through the
+		// export.go reader before the parallel WAL phase. The first
+		// snapshot this process takes writes the v2 layout and compaction
+		// removes the v1 file — migration is one snapshot cycle.
+		snapAt, err = loadSnapshotV1(dir, info.seq, s)
+		if err != nil {
+			lock.Close()
+			return nil, err
+		}
 	}
 
-	positions, maxEpoch, walAt, err := replayWAL(walRoot, snapSeq, s)
+	positions, maxEpoch, walAt, err := replayParallel(walRoot, info, s)
 	if err != nil {
 		lock.Close()
 		return nil, err
 	}
-	if maxEpoch < snapSeq {
-		maxEpoch = snapSeq
+	if maxEpoch < info.seq {
+		maxEpoch = info.seq
 	}
 	if maxEpoch == 0 {
 		maxEpoch = 1
@@ -227,6 +247,14 @@ func Open(dir string, opts PersistOptions) (*Store, error) {
 		recoveries: meta.Recoveries,
 		lock:       lock,
 		epoch:      maxEpoch,
+	}
+	if info.v2 {
+		// Prime incremental snapshots: shards unchanged since this
+		// snapshot hard-link its files instead of re-encoding.
+		p.lastSnap = &snapDirState{seq: info.seq, dir: info.dirPath, records: make(map[string]uint64, len(info.manifest.Shards))}
+		for _, msh := range info.manifest.Shards {
+			p.lastSnap.records[msh.File] = msh.Records
+		}
 	}
 	// Resume the clock from whichever is newest: the clock noted at the
 	// last snapshot or clean shutdown, or the newest recovered record.
@@ -357,44 +385,30 @@ func snapshotName(seq uint64) string {
 	return fmt.Sprintf("%s%08d%s", snapshotPrefix, seq, snapshotSuffix)
 }
 
-// loadLatestSnapshot loads the newest snapshot into s and returns its
-// sequence number (0 when no snapshot exists). The newest snapshot is
-// the only acceptable one: compaction deleted the WAL epochs it covers,
-// so silently falling back to an older snapshot would present large
-// data loss as a successful recovery. A damaged newest snapshot
-// (snapshots are rename-published, so only external corruption gets
-// here) therefore fails Open loudly; the operator can remove the file
-// to explicitly accept recovering from an older snapshot plus whatever
-// WAL survives.
-func loadLatestSnapshot(dir string, s *Store) (uint64, time.Time, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return 0, time.Time{}, fmt.Errorf("store: list %s: %w", dir, err)
-	}
-	var newest uint64
-	for _, ent := range ents {
-		if seq, ok := snapshotSeq(ent.Name()); ok && !ent.IsDir() && seq > newest {
-			newest = seq
-		}
-	}
-	if newest == 0 {
-		return 0, time.Time{}, nil
-	}
-	name := snapshotName(newest)
+// loadSnapshotV1 loads a legacy single-file JSON snapshot into s. The
+// newest snapshot is the only acceptable one: compaction deleted the WAL
+// epochs it covers, so silently falling back to an older snapshot would
+// present large data loss as a successful recovery. A damaged newest
+// snapshot (snapshots are rename-published, so only external corruption
+// gets here) therefore fails Open loudly; the operator can remove the
+// file to explicitly accept recovering from an older snapshot plus
+// whatever WAL survives.
+func loadSnapshotV1(dir string, seq uint64, s *Store) (time.Time, error) {
+	name := snapshotName(seq)
 	f, err := os.Open(filepath.Join(dir, name))
 	if err != nil {
-		return 0, time.Time{}, fmt.Errorf("store: open %s: %w", name, err)
+		return time.Time{}, fmt.Errorf("store: open %s: %w", name, err)
 	}
 	var snap Snapshot
 	derr := json.NewDecoder(f).Decode(&snap)
 	f.Close()
 	if derr != nil {
-		return 0, time.Time{}, fmt.Errorf("store: snapshot %s is damaged (remove it to recover from an older snapshot + WAL, accepting the loss of the records only it covered): %w", name, derr)
+		return time.Time{}, fmt.Errorf("store: snapshot %s is damaged (remove it to recover from an older snapshot + WAL, accepting the loss of the records only it covered): %w", name, derr)
 	}
 	if err := s.loadSnapshot(snap); err != nil {
-		return 0, time.Time{}, fmt.Errorf("store: replay %s: %w", name, err)
+		return time.Time{}, fmt.Errorf("store: replay %s: %w", name, err)
 	}
-	return newest, snapshotMaxTime(snap), nil
+	return snapshotMaxTime(snap), nil
 }
 
 // snapshotMaxTime returns the newest record timestamp in the snapshot.
@@ -430,176 +444,6 @@ func snapshotMaxTime(snap Snapshot) time.Time {
 type segPos struct {
 	epoch uint64
 	idx   uint64
-}
-
-// replayWAL replays every shard directory under walRoot into s, skipping
-// segments older than snapSeq (the snapshot covers them). It returns each
-// shard's last segment position and the highest epoch seen anywhere.
-//
-// A shard's replay stops at the first damaged frame: the segment is
-// truncated to its valid prefix and any later segments of that shard are
-// deleted, so the surviving log is an exact prefix of the shard's history
-// and stays that way across future restarts.
-func replayWAL(walRoot string, snapSeq uint64, s *Store) (map[market.SpotID]segPos, uint64, time.Time, error) {
-	ents, err := os.ReadDir(walRoot)
-	if err != nil {
-		return nil, 0, time.Time{}, fmt.Errorf("store: list %s: %w", walRoot, err)
-	}
-	positions := make(map[market.SpotID]segPos)
-	var maxEpoch uint64
-	var maxAt time.Time
-	for _, ent := range ents {
-		if !ent.IsDir() {
-			continue
-		}
-		idStr, err := url.PathUnescape(ent.Name())
-		if err != nil {
-			return nil, 0, time.Time{}, fmt.Errorf("store: WAL dir %q: %w", ent.Name(), err)
-		}
-		id, err := market.ParseSpotID(idStr)
-		if err != nil {
-			return nil, 0, time.Time{}, fmt.Errorf("store: WAL dir %q: %w", ent.Name(), err)
-		}
-		shardDir := filepath.Join(walRoot, ent.Name())
-		pos, epoch, at, err := replayShardDir(shardDir, id, snapSeq, s)
-		if err != nil {
-			return nil, 0, time.Time{}, err
-		}
-		if pos != (segPos{}) {
-			positions[id] = pos
-		}
-		if epoch > maxEpoch {
-			maxEpoch = epoch
-		}
-		if at.After(maxAt) {
-			maxAt = at
-		}
-	}
-	return positions, maxEpoch, maxAt, nil
-}
-
-// replayShardDir replays one market's segments in (epoch, idx) order.
-func replayShardDir(dir string, id market.SpotID, snapSeq uint64, s *Store) (segPos, uint64, time.Time, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return segPos{}, 0, time.Time{}, fmt.Errorf("store: list %s: %w", dir, err)
-	}
-	var segs []segPos
-	var maxEpoch uint64
-	for _, ent := range ents {
-		epoch, idx, ok := parseSegmentName(ent.Name())
-		if !ok {
-			continue
-		}
-		if epoch > maxEpoch {
-			maxEpoch = epoch
-		}
-		if epoch < snapSeq {
-			continue // covered by the snapshot; compaction will remove it
-		}
-		segs = append(segs, segPos{epoch: epoch, idx: idx})
-	}
-	sort.Slice(segs, func(i, j int) bool {
-		if segs[i].epoch != segs[j].epoch {
-			return segs[i].epoch < segs[j].epoch
-		}
-		return segs[i].idx < segs[j].idx
-	})
-
-	var last segPos
-	var batch recordBatch
-	var maxAt time.Time
-	for i, seg := range segs {
-		path := filepath.Join(dir, segmentName(seg.epoch, seg.idx))
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return segPos{}, 0, time.Time{}, fmt.Errorf("store: read %s: %w", path, err)
-		}
-		entries, validLen, derr := decodeSegment(data, id)
-		if derr == nil && len(entries) == 0 {
-			// A header-only segment (a crash between the magic write and
-			// the first frame write) holds no records. Remove it rather
-			// than track it: if the market ends up with no records at
-			// all, no shard exists to remember the position, and a later
-			// append would otherwise reuse the name and append a second
-			// magic into the existing file — which the next recovery
-			// would read as corruption and discard along with every
-			// frame after it.
-			if err := os.Remove(path); err != nil {
-				return segPos{}, 0, time.Time{}, fmt.Errorf("store: drop empty %s: %w", path, err)
-			}
-			continue
-		}
-		for _, e := range entries {
-			batch.add(e)
-			if at := e.at(); at.After(maxAt) {
-				maxAt = at
-			}
-		}
-		last = seg
-		if derr == nil {
-			continue
-		}
-		// Torn or damaged tail: cut the segment back to its valid prefix
-		// (or drop it entirely when even the header is gone) and discard
-		// any later segments, preserving the exact-prefix invariant.
-		if validLen <= len(walMagic) {
-			if err := os.Remove(path); err != nil {
-				return segPos{}, 0, time.Time{}, fmt.Errorf("store: drop damaged %s: %w", path, err)
-			}
-		} else if err := os.Truncate(path, int64(validLen)); err != nil {
-			return segPos{}, 0, time.Time{}, fmt.Errorf("store: trim damaged %s: %w", path, err)
-		}
-		for _, later := range segs[i+1:] {
-			lp := filepath.Join(dir, segmentName(later.epoch, later.idx))
-			if err := os.Remove(lp); err != nil {
-				return segPos{}, 0, time.Time{}, fmt.Errorf("store: drop unreachable %s: %w", lp, err)
-			}
-		}
-		break
-	}
-
-	batch.applyTo(s, id)
-	return last, maxEpoch, maxAt, nil
-}
-
-// recordBatch groups one market's decoded WAL records per family so
-// replay pays one shard-lock round and one rollup publish per family,
-// not per record — derived state only depends on per-family order,
-// which grouping preserves.
-type recordBatch struct {
-	probes      []ProbeRecord
-	spikes      []SpikeEvent
-	bidSpreads  []BidSpreadRecord
-	revocations []RevocationRecord
-	prices      []PricePoint
-}
-
-func (b *recordBatch) add(e walEntry) {
-	switch e.typ {
-	case walProbe:
-		b.probes = append(b.probes, e.probe)
-	case walSpike:
-		b.spikes = append(b.spikes, e.spike)
-	case walBidSpread:
-		b.bidSpreads = append(b.bidSpreads, e.bidSpread)
-	case walRevocation:
-		b.revocations = append(b.revocations, e.revocation)
-	case walPrice:
-		b.prices = append(b.prices, e.price)
-	}
-}
-
-func (b *recordBatch) applyTo(s *Store, id market.SpotID) {
-	if b.probes == nil && b.spikes == nil && b.bidSpreads == nil && b.revocations == nil && b.prices == nil {
-		return
-	}
-	sh := s.shardFor(id)
-	sh.appendProbes(b.probes)
-	sh.appendSpikes(b.spikes)
-	sh.appendBidSpreads(b.bidSpreads)
-	sh.appendRevocations(b.revocations)
-	sh.appendPrices(b.prices)
 }
 
 // Persister returns the store's durability engine, or nil for an
@@ -945,15 +789,11 @@ func (p *Persister) snapshotLocked() (uint64, error) {
 		return 0, p.fail(cutErr)
 	}
 
-	snap := assembleSnapshot(captures)
-	data, err := json.Marshal(snap)
+	state, err := writeSnapshotV2(p.dir, seq, captures, p.lastSnap)
 	if err != nil {
-		return 0, p.fail(fmt.Errorf("store: encode snapshot: %w", err))
-	}
-	data = append(data, '\n')
-	if err := writeFileAtomic(filepath.Join(p.dir, snapshotName(seq)), data); err != nil {
 		return 0, p.fail(err)
 	}
+	p.lastSnap = state
 	if err := p.writeMeta(p.closed); err != nil {
 		return 0, p.fail(err)
 	}
@@ -971,14 +811,26 @@ func (p *Persister) writeMeta(clean bool) error {
 	return writeFileAtomic(filepath.Join(p.dir, metaFileName), mustJSON(m))
 }
 
-// compact removes snapshots older than seq and WAL segments with epochs
-// seq covers. Best-effort: leftovers are ignored by recovery and retried
-// by the next compaction.
+// compact removes snapshots older than seq — v2 directories, legacy v1
+// files, and in-progress .tmp directories a crashed snapshot left — and
+// WAL segments with epochs seq covers. Best-effort: leftovers are
+// ignored by recovery and retried by the next compaction.
 func (p *Persister) compact(seq uint64) {
 	if ents, err := os.ReadDir(p.dir); err == nil {
 		for _, ent := range ents {
-			if s, ok := snapshotSeq(ent.Name()); ok && s < seq {
-				os.Remove(filepath.Join(p.dir, ent.Name()))
+			name := ent.Name()
+			if ent.IsDir() {
+				if s, ok := snapshotDirSeq(name); ok && s < seq {
+					os.RemoveAll(filepath.Join(p.dir, name))
+				} else if strings.HasPrefix(name, snapshotPrefix) && strings.HasSuffix(name, snapTmpSuffix) {
+					// snapMu serializes snapshots, so any .tmp directory
+					// is the debris of a crashed snapshot attempt.
+					os.RemoveAll(filepath.Join(p.dir, name))
+				}
+				continue
+			}
+			if s, ok := snapshotSeq(name); ok && s < seq {
+				os.Remove(filepath.Join(p.dir, name))
 			}
 		}
 	}

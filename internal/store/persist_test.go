@@ -178,7 +178,7 @@ func TestDurableRoundTripWALOnly(t *testing.T) {
 	if err := s.Persister().Flush(); err != nil {
 		t.Fatalf("Flush: %v", err)
 	}
-	if snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*.json")); len(snaps) != 0 {
+	if snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*")); len(snaps) != 0 {
 		t.Fatalf("unexpected snapshots before any Snapshot call: %v", snaps)
 	}
 
@@ -241,9 +241,12 @@ func TestSnapshotCompactsWAL(t *testing.T) {
 	if postSegs := countSegments(t, dir); postSegs != 0 {
 		t.Errorf("snapshot left %d uncovered segments, want 0", postSegs)
 	}
-	snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*.json"))
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*"))
 	if len(snaps) != 1 {
 		t.Fatalf("snapshots on disk = %v, want exactly one", snaps)
+	}
+	if fi, err := os.Stat(snaps[0]); err != nil || !fi.IsDir() {
+		t.Fatalf("snapshot %s is not a v2 directory (err=%v)", snaps[0], err)
 	}
 
 	// Post-snapshot appends land in fresh segments and replay on top.
@@ -640,11 +643,15 @@ func TestOpenFailsOnDamagedNewestSnapshot(t *testing.T) {
 	if err := s.Persister().Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*.json"))
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*"))
 	if len(snaps) != 1 {
 		t.Fatalf("snapshots = %v, want one", snaps)
 	}
-	if err := os.WriteFile(snaps[0], []byte(`{"probes": [tru`), 0o644); err != nil {
+	shardFiles, _ := filepath.Glob(filepath.Join(snaps[0], "*.snap"))
+	if len(shardFiles) == 0 {
+		t.Fatalf("snapshot %s holds no shard files", snaps[0])
+	}
+	if err := os.WriteFile(shardFiles[0], []byte("SPOTSNP2garbage-frame"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir, PersistOptions{}); err == nil {
@@ -652,7 +659,7 @@ func TestOpenFailsOnDamagedNewestSnapshot(t *testing.T) {
 	}
 	// Removing the damaged snapshot is the explicit opt-in to recover
 	// from whatever remains.
-	if err := os.Remove(snaps[0]); err != nil {
+	if err := os.RemoveAll(snaps[0]); err != nil {
 		t.Fatal(err)
 	}
 	re, err := Open(dir, PersistOptions{})

@@ -76,12 +76,15 @@ type shard struct {
 	// Atomic so readers never take the shard lock.
 	gen atomic.Uint64
 
-	probes      []ProbeRecord
-	spikes      []SpikeEvent
-	bidSpreads  []BidSpreadRecord
-	revocations []RevocationRecord
-	prices      []PricePoint
-	outages     []OutageRecord
+	// Record families are stored column-oriented (see columns.go): the
+	// windowed folds scan only the columns they read, and captures alias
+	// the append-only columns instead of copying them.
+	probes      probeCols
+	spikes      spikeCols
+	bidSpreads  bidSpreadCols
+	revocations revocationCols
+	prices      priceCols
+	outages     outageCols
 
 	// crossings is the incremental index of spikes with Ratio >= 1 (the
 	// on-demand price crossings behind every stability/volatility query),
@@ -213,7 +216,7 @@ func (sh *shard) appendProbe(r ProbeRecord) {
 	}
 	enc := sh.encodeForWAL(func(b []byte) []byte { return appendProbeFrame(b, r) })
 	sh.mu.Lock()
-	sh.appendProbeLocked(r, &d)
+	sh.appendProbeLocked(&r, &d)
 	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
 	sh.walFinish(enc, oversized)
@@ -247,8 +250,8 @@ func (sh *shard) appendProbes(rs []ProbeRecord) {
 		return b
 	})
 	sh.mu.Lock()
-	for _, r := range rs {
-		sh.appendProbeLocked(r, &d)
+	for i := range rs {
+		sh.appendProbeLocked(&rs[i], &d)
 	}
 	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
@@ -256,13 +259,13 @@ func (sh *shard) appendProbes(rs []ProbeRecord) {
 	sh.publish(&d)
 }
 
-func (sh *shard) appendProbeLocked(r ProbeRecord, d *rollupDelta) {
+func (sh *shard) appendProbeLocked(r *ProbeRecord, d *rollupDelta) {
 	sh.gen.Add(1)
 	d.records++
-	if n := len(sh.probes); n > 0 && r.At.Before(sh.probes[n-1].At) {
+	if n := sh.probes.n(); n > 0 && r.At.Before(sh.probes.at[n-1]) {
 		sh.probesOrdered = false
 	}
-	sh.probes = append(sh.probes, r)
+	sh.probes.push(r)
 	sh.agg.probeCount++
 	sh.agg.probeCost += r.Cost
 	d.probeCount++
@@ -281,30 +284,31 @@ func (sh *shard) appendProbeLocked(r ProbeRecord, d *rollupDelta) {
 	}
 	switch {
 	case r.Rejected && sh.openOutage[ki] == 0:
-		if n := len(sh.outages); n > 0 && r.At.Before(sh.outages[n-1].Start) {
+		if n := sh.outages.n(); n > 0 && r.At.Before(sh.outages.start[n-1]) {
 			sh.outagesOrdered = false
 		}
-		sh.outages = append(sh.outages, OutageRecord{
+		sh.outages.push(OutageRecord{
 			Market: r.Market, Kind: r.Kind, Start: r.At,
 		})
-		sh.openOutage[ki] = len(sh.outages)
+		sh.openOutage[ki] = sh.outages.n()
 		ka.outages++
 		ka.openOutageStart = r.At
 		kd.outages++
 		kd.openOutage(r.At)
 		if d.emit {
-			cp := sh.outages[len(sh.outages)-1]
+			cp := sh.outages.get(sh.outages.n()-1, sh.id)
 			d.events = append(d.events, Event{Kind: EventOutageOpen, Market: r.Market, At: r.At, Outage: &cp})
 		}
 	case !r.Rejected && sh.openOutage[ki] != 0:
-		o := &sh.outages[sh.openOutage[ki]-1]
-		o.End = r.At
-		ka.closedOutageDur += o.End.Sub(o.Start)
+		oi := sh.openOutage[ki] - 1
+		sh.outages.end[oi] = r.At
+		start := sh.outages.start[oi]
+		ka.closedOutageDur += r.At.Sub(start)
 		ka.openOutageStart = time.Time{}
 		sh.openOutage[ki] = 0
-		kd.closeOutage(o.Start, o.End.Sub(o.Start))
+		kd.closeOutage(start, r.At.Sub(start))
 		if d.emit {
-			cp := *o
+			cp := sh.outages.get(oi, sh.id)
 			d.events = append(d.events, Event{Kind: EventOutageClose, Market: r.Market, At: r.At, Outage: &cp})
 		}
 	}
@@ -319,7 +323,7 @@ func (sh *shard) appendSpike(e SpikeEvent) {
 	}
 	enc := sh.encodeForWAL(func(b []byte) []byte { return appendSpikeFrame(b, e) })
 	sh.mu.Lock()
-	sh.appendSpikeLocked(e, &d)
+	sh.appendSpikeLocked(&e, &d)
 	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
 	sh.walFinish(enc, oversized)
@@ -348,8 +352,8 @@ func (sh *shard) appendSpikes(es []SpikeEvent) {
 		return b
 	})
 	sh.mu.Lock()
-	for _, e := range es {
-		sh.appendSpikeLocked(e, &d)
+	for i := range es {
+		sh.appendSpikeLocked(&es[i], &d)
 	}
 	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
@@ -357,14 +361,14 @@ func (sh *shard) appendSpikes(es []SpikeEvent) {
 	sh.publish(&d)
 }
 
-func (sh *shard) appendSpikeLocked(e SpikeEvent, d *rollupDelta) {
+func (sh *shard) appendSpikeLocked(e *SpikeEvent, d *rollupDelta) {
 	sh.gen.Add(1)
 	d.records++
 	d.spikes++
-	if n := len(sh.spikes); n > 0 && e.At.Before(sh.spikes[n-1].At) {
+	if n := sh.spikes.n(); n > 0 && e.At.Before(sh.spikes.at[n-1]) {
 		sh.spikesOrdered = false
 	}
-	sh.spikes = append(sh.spikes, e)
+	sh.spikes.push(e)
 	sh.agg.spikes++
 	if e.Ratio >= 1 {
 		if n := len(sh.crossings); n > 0 && e.At.Before(sh.crossings[n-1].at) {
@@ -395,7 +399,7 @@ func (sh *shard) appendBidSpreads(rs []BidSpreadRecord) {
 	if len(rs) == 0 {
 		return
 	}
-	d := rollupDelta{records: uint64(len(rs))}
+	var d rollupDelta
 	sh.armEvents(&d)
 	if d.emit {
 		cp := append([]BidSpreadRecord(nil), rs...)
@@ -411,17 +415,22 @@ func (sh *shard) appendBidSpreads(rs []BidSpreadRecord) {
 		return b
 	})
 	sh.mu.Lock()
-	for _, r := range rs {
-		sh.gen.Add(1)
-		if n := len(sh.bidSpreads); n > 0 && r.At.Before(sh.bidSpreads[n-1].At) {
-			sh.bidSpreadsOrdered = false
-		}
-		sh.bidSpreads = append(sh.bidSpreads, r)
+	for i := range rs {
+		sh.appendBidSpreadLocked(&rs[i], &d)
 	}
 	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
 	sh.walFinish(enc, oversized)
 	sh.publish(&d)
+}
+
+func (sh *shard) appendBidSpreadLocked(r *BidSpreadRecord, d *rollupDelta) {
+	sh.gen.Add(1)
+	d.records++
+	if n := sh.bidSpreads.n(); n > 0 && r.At.Before(sh.bidSpreads.at[n-1]) {
+		sh.bidSpreadsOrdered = false
+	}
+	sh.bidSpreads.push(r)
 }
 
 func (sh *shard) appendRevocation(r RevocationRecord) {
@@ -434,7 +443,7 @@ func (sh *shard) appendRevocations(rs []RevocationRecord) {
 	if len(rs) == 0 {
 		return
 	}
-	d := rollupDelta{records: uint64(len(rs))}
+	var d rollupDelta
 	sh.armEvents(&d)
 	if d.emit {
 		cp := append([]RevocationRecord(nil), rs...)
@@ -450,12 +459,8 @@ func (sh *shard) appendRevocations(rs []RevocationRecord) {
 		return b
 	})
 	sh.mu.Lock()
-	for _, r := range rs {
-		sh.gen.Add(1)
-		if n := len(sh.revocations); n > 0 && r.At.Before(sh.revocations[n-1].At) {
-			sh.revocationsOrdered = false
-		}
-		sh.revocations = append(sh.revocations, r)
+	for i := range rs {
+		sh.appendRevocationLocked(&rs[i], &d)
 	}
 	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
@@ -463,10 +468,17 @@ func (sh *shard) appendRevocations(rs []RevocationRecord) {
 	sh.publish(&d)
 }
 
+func (sh *shard) appendRevocationLocked(r *RevocationRecord, d *rollupDelta) {
+	sh.gen.Add(1)
+	d.records++
+	if n := sh.revocations.n(); n > 0 && r.At.Before(sh.revocations.at[n-1]) {
+		sh.revocationsOrdered = false
+	}
+	sh.revocations.push(r)
+}
+
 func (sh *shard) appendPrice(p PricePoint) {
 	var d rollupDelta
-	d.records = 1
-	d.price(p.Price)
 	sh.armEvents(&d)
 	if d.emit {
 		cp := p
@@ -474,7 +486,7 @@ func (sh *shard) appendPrice(p PricePoint) {
 	}
 	enc := sh.encodeForWAL(func(b []byte) []byte { return appendPriceFrame(b, p) })
 	sh.mu.Lock()
-	sh.appendPriceLocked(p)
+	sh.appendPriceLocked(&p, &d)
 	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
 	sh.walFinish(enc, oversized)
@@ -489,7 +501,6 @@ func (sh *shard) appendPrices(ps []PricePoint) {
 		return
 	}
 	var d rollupDelta
-	d.records = uint64(len(ps))
 	sh.armEvents(&d)
 	if d.emit {
 		cp := append([]PricePoint(nil), ps...)
@@ -505,9 +516,8 @@ func (sh *shard) appendPrices(ps []PricePoint) {
 		return b
 	})
 	sh.mu.Lock()
-	for _, p := range ps {
-		d.price(p.Price)
-		sh.appendPriceLocked(p)
+	for i := range ps {
+		sh.appendPriceLocked(&ps[i], &d)
 	}
 	oversized := sh.walAppendLocked(enc)
 	sh.mu.Unlock()
@@ -515,12 +525,14 @@ func (sh *shard) appendPrices(ps []PricePoint) {
 	sh.publish(&d)
 }
 
-func (sh *shard) appendPriceLocked(p PricePoint) {
+func (sh *shard) appendPriceLocked(p *PricePoint, d *rollupDelta) {
 	sh.gen.Add(1)
-	if n := len(sh.prices); n > 0 && p.At.Before(sh.prices[n-1].At) {
+	d.records++
+	d.price(p.Price)
+	if n := sh.prices.n(); n > 0 && p.At.Before(sh.prices.at[n-1]) {
 		sh.pricesOrdered = false
 	}
-	sh.prices = append(sh.prices, p)
+	sh.prices.push(p)
 	sh.agg.priceCount++
 	sh.agg.priceSum += p.Price
 	if sh.agg.priceCount == 1 || p.Price < sh.agg.priceMin {
@@ -531,19 +543,28 @@ func (sh *shard) appendPriceLocked(p PricePoint) {
 	}
 }
 
-// shardCapture is one shard's full record state copied under a single
-// lock hold — the per-shard consistent cut behind snapshots and
-// WriteJSON: no append can land in some of a market's record streams and
-// not others.
+// shardCapture is one shard's full record state cut under a single lock
+// hold — the per-shard consistent cut behind snapshots and WriteJSON: no
+// append can land in some of a market's record streams and not others.
+// The append-only column families are captured zero-copy: the capture
+// holds the column slice headers as of the cut, and later appends only
+// write past the captured lengths (or into fresh backing arrays). Only
+// the outage columns — whose end timestamps are rewritten when an outage
+// closes — are deep-copied.
 type shardCapture struct {
 	id market.SpotID
 
-	probes      []ProbeRecord
-	spikes      []SpikeEvent
-	bidSpreads  []BidSpreadRecord
-	revocations []RevocationRecord
-	prices      []PricePoint
-	outages     []OutageRecord
+	// gen is the shard's record count at the cut; per-shard snapshot
+	// files use it to detect that a shard is unchanged since the last
+	// snapshot (record count never decreases).
+	gen uint64
+
+	probes      probeCols
+	spikes      spikeCols
+	bidSpreads  bidSpreadCols
+	revocations revocationCols
+	prices      priceCols
+	outages     outageCols
 
 	probesOrdered      bool
 	spikesOrdered      bool
@@ -557,7 +578,7 @@ type shardCapture struct {
 	walErr error
 }
 
-// capture copies every record stream of the shard atomically. When
+// capture cuts every record stream of the shard atomically. When
 // cutEpoch is nonzero the shard's WAL flushes its pre-cut bytes and
 // advances to that epoch inside the same lock hold, which is what makes
 // "in the snapshot" and "in a segment the snapshot does not cover"
@@ -567,12 +588,13 @@ func (sh *shard) capture(cutEpoch uint64) shardCapture {
 	defer sh.mu.Unlock()
 	c := shardCapture{
 		id:                 sh.id,
-		probes:             append([]ProbeRecord(nil), sh.probes...),
-		spikes:             append([]SpikeEvent(nil), sh.spikes...),
-		bidSpreads:         append([]BidSpreadRecord(nil), sh.bidSpreads...),
-		revocations:        append([]RevocationRecord(nil), sh.revocations...),
-		prices:             append([]PricePoint(nil), sh.prices...),
-		outages:            append([]OutageRecord(nil), sh.outages...),
+		gen:                sh.gen.Load(),
+		probes:             sh.probes,
+		spikes:             sh.spikes,
+		bidSpreads:         sh.bidSpreads,
+		revocations:        sh.revocations,
+		prices:             sh.prices,
+		outages:            sh.outages.clone(),
 		probesOrdered:      sh.probesOrdered,
 		spikesOrdered:      sh.spikesOrdered,
 		bidSpreadsOrdered:  sh.bidSpreadsOrdered,
@@ -598,76 +620,58 @@ func windowBounds(n int, at func(int) time.Time, from, to time.Time) (int, int) 
 	return lo, hi
 }
 
-// windowSlice copies the elements of src with timestamps in [from, to]
-// into dst. When ordered, the range is located by binary search; otherwise
-// the slice is scanned.
-func windowSlice[T any](dst []T, src []T, ordered bool, at func(T) time.Time, from, to time.Time) []T {
-	if ordered {
-		lo, hi := windowBounds(len(src), func(i int) time.Time { return at(src[i]) }, from, to)
-		return append(dst, src[lo:hi]...)
-	}
-	for _, v := range src {
-		t := at(v)
-		if t.Before(from) || t.After(to) {
-			continue
-		}
-		dst = append(dst, v)
-	}
-	return dst
-}
-
 func (sh *shard) spikesIn(dst []SpikeEvent, from, to time.Time) []SpikeEvent {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return windowSlice(dst, sh.spikes, sh.spikesOrdered, spikeAt, from, to)
+	return sh.spikes.window(dst, sh.id, sh.spikesOrdered, from, to)
 }
 
 func (sh *shard) pricesIn(dst []PricePoint, from, to time.Time) []PricePoint {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return windowSlice(dst, sh.prices, sh.pricesOrdered, priceAt, from, to)
+	return sh.prices.window(dst, sh.pricesOrdered, from, to)
 }
 
 func (sh *shard) probesIn(dst []ProbeRecord, from, to time.Time) []ProbeRecord {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return windowSlice(dst, sh.probes, sh.probesOrdered, probeAt, from, to)
+	return sh.probes.window(dst, sh.id, sh.probesOrdered, from, to)
 }
 
 func (sh *shard) revocationsIn(dst []RevocationRecord, from, to time.Time) []RevocationRecord {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return windowSlice(dst, sh.revocations, sh.revocationsOrdered, revocationAt, from, to)
+	return sh.revocations.window(dst, sh.id, sh.revocationsOrdered, from, to)
 }
 
 // priceStats folds min/sum/max over the price points inside [from, to]
-// without copying the series: the windowed range is located by binary
-// search when ordered, and the fold runs under the shard's read lock.
+// without materializing anything: with the columnar layout the fold is a
+// linear scan of the bare price column over the binary-searched range.
 func (sh *shard) priceStats(from, to time.Time) (samples int, min, sum, max float64) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	fold := func(p PricePoint) {
-		if samples == 0 || p.Price < min {
-			min = p.Price
+	fold := func(price float64) {
+		if samples == 0 || price < min {
+			min = price
 		}
-		if samples == 0 || p.Price > max {
-			max = p.Price
+		if samples == 0 || price > max {
+			max = price
 		}
 		samples++
-		sum += p.Price
+		sum += price
 	}
 	if sh.pricesOrdered {
-		lo, hi := windowBounds(len(sh.prices), func(i int) time.Time { return sh.prices[i].At }, from, to)
-		for _, p := range sh.prices[lo:hi] {
-			fold(p)
+		lo, hi := timeWindow(sh.prices.at, from, to)
+		for _, price := range sh.prices.price[lo:hi] {
+			fold(price)
 		}
 		return samples, min, sum, max
 	}
-	for _, p := range sh.prices {
-		if p.At.Before(from) || p.At.After(to) {
+	for i, t := range sh.prices.at {
+		if t.Before(from) || t.After(to) {
 			continue
 		}
-		fold(p)
+		fold(sh.prices.price[i])
 	}
 	return samples, min, sum, max
 }
@@ -705,9 +709,9 @@ func (sh *shard) outageOverlap(kind ProbeKind, from, to time.Time) time.Duration
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	total := time.Duration(0)
-	for _, o := range sh.outages {
-		if o.Kind == kind {
-			total += overlapWindow(o.Start, o.End, from, to)
+	for i, k := range sh.outages.kind {
+		if k == kind {
+			total += overlapWindow(sh.outages.start[i], sh.outages.end[i], from, to)
 		}
 	}
 	return total

@@ -345,6 +345,28 @@ func (s *Store) shardFor(id market.SpotID) *shard {
 	return sh
 }
 
+// adoptShard publishes a shard that parallel recovery built outside the
+// store (replay.go): the shardFor wiring, minus creation — the recovered
+// records are already in the shard's columns. The caller publishes the
+// accumulated rollup delta afterwards; WAL handles are attached later by
+// attachPersister, exactly as for shards the v1 snapshot path creates.
+func (s *Store) adoptShard(sh *shard) {
+	region := sh.id.Region()
+	rp := s.rollupFor(rollupScope{region: region, product: sh.id.Product})
+	rg := s.rollupFor(rollupScope{region: region})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh.rp, sh.rg, sh.storeGen = rp, rg, &s.gen
+	sh.feed = s.feed
+	s.shards[sh.id] = sh
+	s.sorted = nil
+	for _, r := range [...]*rollup{rp, rg} {
+		r.mu.Lock()
+		r.agg.markets++
+		r.mu.Unlock()
+	}
+}
+
 // lookup returns the shard of id without creating it.
 func (s *Store) lookup(id market.SpotID) *shard {
 	s.mu.RLock()
@@ -605,7 +627,7 @@ func (s *Store) Revocations() []RevocationRecord {
 	return mergeByTime(s.shardList(), func(sh *shard) ([]RevocationRecord, bool) {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
-		return append([]RevocationRecord(nil), sh.revocations...), sh.revocationsOrdered
+		return sh.revocations.appendTo(nil, sh.id, 0, sh.revocations.n()), sh.revocationsOrdered
 	}, revocationAt)
 }
 
@@ -624,7 +646,7 @@ func (s *Store) Probes() []ProbeRecord {
 	return mergeByTime(s.shardList(), func(sh *shard) ([]ProbeRecord, bool) {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
-		return append([]ProbeRecord(nil), sh.probes...), sh.probesOrdered
+		return sh.probes.appendTo(nil, sh.id, 0, sh.probes.n()), sh.probesOrdered
 	}, probeAt)
 }
 
@@ -634,8 +656,8 @@ func (s *Store) ProbesWhere(keep func(ProbeRecord) bool) []ProbeRecord {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
 		var run []ProbeRecord
-		for _, r := range sh.probes {
-			if keep(r) {
+		for i := 0; i < sh.probes.n(); i++ {
+			if r := sh.probes.get(i, sh.id); keep(r) {
 				run = append(run, r)
 			}
 		}
@@ -647,7 +669,14 @@ func (s *Store) ProbesWhere(keep func(ProbeRecord) bool) []ProbeRecord {
 // filtered by keep, using each shard's time index. Results are grouped by
 // market in market-ID order.
 func (s *Store) ProbesInWindow(from, to time.Time, keep func(ProbeRecord) bool) []ProbeRecord {
-	var out []ProbeRecord
+	return s.ProbesInWindowAppend(nil, from, to, keep)
+}
+
+// ProbesInWindowAppend is ProbesInWindow appending into dst, so steady
+// callers (pollers re-reading the same window shape) can reuse one buffer
+// and read allocation-free once its capacity is warm.
+func (s *Store) ProbesInWindowAppend(dst []ProbeRecord, from, to time.Time, keep func(ProbeRecord) bool) []ProbeRecord {
+	out := dst
 	for _, sh := range s.shardList() {
 		start := len(out)
 		out = sh.probesIn(out, from, to)
@@ -681,7 +710,7 @@ func (s *Store) Spikes() []SpikeEvent {
 	return mergeByTime(s.shardList(), func(sh *shard) ([]SpikeEvent, bool) {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
-		return append([]SpikeEvent(nil), sh.spikes...), sh.spikesOrdered
+		return sh.spikes.appendTo(nil, sh.id, 0, sh.spikes.n()), sh.spikesOrdered
 	}, spikeAt)
 }
 
@@ -698,7 +727,14 @@ func (s *Store) SpikesFor(id market.SpotID, from, to time.Time) []SpikeEvent {
 // every market accepted by keep (all markets when keep is nil), using each
 // shard's time index. Results are grouped by market in market-ID order.
 func (s *Store) SpikesInWindow(from, to time.Time, keep func(market.SpotID) bool) []SpikeEvent {
-	var out []SpikeEvent
+	return s.SpikesInWindowAppend(nil, from, to, keep)
+}
+
+// SpikesInWindowAppend is SpikesInWindow appending into dst, so steady
+// callers can reuse one buffer and read allocation-free once its capacity
+// is warm.
+func (s *Store) SpikesInWindowAppend(dst []SpikeEvent, from, to time.Time, keep func(market.SpotID) bool) []SpikeEvent {
+	out := dst
 	for _, sh := range s.shardList() {
 		if keep != nil && !keep(sh.id) {
 			continue
@@ -761,7 +797,7 @@ func (s *Store) BidSpreads() []BidSpreadRecord {
 	return mergeByTime(s.shardList(), func(sh *shard) ([]BidSpreadRecord, bool) {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
-		return append([]BidSpreadRecord(nil), sh.bidSpreads...), sh.bidSpreadsOrdered
+		return sh.bidSpreads.appendTo(nil, sh.id, 0, sh.bidSpreads.n()), sh.bidSpreadsOrdered
 	}, bidSpreadAt)
 }
 
@@ -773,7 +809,7 @@ func (s *Store) BidSpreadsFor(id market.SpotID) []BidSpreadRecord {
 	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return append([]BidSpreadRecord(nil), sh.bidSpreads...)
+	return sh.bidSpreads.appendTo(nil, sh.id, 0, sh.bidSpreads.n())
 }
 
 // Outages returns all detected outage intervals merged across shards,
@@ -782,7 +818,7 @@ func (s *Store) Outages() []OutageRecord {
 	return mergeByTime(s.shardList(), func(sh *shard) ([]OutageRecord, bool) {
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
-		return append([]OutageRecord(nil), sh.outages...), sh.outagesOrdered
+		return sh.outages.appendTo(nil, sh.id, 0, sh.outages.n()), sh.outagesOrdered
 	}, outageAt)
 }
 
@@ -795,9 +831,9 @@ func (s *Store) OutagesFor(id market.SpotID, kind ProbeKind) []OutageRecord {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	var out []OutageRecord
-	for _, o := range sh.outages {
-		if o.Kind == kind {
-			out = append(out, o)
+	for i, k := range sh.outages.kind {
+		if k == kind {
+			out = append(out, sh.outages.get(i, sh.id))
 		}
 	}
 	return out
@@ -822,9 +858,8 @@ func (s *Store) Prices(id market.SpotID) []PricePoint {
 	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	out := make([]PricePoint, len(sh.prices))
-	copy(out, sh.prices)
-	return out
+	out := make([]PricePoint, 0, sh.prices.n())
+	return sh.prices.appendTo(out, 0, sh.prices.n())
 }
 
 // PricesIn returns the recorded price points of a market inside [from, to],

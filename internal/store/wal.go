@@ -159,6 +159,12 @@ func appendMarket(buf []byte, id market.SpotID) []byte {
 type walReader struct {
 	data []byte
 	bad  bool
+	// intern, when non-nil, deduplicates decoded strings: replay decodes
+	// the same market components and status codes millions of times, and
+	// the map hit (keyed by string(bytes), which Go evaluates without
+	// allocating) returns the one shared copy instead of a fresh
+	// allocation per record.
+	intern map[string]string
 }
 
 func (r *walReader) err() error {
@@ -168,7 +174,20 @@ func (r *walReader) err() error {
 	return nil
 }
 
+// uvarint and varint keep a single-byte fast path in the inlinable
+// wrapper: almost every varint a record carries (field lengths, enum
+// codes, sub-second nanos) fits in one byte, and inlining the common
+// case removes a call per field on the replay hot path.
 func (r *walReader) uvarint() uint64 {
+	if len(r.data) > 0 && r.data[0] < 0x80 {
+		v := uint64(r.data[0])
+		r.data = r.data[1:]
+		return v
+	}
+	return r.uvarintSlow()
+}
+
+func (r *walReader) uvarintSlow() uint64 {
 	v, n := binary.Uvarint(r.data)
 	if n <= 0 {
 		r.bad = true
@@ -179,6 +198,19 @@ func (r *walReader) uvarint() uint64 {
 }
 
 func (r *walReader) varint() int64 {
+	if len(r.data) > 0 && r.data[0] < 0x80 {
+		b := r.data[0]
+		r.data = r.data[1:]
+		v := int64(b >> 1)
+		if b&1 != 0 {
+			v = ^v
+		}
+		return v
+	}
+	return r.varintSlow()
+}
+
+func (r *walReader) varintSlow() int64 {
 	v, n := binary.Varint(r.data)
 	if n <= 0 {
 		r.bad = true
@@ -188,15 +220,33 @@ func (r *walReader) varint() int64 {
 	return v
 }
 
-func (r *walReader) str() string {
+// bytes reads one uvarint-prefixed string field as raw bytes aliasing
+// the frame; valid until the next read.
+func (r *walReader) bytes() []byte {
 	n := r.uvarint()
 	if r.bad || n > uint64(len(r.data)) {
 		r.bad = true
+		return nil
+	}
+	raw := r.data[:n]
+	r.data = r.data[n:]
+	return raw
+}
+
+func (r *walReader) str() string {
+	raw := r.bytes()
+	if len(raw) == 0 {
 		return ""
 	}
-	s := string(r.data[:n])
-	r.data = r.data[n:]
-	return s
+	if r.intern != nil {
+		if s, ok := r.intern[string(raw)]; ok {
+			return s
+		}
+		s := string(raw)
+		r.intern[s] = s
+		return s
+	}
+	return string(raw)
 }
 
 func (r *walReader) float() float64 {
@@ -238,6 +288,41 @@ func (r *walReader) market() market.SpotID {
 		Type:    market.InstanceType(typ),
 		Product: market.Product(product),
 	}
+}
+
+// marketExpect decodes a market field that is nearly always the given ID
+// (a shard's own log only holds its own market's records): when the raw
+// bytes match, it returns the expected ID without any map lookups or
+// allocation. Mismatches fall back to the general decoder — the caller's
+// market check then rejects them where it matters.
+func (r *walReader) marketExpect(expect market.SpotID) market.SpotID {
+	zone := r.bytes()
+	typ := r.bytes()
+	product := r.bytes()
+	if string(zone) == string(expect.Zone) && string(typ) == string(expect.Type) && string(product) == string(expect.Product) {
+		return expect
+	}
+	return market.SpotID{
+		Zone:    market.Zone(r.internBytes(zone)),
+		Type:    market.InstanceType(r.internBytes(typ)),
+		Product: market.Product(r.internBytes(product)),
+	}
+}
+
+// internBytes is str()'s dedup step for bytes already read.
+func (r *walReader) internBytes(raw []byte) string {
+	if len(raw) == 0 {
+		return ""
+	}
+	if r.intern != nil {
+		if s, ok := r.intern[string(raw)]; ok {
+			return s
+		}
+		s := string(raw)
+		r.intern[s] = s
+		return s
+	}
+	return string(raw)
 }
 
 // Record encoders: one frame per record.
@@ -324,20 +409,159 @@ func (e walEntry) at() time.Time {
 	}
 }
 
-// decodeWALEntry decodes one frame body into a typed record. The price
+// matchMarketBytes advances past one encoded market (three uvarint-
+// prefixed strings) when it is byte-for-byte the given ID or entirely
+// empty. Returns the new offset, the decoded ID, and whether it matched
+// one of those two shapes; any other market (or any component length
+// needing a multi-byte prefix) reports false so the caller can fall back
+// to the general decoder.
+func matchMarketBytes(body []byte, i int, id market.SpotID) (int, market.SpotID, bool) {
+	// An unset market encodes as three zero lengths; sniff that shape
+	// first so a zero TriggerMarket doesn't have to match the shard ID.
+	if i+3 <= len(body) && body[i] == 0 && body[i+1] == 0 && body[i+2] == 0 {
+		return i + 3, market.SpotID{}, true
+	}
+	comps := [3]string{string(id.Zone), string(id.Type), string(id.Product)}
+	for _, want := range comps {
+		if i >= len(body) {
+			return i, market.SpotID{}, false
+		}
+		n := int(body[i])
+		if n >= 0x80 || n != len(want) {
+			return i, market.SpotID{}, false
+		}
+		i++
+		if i+n > len(body) || string(body[i:i+n]) != want {
+			return i, market.SpotID{}, false
+		}
+		i += n
+	}
+	return i, id, true
+}
+
+// decodeProbeFast is the replay hot path: one cursor pass over a probe
+// frame body with every varint read inline and both market fields
+// compared in place against the shard's own ID (which they virtually
+// always are — per-shard logs only hold their own market's records, and
+// a probe's trigger market is either its own market or unset). It only
+// commits when the whole body parses as that common shape AND is fully
+// consumed; anything else — multi-byte component lengths, a foreign
+// trigger market, trailing bytes, corruption — reports false and the
+// caller re-decodes through the general walReader path, which also owns
+// producing the precise error.
+func decodeProbeFast(e *ProbeRecord, body []byte, id market.SpotID, intern map[string]string) bool {
+	sec, n := binary.Varint(body)
+	if n <= 0 {
+		return false
+	}
+	i := n
+	nsec, n := binary.Uvarint(body[i:])
+	if n <= 0 || nsec >= uint64(time.Second) {
+		return false
+	}
+	i += n
+	var ok bool
+	var mkt, trig market.SpotID
+	if i, mkt, ok = matchMarketBytes(body, i, id); !ok || mkt != id {
+		return false
+	}
+	// Kind and Trigger are tiny enums: single-byte varints or bust.
+	if i+2 > len(body) || body[i] >= 0x80 || body[i+1] >= 0x80 {
+		return false
+	}
+	kind := int64(body[i] >> 1)
+	if body[i]&1 != 0 {
+		kind = ^kind
+	}
+	trigger := int64(body[i+1] >> 1)
+	if body[i+1]&1 != 0 {
+		trigger = ^trigger
+	}
+	i += 2
+	if i, trig, ok = matchMarketBytes(body, i, id); !ok {
+		return false
+	}
+	if i >= len(body) || body[i] >= 0x80 {
+		return false
+	}
+	srcKind := int64(body[i] >> 1)
+	if body[i]&1 != 0 {
+		srcKind = ^srcKind
+	}
+	i++
+	if i+8+8+1 > len(body) {
+		return false
+	}
+	spikeRatio := math.Float64frombits(binary.LittleEndian.Uint64(body[i:]))
+	priceRatio := math.Float64frombits(binary.LittleEndian.Uint64(body[i+8:]))
+	rejected := body[i+16] != 0
+	i += 17
+	if i >= len(body) || body[i] >= 0x80 {
+		return false
+	}
+	cn := int(body[i])
+	i++
+	if i+cn+8+8 != len(body) {
+		return false
+	}
+	var code string
+	if cn != 0 {
+		raw := body[i : i+cn]
+		if intern != nil {
+			if s, hit := intern[string(raw)]; hit {
+				code = s
+			} else {
+				code = string(raw)
+				intern[code] = code
+			}
+		} else {
+			code = string(raw)
+		}
+	}
+	i += cn
+	bid := math.Float64frombits(binary.LittleEndian.Uint64(body[i:]))
+	cost := math.Float64frombits(binary.LittleEndian.Uint64(body[i+8:]))
+	*e = ProbeRecord{
+		At:            time.Unix(sec, int64(nsec)).UTC(),
+		Market:        mkt,
+		Kind:          ProbeKind(kind),
+		Trigger:       Trigger(trigger),
+		TriggerMarket: trig,
+		SourceKind:    ProbeKind(srcKind),
+		SpikeRatio:    spikeRatio,
+		PriceRatio:    priceRatio,
+		Rejected:      rejected,
+		Code:          code,
+		Bid:           bid,
+		Cost:          cost,
+	}
+	return true
+}
+
+// decodeWALEntry decodes one frame body into e, in place — the decode
+// loops reuse one entry across millions of frames rather than copying
+// the ~400-byte union through every call (only the record of e.typ is
+// meaningful; stale bytes of the other arms are never read). The price
 // record carries no market of its own: segments are per-shard, so the
 // owning market is supplied by the caller from the segment's directory.
-func decodeWALEntry(typ walRecordType, body []byte, id market.SpotID) (walEntry, error) {
-	r := walReader{data: body}
-	e := walEntry{typ: typ}
+// intern, when non-nil, deduplicates decoded strings across records (see
+// walReader.intern).
+func decodeWALEntry(e *walEntry, typ walRecordType, body []byte, id market.SpotID, intern map[string]string) error {
+	r := walReader{data: body, intern: intern}
+	e.typ = typ
 	switch typ {
 	case walProbe:
+		if decodeProbeFast(&e.probe, body, id, intern) {
+			// Fully parsed, fully consumed, market == id by
+			// construction — the post-switch checks are already met.
+			return nil
+		}
 		e.probe = ProbeRecord{
 			At:            r.instant(),
-			Market:        r.market(),
+			Market:        r.marketExpect(id),
 			Kind:          ProbeKind(r.varint()),
 			Trigger:       Trigger(r.varint()),
-			TriggerMarket: r.market(),
+			TriggerMarket: r.marketExpect(id),
 			SourceKind:    ProbeKind(r.varint()),
 			SpikeRatio:    r.float(),
 			PriceRatio:    r.float(),
@@ -349,7 +573,7 @@ func decodeWALEntry(typ walRecordType, body []byte, id market.SpotID) (walEntry,
 	case walSpike:
 		e.spike = SpikeEvent{
 			At:     r.instant(),
-			Market: r.market(),
+			Market: r.marketExpect(id),
 			Price:  r.float(),
 			Ratio:  r.float(),
 			Probed: r.boolean(),
@@ -357,7 +581,7 @@ func decodeWALEntry(typ walRecordType, body []byte, id market.SpotID) (walEntry,
 	case walBidSpread:
 		e.bidSpread = BidSpreadRecord{
 			At:        r.instant(),
-			Market:    r.market(),
+			Market:    r.marketExpect(id),
 			Published: r.float(),
 			Intrinsic: r.float(),
 			Attempts:  int(r.varint()),
@@ -365,64 +589,75 @@ func decodeWALEntry(typ walRecordType, body []byte, id market.SpotID) (walEntry,
 	case walRevocation:
 		e.revocation = RevocationRecord{
 			At:     r.instant(),
-			Market: r.market(),
+			Market: r.marketExpect(id),
 			Bid:    r.float(),
 			Held:   time.Duration(r.varint()),
 		}
 	case walPrice:
 		e.price = PricePoint{At: r.instant(), Price: r.float()}
 	default:
-		return e, fmt.Errorf("%w: unknown record type %d", ErrWALCorrupt, typ)
+		return fmt.Errorf("%w: unknown record type %d", ErrWALCorrupt, typ)
 	}
 	if err := r.err(); err != nil {
-		return e, err
+		return err
 	}
 	if len(r.data) != 0 {
-		return e, fmt.Errorf("%w: %d trailing payload bytes", ErrWALCorrupt, len(r.data))
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrWALCorrupt, len(r.data))
 	}
 	// Per-shard logs must only hold their own market's records; a framed
 	// record claiming another market is corruption, not data.
 	switch typ {
 	case walProbe:
 		if e.probe.Market != id {
-			return e, fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.probe.Market, id)
+			return fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.probe.Market, id)
 		}
 	case walSpike:
 		if e.spike.Market != id {
-			return e, fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.spike.Market, id)
+			return fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.spike.Market, id)
 		}
 	case walBidSpread:
 		if e.bidSpread.Market != id {
-			return e, fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.bidSpread.Market, id)
+			return fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.bidSpread.Market, id)
 		}
 	case walRevocation:
 		if e.revocation.Market != id {
-			return e, fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.revocation.Market, id)
+			return fmt.Errorf("%w: record market %v in log of %v", ErrWALCorrupt, e.revocation.Market, id)
 		}
 	}
-	return e, nil
+	return nil
 }
 
-// decodeSegment decodes a whole segment image (magic header included).
-// It returns every record up to the first damaged frame together with the
-// byte length of the valid prefix; err is nil only when the segment
-// decoded completely.
-func decodeSegment(data []byte, id market.SpotID) (entries []walEntry, validLen int, err error) {
+// decodeSegmentStream decodes a whole segment image (magic header
+// included) record-at-a-time, handing each entry to fn without ever
+// collecting a slice — the streaming half of replay: the only per-record
+// state is the stack-allocated walEntry. It returns the byte length of
+// the valid prefix; err is nil only when the segment decoded completely.
+// intern, when non-nil, deduplicates decoded strings across records.
+func decodeSegmentStream(data []byte, id market.SpotID, intern map[string]string, fn func(*walEntry)) (validLen int, err error) {
 	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
-		return nil, 0, fmt.Errorf("%w: bad segment magic", ErrWALCorrupt)
+		return 0, fmt.Errorf("%w: bad segment magic", ErrWALCorrupt)
 	}
+	var e walEntry
 	off := len(walMagic)
 	for off < len(data) {
 		typ, body, n, ferr := decodeWALFrame(data[off:])
 		if ferr != nil {
-			return entries, off, ferr
+			return off, ferr
 		}
-		e, derr := decodeWALEntry(typ, body, id)
-		if derr != nil {
-			return entries, off, derr
+		if derr := decodeWALEntry(&e, typ, body, id, intern); derr != nil {
+			return off, derr
 		}
-		entries = append(entries, e)
+		fn(&e)
 		off += n
 	}
-	return entries, off, nil
+	return off, nil
+}
+
+// decodeSegment is decodeSegmentStream collecting the decoded entries —
+// the convenience form the property and fuzz tests exercise.
+func decodeSegment(data []byte, id market.SpotID) (entries []walEntry, validLen int, err error) {
+	validLen, err = decodeSegmentStream(data, id, nil, func(e *walEntry) {
+		entries = append(entries, *e)
+	})
+	return entries, validLen, err
 }
