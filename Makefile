@@ -8,9 +8,11 @@ GO ?= go
 # batch ingest, WAL append+flush cycle, boot-time replay), and the
 # change-feed paths (publish round, 1/64/512-subscriber fan-out, and the
 # blocked-watcher ingest twin that proves slow consumers cannot stall
-# appends), and the advisor ranking path (BenchmarkAdvise matches the
-# generation-cached variant too).
-BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregates|BenchmarkStoreRegionAggregates|BenchmarkGenerationOfScope|BenchmarkStoreAppendMonitorTick|BenchmarkStoreAppendProbesBatchParallel|BenchmarkWALAppend|BenchmarkReplay|BenchmarkFeedPublish|BenchmarkFeedFanout|BenchmarkAdvise|BenchmarkPriceStatsIn|BenchmarkSpikesInWindow|BenchmarkEventsSince
+# appends), the advisor ranking path (BenchmarkAdvise matches the
+# generation-cached variant too), and the metrics overhead pair
+# (BenchmarkObsOverhead runs each instrumented hot path against its
+# nil-registry twin — the two must stay within noise of each other).
+BENCH_SMOKE = BenchmarkQueryStable|BenchmarkQuerySummary|BenchmarkStoreAggregates|BenchmarkStoreRegionAggregates|BenchmarkGenerationOfScope|BenchmarkStoreAppendMonitorTick|BenchmarkStoreAppendProbesBatchParallel|BenchmarkWALAppend|BenchmarkReplay|BenchmarkFeedPublish|BenchmarkFeedFanout|BenchmarkAdvise|BenchmarkPriceStatsIn|BenchmarkSpikesInWindow|BenchmarkEventsSince|BenchmarkObsOverhead
 
 # Benchmark iteration control. The CI smoke keeps the 1x default (it only
 # proves the benchmarks run); any measurement that will be *compared* —
@@ -86,9 +88,10 @@ smoke:
 # over /v2/watch, and a scatter-gather gateway fronting both, then loads
 # the gateway and writes the latency distribution to spotload-report.txt
 # (archived by CI next to bench-smoke.txt). Fails unless every request
-# succeeded against the 2-node fleet.
+# succeeded against the 2-node fleet AND every node's /metrics serves
+# its role's core series; the raw expositions land in metrics-dump.txt.
 loadgen-smoke:
-	$(GO) run ./cmd/spotload -smoke -report spotload-report.txt
+	$(GO) run ./cmd/spotload -smoke -report spotload-report.txt -metrics-dump metrics-dump.txt
 
 # Chaos smoke: the failure-domain drill, under the race detector. One
 # process boots a leader, a durable follower behind a fault-injecting
@@ -97,9 +100,10 @@ loadgen-smoke:
 # follower from disk (byte-comparing it against the never-killed
 # replica, ETags included), kills the leader, and promotes a follower.
 # Fails unless gateway read availability stays >= 99% and replication
-# stays exactly-once. Report archived by CI next to spotload-report.txt.
+# stays exactly-once. Report archived by CI next to spotload-report.txt;
+# the end-of-drill /metrics expositions land in chaos-metrics-dump.txt.
 chaos-smoke:
-	$(GO) run -race ./cmd/spotload -chaos -report chaos-report.txt
+	$(GO) run -race ./cmd/spotload -chaos -report chaos-report.txt -metrics-dump chaos-metrics-dump.txt
 
 # Decision-layer smoke: run the fleet-manager example end to end — an
 # /v2/advise call through the client SDK, then the threshold vs

@@ -16,6 +16,8 @@ package spotlight_test
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
@@ -28,6 +30,7 @@ import (
 	"spotlight/internal/core"
 	"spotlight/internal/experiment"
 	"spotlight/internal/market"
+	"spotlight/internal/obs"
 	"spotlight/internal/query"
 	"spotlight/internal/store"
 	"spotlight/pkg/api"
@@ -1283,6 +1286,65 @@ func BenchmarkFeedPublish(b *testing.B) {
 	sub.Close()
 	<-done
 	b.ReportMetric(batchSize, "batch_size")
+}
+
+// Observability benchmarks ---------------------------------------------
+//
+// BenchmarkObsOverhead is the acceptance pair for internal/obs: each
+// instrumented hot path runs against its uninstrumented twin (nil
+// registry — every obs method no-ops on nil), and the two must stay
+// within noise of each other. "append" is the batched store ingest path
+// (counters and a WAL-shaped histogram per batch); "summary" is a full
+// cached HTTP round trip through the API handler (middleware, stage
+// trace, response cache hit).
+func BenchmarkObsOverhead(b *testing.B) {
+	registries := []struct {
+		name string
+		reg  func() *obs.Registry
+	}{
+		{"off", func() *obs.Registry { return nil }},
+		{"on", obs.NewRegistry},
+	}
+	for _, v := range registries {
+		b.Run("append/metrics="+v.name, func(b *testing.B) {
+			const batchSize = 64
+			db := store.New()
+			db.EnableMetrics(v.reg())
+			app := db.Appender(benchMarkets(1)[0])
+			base := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+			batch := make([]store.ProbeRecord, batchSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batchSize {
+				for j := range batch {
+					batch[j] = store.ProbeRecord{
+						At:     base.Add(time.Duration(i+j) * time.Second),
+						Market: app.Market(), Kind: store.ProbeOnDemand,
+						Trigger: store.TriggerSpike, Rejected: (i+j)%8 == 0, Cost: 0.1,
+					}
+				}
+				app.AppendProbes(batch)
+			}
+		})
+	}
+	for _, v := range registries {
+		b.Run("summary/metrics="+v.name, func(b *testing.B) {
+			db, base := benchWideStore(100)
+			a := query.NewAPI(query.NewEngine(db, market.New()), func() time.Time { return base.Add(24 * time.Hour) })
+			defer a.Shutdown()
+			a.EnableMetrics(v.reg())
+			h := a.Handler()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/summary", nil))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("summary status = %d", rec.Code)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFeedFanout measures one append batch fanning out to 1, 64,

@@ -8,6 +8,14 @@
 //	                  [-partitioned] [-timeout 10s]
 //	                  [-retries 1] [-hedge-after 0] [-fail-threshold 3]
 //	                  [-eject-for 5s] [-probe-interval 0]
+//	                  [-log-format text|json] [-debug-addr ADDR]
+//
+// The gateway serves its own metrics — per-node upstream latency and
+// outcomes, retries, hedges, breaker state, partial merges, plus the
+// shared HTTP series — on GET /metrics (Prometheus text) and GET
+// /v2/metrics (JSON). -debug-addr adds a second listener with
+// net/http/pprof. Logs are structured (log/slog); -log-format picks
+// text or json.
 //
 // Without -partitioned the nodes are assumed to be full replicas (a
 // leader and its -follow followers): each query routes whole to one node
@@ -39,8 +47,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -50,24 +57,37 @@ import (
 	"time"
 
 	"spotlight/internal/gateway"
+	"spotlight/internal/obs"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		log.Fatal("spotlight-gateway: ", err)
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).
+			Error("fatal", "component", "spotlight-gateway", "err", err)
+		os.Exit(1)
 	}
 }
 
-// parseFlags maps the command line onto a gateway.Config plus the listen
-// address.
-func parseFlags(args []string) (gateway.Config, string, error) {
+// cmdOptions are the command-only switches.
+type cmdOptions struct {
+	addr      string
+	logFormat string
+	debugAddr string
+}
+
+// parseFlags maps the command line onto a gateway.Config plus the
+// command-only switches.
+func parseFlags(args []string) (gateway.Config, cmdOptions, error) {
 	fs := flag.NewFlagSet("spotlight-gateway", flag.ContinueOnError)
 	var (
-		addr  string
+		c     cmdOptions
 		nodes string
 		cfg   gateway.Config
 	)
-	fs.StringVar(&addr, "addr", ":8090", "HTTP listen address")
+	fs.StringVar(&c.addr, "addr", ":8090", "HTTP listen address")
+	fs.StringVar(&c.logFormat, "log-format", "text", "structured log format: text or json")
+	fs.StringVar(&c.debugAddr, "debug-addr", "",
+		"optional debug listener serving net/http/pprof plus /metrics (empty disables)")
 	fs.StringVar(&nodes, "nodes", "",
 		"comma-separated store node base URLs (e.g. http://a:8080,http://b:8080)")
 	fs.BoolVar(&cfg.Partitioned, "partitioned", false,
@@ -84,7 +104,7 @@ func parseFlags(args []string) (gateway.Config, string, error) {
 	fs.DurationVar(&cfg.ProbeInterval, "probe-interval", 0,
 		"background health-poll interval for ejected nodes (0 disables)")
 	if err := fs.Parse(args); err != nil {
-		return cfg, "", err
+		return cfg, c, err
 	}
 	for _, n := range strings.Split(nodes, ",") {
 		if n = strings.TrimSpace(n); n != "" {
@@ -92,16 +112,20 @@ func parseFlags(args []string) (gateway.Config, string, error) {
 		}
 	}
 	if len(cfg.Nodes) == 0 {
-		return cfg, "", errors.New("-nodes is required (comma-separated store node base URLs)")
+		return cfg, c, errors.New("-nodes is required (comma-separated store node base URLs)")
 	}
 	if cfg.Timeout <= 0 {
-		return cfg, "", errors.New("timeout must be positive")
+		return cfg, c, errors.New("timeout must be positive")
 	}
-	return cfg, addr, nil
+	return cfg, c, nil
 }
 
 func run(args []string) error {
-	cfg, addr, err := parseFlags(args)
+	cfg, cmd, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, cmd.logFormat, "spotlight-gateway")
 	if err != nil {
 		return err
 	}
@@ -109,11 +133,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
+	g.EnableMetrics(reg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cmd.addr)
 	if err != nil {
 		return err
 	}
@@ -125,7 +151,16 @@ func run(args []string) error {
 	if cfg.Partitioned {
 		mode = "partitioned"
 	}
-	fmt.Printf("spotlight-gateway: serving on %s (%s, %d nodes)\n", ln.Addr(), mode, len(cfg.Nodes))
+	logger.Info("serving", "addr", ln.Addr().String(), "mode", mode, "nodes", len(cfg.Nodes))
+	if cmd.debugAddr != "" {
+		dbg, stopDbg, err := obs.ServeDebug(cmd.debugAddr, reg)
+		if err != nil {
+			g.Close()
+			return err
+		}
+		defer stopDbg()
+		logger.Info("debug listener up", "addr", dbg)
+	}
 
 	select {
 	case err := <-serveErr:

@@ -10,6 +10,7 @@
 //	           [-data-dir DIR] [-snapshot-interval 1h]
 //	           [-max-watchers 256] [-smoke]
 //	           [-follow URL] [-follow-backfill 0] [-follow-stale-after 45s]
+//	           [-log-format text|json] [-slow-query 0] [-debug-addr ADDR]
 //
 // With -speed 300, five simulated minutes (one tick) pass per wall-clock
 // second. By default the store is in-memory and a restart starts a fresh
@@ -64,6 +65,16 @@
 //	                   docs/streaming.md and pkg/client.Watch
 //	GET  /v2/health  — store mode, durability state, watch-stream
 //	                   counters, and (on followers) replication lag
+//	GET  /metrics    — Prometheus text exposition of the node's metrics
+//	                   (HTTP latencies, store appends, WAL flushes,
+//	                   replica lag, ...; see docs/observability.md)
+//	GET  /v2/metrics — the same registry as JSON, quantiles precomputed
+//
+// Logs are structured (log/slog): -log-format picks text or json.
+// -slow-query THRESHOLD logs any request slower than the threshold with
+// a per-stage breakdown (parse, cache probe, exec, encode). -debug-addr
+// starts a second listener serving net/http/pprof and /metrics, so
+// profiling stays off the serving port.
 //
 // Windows are absolute (from/to, RFC3339) or relative (window=24h,
 // resolved against the simulation clock). Errors use the machine-readable
@@ -81,36 +92,52 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"spotlight/internal/daemon"
+	"spotlight/internal/obs"
 	"spotlight/pkg/api"
 	"spotlight/pkg/client"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		log.Fatal("spotlightd: ", err)
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).
+			Error("fatal", "component", "spotlightd", "err", err)
+		os.Exit(1)
 	}
 }
 
+// cmdOptions are the command-only switches that do not map onto
+// daemon.Options.
+type cmdOptions struct {
+	smoke     bool
+	logFormat string
+	debugAddr string
+}
+
 // parseFlags maps the command line onto daemon.Options plus the
-// command-only -smoke switch.
-func parseFlags(args []string) (daemon.Options, bool, error) {
+// command-only switches.
+func parseFlags(args []string) (daemon.Options, cmdOptions, error) {
 	fs := flag.NewFlagSet("spotlightd", flag.ContinueOnError)
 	var (
-		o     daemon.Options
-		smoke bool
+		o daemon.Options
+		c cmdOptions
 	)
 	fs.StringVar(&o.Addr, "addr", ":8080", "HTTP listen address")
 	fs.Uint64Var(&o.Seed, "seed", 42, "simulation seed")
 	fs.DurationVar(&o.Tick, "tick", 5*time.Minute, "simulation tick")
 	fs.Float64Var(&o.Speed, "speed", 300, "simulated seconds per wall second")
-	fs.BoolVar(&smoke, "smoke", false, "serve, query self once via the client SDK, and exit")
+	fs.BoolVar(&c.smoke, "smoke", false, "serve, query self once via the client SDK, and exit")
+	fs.StringVar(&c.logFormat, "log-format", "text", "structured log format: text or json")
+	fs.StringVar(&c.debugAddr, "debug-addr", "",
+		"optional debug listener serving net/http/pprof plus /metrics (e.g. 127.0.0.1:6060; empty disables)")
+	fs.DurationVar(&o.SlowQuery, "slow-query", 0,
+		"log any query slower than this with a per-stage breakdown (0 disables tracing)")
 	fs.StringVar(&o.DataDir, "data-dir", "",
 		"durable store directory (WAL segments + snapshots); empty keeps the store in memory")
 	fs.DurationVar(&o.SnapInterval, "snapshot-interval", time.Hour,
@@ -124,28 +151,38 @@ func parseFlags(args []string) (daemon.Options, bool, error) {
 	fs.DurationVar(&o.FollowStaleAfter, "follow-stale-after", 0,
 		"how long without stream progress before the follower reports disconnected (0: 45s default)")
 	if err := fs.Parse(args); err != nil {
-		return o, false, err
+		return o, c, err
 	}
 	if o.Speed <= 0 {
-		return o, false, errors.New("speed must be positive")
+		return o, c, errors.New("speed must be positive")
 	}
 	if o.SnapInterval < 0 {
-		return o, false, errors.New("snapshot-interval must not be negative")
+		return o, c, errors.New("snapshot-interval must not be negative")
 	}
 	if o.MaxWatchers <= 0 {
-		return o, false, errors.New("max-watchers must be positive")
+		return o, c, errors.New("max-watchers must be positive")
 	}
 	if o.FollowBackfill < 0 {
-		return o, false, errors.New("follow-backfill must not be negative")
+		return o, c, errors.New("follow-backfill must not be negative")
 	}
-	return o, smoke, nil
+	if o.SlowQuery < 0 {
+		return o, c, errors.New("slow-query must not be negative")
+	}
+	return o, c, nil
 }
 
 func run(args []string) error {
-	opts, smoke, err := parseFlags(args)
+	opts, cmd, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
+	logger, err := obs.NewLogger(os.Stderr, cmd.logFormat, "spotlightd")
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	opts.Logger = logger
 
 	// SIGTERM is how systemd/docker stop a daemon; treating it like
 	// Ctrl-C makes routine stops clean shutdowns (final WAL flush,
@@ -158,13 +195,21 @@ func run(args []string) error {
 		return err
 	}
 	if opts.Follow != "" {
-		fmt.Printf("spotlightd: serving on %s%s\n", d.Addr(), d.StoreDesc)
+		logger.Info("serving", "addr", d.Addr(), "store", d.StoreDesc)
 	} else {
-		fmt.Printf("spotlightd: serving on %s (tick %v, %gx real time%s)\n",
-			d.Addr(), opts.Tick, opts.Speed, d.StoreDesc)
+		logger.Info("serving", "addr", d.Addr(), "tick", opts.Tick, "speed", opts.Speed, "store", d.StoreDesc)
+	}
+	if cmd.debugAddr != "" {
+		dbg, stopDbg, err := obs.ServeDebug(cmd.debugAddr, reg)
+		if err != nil {
+			_ = d.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer stopDbg()
+		logger.Info("debug listener up", "addr", dbg)
 	}
 
-	if smoke {
+	if cmd.smoke {
 		serr := smokeCheck(ctx, d.BaseURL())
 		if cerr := d.Close(); serr == nil {
 			serr = cerr
@@ -184,9 +229,9 @@ func run(args []string) error {
 		select {
 		case <-promote:
 			if err := d.Promote(false); err != nil {
-				log.Printf("spotlightd: promote: %v", err)
+				logger.Error("promote refused", "err", err)
 			} else {
-				fmt.Println("spotlightd: promoted to leader")
+				logger.Info("promoted to leader")
 			}
 		case err := <-d.ServeErr():
 			// Close's error carries the session's sticky durability errors

@@ -47,6 +47,7 @@ import (
 	"spotlight/internal/chaos"
 	"spotlight/internal/daemon"
 	"spotlight/internal/gateway"
+	"spotlight/internal/obs"
 	"spotlight/pkg/api"
 	"spotlight/pkg/client"
 )
@@ -98,6 +99,7 @@ func runChaos(o options) error {
 	// fresh appends to replicate.
 	leader, err := daemon.Start(daemon.Options{
 		Addr: "127.0.0.1:0", Seed: 42, Tick: 5 * time.Minute, Speed: 600, MaxWatchers: 64,
+		Metrics: obs.NewRegistry(),
 	})
 	if err != nil {
 		return fmt.Errorf("chaos: start leader: %w", err)
@@ -128,6 +130,10 @@ func runChaos(o options) error {
 		Follow: "http://" + proxy.Addr(), FollowBackfill: 24 * time.Hour,
 		FollowStaleAfter: time.Second,
 	}
+	// Each daemon life gets its own registry: series describe one
+	// process, and the restart below must not inherit the first life's
+	// counts.
+	followOpts.Metrics = obs.NewRegistry()
 	f1, err := daemon.Start(followOpts)
 	if err != nil {
 		return fmt.Errorf("chaos: start durable follower: %w", err)
@@ -143,6 +149,7 @@ func runChaos(o options) error {
 	f2, err := daemon.Start(daemon.Options{
 		Addr: "127.0.0.1:0", Follow: leader.BaseURL(), FollowBackfill: 24 * time.Hour,
 		FollowStaleAfter: time.Second, MaxWatchers: 64,
+		Metrics: obs.NewRegistry(),
 	})
 	if err != nil {
 		return fmt.Errorf("chaos: start memory follower: %w", err)
@@ -169,6 +176,7 @@ func runChaos(o options) error {
 	if err != nil {
 		return fmt.Errorf("chaos: build gateway: %w", err)
 	}
+	gw.EnableMetrics(obs.NewRegistry())
 	closers = append(closers, gw.Close)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -249,6 +257,7 @@ func runChaos(o options) error {
 	}
 	f1Closed = true
 	time.Sleep(700 * time.Millisecond) // fleet runs a node short; load keeps flowing
+	followOpts.Metrics = obs.NewRegistry()
 	f1, err = daemon.Start(followOpts)
 	if err != nil {
 		return fmt.Errorf("chaos: restart durable follower: %w", err)
@@ -329,10 +338,26 @@ func runChaos(o options) error {
 	}
 	logf("chaos: phase 5 ok — follower promoted, store generation %d > %d, health %q", st.Store.Generation, genBefore, st.Status)
 
-	// Phase 6: the verdict.
+	// Phase 6: the verdict. First scrape every surviving node's metrics:
+	// the drill also proves the observability layer serves its core
+	// series on a promoted node, a live follower, and the gateway.
 	time.Sleep(500 * time.Millisecond)
 	stopLoad()
 	loadWG.Wait()
+	summary, dump, err := scrapeMetrics(ctx, []scrapeTarget{
+		followerTarget("f1-promoted", f1.BaseURL()),
+		followerTarget("f2", f2.BaseURL()),
+		gatewayTarget("gateway", gwURL),
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	for _, line := range summary {
+		logf("chaos: %s", line)
+	}
+	if err := writeMetricsDump(o.metricsDump, dump); err != nil {
+		return err
+	}
 	avail := tally.availability()
 	logf("chaos: load summary — %d gateway reads, %d ok, availability %.2f%% (target >= %.0f%%)",
 		tally.total.Load(), tally.ok.Load(), avail, chaosAvailabilityTarget)

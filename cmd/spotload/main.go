@@ -36,7 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,12 +46,15 @@ import (
 	"spotlight/internal/daemon"
 	"spotlight/internal/gateway"
 	"spotlight/internal/loadgen"
+	"spotlight/internal/obs"
 	"spotlight/pkg/client"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		log.Fatal("spotload: ", err)
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).
+			Error("fatal", "component", "spotload", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -61,6 +64,7 @@ type options struct {
 	concurrency int
 	watchers    int
 	report      string
+	metricsDump string
 	smoke       bool
 	chaos       bool
 }
@@ -76,6 +80,8 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.concurrency, "concurrency", 8, "concurrent workers")
 	fs.IntVar(&o.watchers, "watchers", 2, "live /v2/watch streams held open for the run")
 	fs.StringVar(&o.report, "report", "", "also write the report to this file")
+	fs.StringVar(&o.metricsDump, "metrics-dump", "",
+		"write every node's raw /metrics exposition to this file at the end of the run")
 	fs.BoolVar(&o.smoke, "smoke", false,
 		"boot a leader + follower + gateway in-process, load the gateway briefly, and verify the run")
 	fs.BoolVar(&o.chaos, "chaos", false,
@@ -118,6 +124,7 @@ func run(args []string) error {
 	}
 
 	var cleanup func()
+	var scrapes []scrapeTarget
 	if o.smoke {
 		gwURL, nodes, stop, err := bootSmokeFleet(ctx)
 		if err != nil {
@@ -128,8 +135,21 @@ func run(args []string) error {
 		if o.duration > 3*time.Second {
 			cfg.Duration = 3 * time.Second
 		}
+		scrapes = []scrapeTarget{
+			leaderTarget("leader", nodes[0]),
+			followerTarget("follower", nodes[1]),
+			gatewayTarget("gateway", gwURL),
+		}
 		fmt.Printf("spotload: smoke fleet up — gateway %s over %d nodes (%s)\n",
 			gwURL, len(nodes), strings.Join(nodes, ", "))
+	} else {
+		// External targets: role unknown, so the scrape is best-effort
+		// (and only runs when a dump was asked for).
+		if o.metricsDump != "" {
+			for _, t := range o.targets {
+				scrapes = append(scrapes, scrapeTarget{name: t, url: t})
+			}
+		}
 	}
 
 	rep, err := loadgen.Run(ctx, cfg)
@@ -141,6 +161,19 @@ func run(args []string) error {
 	}
 
 	out := rep.String()
+	// Scrape every node before teardown: the smoke verdict requires each
+	// role's /metrics to serve its core series, and the folded headline
+	// numbers ride in the archived report.
+	if len(scrapes) > 0 {
+		summary, dump, err := scrapeMetrics(ctx, scrapes)
+		if err != nil {
+			return err
+		}
+		out += strings.Join(summary, "\n") + "\n"
+		if err := writeMetricsDump(o.metricsDump, dump); err != nil {
+			return err
+		}
+	}
 	fmt.Print(out)
 	if o.report != "" {
 		if err := os.WriteFile(o.report, []byte(out), 0o644); err != nil {
@@ -169,6 +202,7 @@ func run(args []string) error {
 func bootSmokeFleet(ctx context.Context) (gwURL string, nodes []string, cleanup func(), err error) {
 	leader, err := daemon.Start(daemon.Options{
 		Addr: "127.0.0.1:0", Seed: 42, Tick: 5 * time.Minute, Speed: 30000, MaxWatchers: 64,
+		Metrics: obs.NewRegistry(),
 	})
 	if err != nil {
 		return "", nil, nil, fmt.Errorf("smoke: start leader: %w", err)
@@ -192,6 +226,7 @@ func bootSmokeFleet(ctx context.Context) (gwURL string, nodes []string, cleanup 
 
 	follower, err := daemon.Start(daemon.Options{
 		Addr: "127.0.0.1:0", Follow: leader.BaseURL(), FollowBackfill: 24 * time.Hour, MaxWatchers: 64,
+		Metrics: obs.NewRegistry(),
 	})
 	if err != nil {
 		return fail(fmt.Errorf("smoke: start follower: %w", err))
@@ -203,6 +238,7 @@ func bootSmokeFleet(ctx context.Context) (gwURL string, nodes []string, cleanup 
 	if err != nil {
 		return fail(fmt.Errorf("smoke: build gateway: %w", err))
 	}
+	gw.EnableMetrics(obs.NewRegistry())
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return fail(fmt.Errorf("smoke: gateway listen: %w", err))

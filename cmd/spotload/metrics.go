@@ -1,0 +1,201 @@
+package main
+
+// End-of-run metrics scrape: spotload pulls GET /metrics (Prometheus
+// text) and GET /v2/metrics (JSON) from every node it drove, verifies
+// the core series each role must serve, folds the headline numbers into
+// the run report, and optionally archives the raw expositions to a dump
+// file (-metrics-dump) for CI artifacts.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"spotlight/internal/obs"
+)
+
+// Core-series requirements per role. Store-side series register
+// unconditionally (zeros on in-memory nodes), so every store node must
+// serve all of them regardless of durability.
+var (
+	coreHTTP = []string{
+		"spotlight_http_requests_total",
+		"spotlight_http_request_seconds_bucket",
+		"spotlight_http_in_flight",
+	}
+	coreStore = []string{
+		"spotlight_store_append_records_total",
+		"spotlight_store_generation",
+		"spotlight_store_wal_flushes_total",
+		"spotlight_store_snapshots_total",
+		"spotlight_feed_dropped_total",
+	}
+	coreReplica = []string{
+		"spotlight_replica_applied_total",
+		"spotlight_replica_lag_records",
+		"spotlight_replica_reconnects_total",
+	}
+	coreGateway = []string{
+		"spotlight_gateway_upstream_seconds",
+		"spotlight_gateway_upstream_requests_total",
+		"spotlight_gateway_breaker_state",
+		"spotlight_gateway_breaker_opens_total",
+	}
+)
+
+// scrapeTarget is one node to pull metrics from.
+type scrapeTarget struct {
+	name     string
+	url      string
+	required []string // series the scrape must contain; nil means best-effort
+}
+
+func leaderTarget(name, url string) scrapeTarget {
+	return scrapeTarget{name: name, url: url, required: append(append([]string{}, coreHTTP...), coreStore...)}
+}
+
+func followerTarget(name, url string) scrapeTarget {
+	req := append(append([]string{}, coreHTTP...), coreStore...)
+	return scrapeTarget{name: name, url: url, required: append(req, coreReplica...)}
+}
+
+func gatewayTarget(name, url string) scrapeTarget {
+	return scrapeTarget{name: name, url: url, required: append(append([]string{}, coreHTTP...), coreGateway...)}
+}
+
+// scrapeMetrics pulls every target and returns per-node summary lines
+// plus the concatenated raw text expositions. A target with required
+// series fails the scrape when /metrics is unserveable or a series is
+// missing; best-effort targets degrade to a note.
+func scrapeMetrics(ctx context.Context, targets []scrapeTarget) (summary []string, dump string, err error) {
+	var db strings.Builder
+	for _, t := range targets {
+		text, terr := fetchText(ctx, t.url+"/metrics")
+		if terr != nil {
+			if t.required != nil {
+				return nil, "", fmt.Errorf("metrics: %s (%s): /metrics unserveable: %w", t.name, t.url, terr)
+			}
+			summary = append(summary, fmt.Sprintf("metrics: %s — scrape failed: %v", t.name, terr))
+			continue
+		}
+		for _, series := range t.required {
+			if !strings.Contains(text, series) {
+				return nil, "", fmt.Errorf("metrics: %s (%s): core series %q missing from /metrics", t.name, t.url, series)
+			}
+		}
+		fmt.Fprintf(&db, "==== %s (%s) ====\n%s\n", t.name, t.url, text)
+		line, lerr := foldJSON(ctx, t)
+		if lerr != nil {
+			if t.required != nil {
+				return nil, "", lerr
+			}
+			line = fmt.Sprintf("metrics: %s — /v2/metrics: %v", t.name, lerr)
+		}
+		summary = append(summary, line)
+	}
+	return summary, db.String(), nil
+}
+
+// foldJSON reduces one node's /v2/metrics into a single report line:
+// request totals, worst-route HTTP p99, feed drops, replica lag, and
+// gateway breaker opens — the numbers a failed CI run is triaged from.
+func foldJSON(ctx context.Context, t scrapeTarget) (string, error) {
+	body, err := fetchText(ctx, t.url+"/v2/metrics")
+	if err != nil {
+		return "", fmt.Errorf("metrics: %s: /v2/metrics unserveable: %w", t.name, err)
+	}
+	var fams []obs.FamilySnapshot
+	if err := json.Unmarshal([]byte(body), &fams); err != nil {
+		return "", fmt.Errorf("metrics: %s: bad /v2/metrics JSON: %w", t.name, err)
+	}
+	var (
+		requests, feedDrops, breakerOpens, lag, retries float64
+		p99                                             float64
+		hasDrops, hasLag, hasBreaker                    bool
+	)
+	for _, f := range fams {
+		switch f.Name {
+		case "spotlight_http_requests_total":
+			for _, v := range f.Values {
+				requests += v.Value
+			}
+		case "spotlight_http_request_seconds":
+			for _, v := range f.Values {
+				if v.P99 > p99 {
+					p99 = v.P99
+				}
+			}
+		case "spotlight_feed_dropped_total":
+			hasDrops = true
+			for _, v := range f.Values {
+				feedDrops += v.Value
+			}
+		case "spotlight_replica_lag_records":
+			hasLag = true
+			for _, v := range f.Values {
+				lag += v.Value
+			}
+		case "spotlight_gateway_breaker_opens_total":
+			hasBreaker = true
+			for _, v := range f.Values {
+				breakerOpens += v.Value
+			}
+		case "spotlight_gateway_retries_total":
+			for _, v := range f.Values {
+				retries += v.Value
+			}
+		}
+	}
+	line := fmt.Sprintf("metrics: %s — %.0f http requests, worst-route p99 %.1fms",
+		t.name, requests, 1000*p99)
+	if hasDrops {
+		line += fmt.Sprintf(", %.0f feed drops", feedDrops)
+	}
+	if hasLag {
+		line += fmt.Sprintf(", replica lag %.0f", lag)
+	}
+	if hasBreaker {
+		line += fmt.Sprintf(", %.0f breaker opens, %.0f retries", breakerOpens, retries)
+	}
+	return line, nil
+}
+
+// fetchText GETs one URL and returns the body as a string.
+func fetchText(ctx context.Context, url string) (string, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("HTTP %d: %.200s", resp.StatusCode, body)
+	}
+	return string(body), nil
+}
+
+// writeMetricsDump archives the concatenated expositions.
+func writeMetricsDump(path, dump string) error {
+	if path == "" {
+		return nil
+	}
+	if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+		return fmt.Errorf("write metrics dump: %w", err)
+	}
+	fmt.Printf("spotload: metrics dump written to %s\n", path)
+	return nil
+}

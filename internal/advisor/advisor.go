@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spotlight/internal/market"
@@ -76,6 +77,12 @@ type Advisor struct {
 
 	mu      sync.Mutex
 	entries map[string]advEntry
+
+	// memoHits/memoMisses count Advise calls answered from the memo vs
+	// ranked fresh — already-atomic, so the metrics layer exposes them as
+	// scrape-time collectors with zero extra cost per Advise.
+	memoHits   atomic.Uint64
+	memoMisses atomic.Uint64
 }
 
 type advEntry struct {
@@ -90,6 +97,12 @@ const cacheMax = 256
 // New builds an Advisor over the store and catalog.
 func New(db *store.Store, cat *market.Catalog) *Advisor {
 	return &Advisor{db: db, cat: cat, entries: make(map[string]advEntry)}
+}
+
+// MemoStats returns how many Advise calls hit the generation-keyed memo
+// versus ranked fresh. Hits+misses is the total rankings served.
+func (a *Advisor) MemoStats() (hits, misses uint64) {
+	return a.memoHits.Load(), a.memoMisses.Load()
 }
 
 // Normalize validates wire constraints against the catalog and converts
@@ -199,9 +212,11 @@ func (a *Advisor) Advise(c Constraints, from, to time.Time) []api.AdviseCandidat
 	a.mu.Lock()
 	if e, ok := a.entries[key]; ok && e.gen == gen {
 		a.mu.Unlock()
+		a.memoHits.Add(1)
 		return e.val
 	}
 	a.mu.Unlock()
+	a.memoMisses.Add(1)
 
 	val := a.rank(c, from, to)
 

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -17,6 +18,7 @@ import (
 
 	"spotlight/internal/experiment"
 	"spotlight/internal/market"
+	"spotlight/internal/obs"
 	"spotlight/internal/query"
 	"spotlight/internal/replica"
 	"spotlight/internal/store"
@@ -60,6 +62,20 @@ type Options struct {
 	// replica.Config.StaleAfter). Failover tests shorten it so a dead
 	// leader is detected quickly.
 	FollowStaleAfter time.Duration
+
+	// Metrics, when set, is the node's observability registry: the
+	// store, the query API, and (on a follower) the replicator register
+	// their series into it, and the HTTP surface serves GET /metrics
+	// (Prometheus text) and GET /v2/metrics (JSON). One registry per
+	// node — its series describe this process only. Nil leaves the node
+	// uninstrumented at zero cost.
+	Metrics *obs.Registry
+	// SlowQuery, when positive, stage-traces every query request and
+	// logs the ones slower than this threshold (see query.SetSlowQuery).
+	SlowQuery time.Duration
+	// Logger receives the node's structured log lines (slow queries);
+	// nil falls back to slog.Default.
+	Logger *slog.Logger
 }
 
 // Daemon is one running node. Close is idempotent.
@@ -122,20 +138,29 @@ func startLeader(opts Options) (*Daemon, error) {
 	d := &Daemon{opts: opts, serveErr: make(chan error, 1)}
 
 	var pers *store.Persister
+	var db *store.Store
 	if opts.DataDir != "" {
-		db, err := store.Open(opts.DataDir, store.PersistOptions{})
+		var err error
+		db, err = store.Open(opts.DataDir, store.PersistOptions{})
 		if err != nil {
 			return nil, err
 		}
 		pers = db.Persister()
-		expCfg.DB = db
 		expCfg.Spotlight.SnapshotInterval = opts.SnapInterval
 		// Resume the study clock where the previous process stopped, so
 		// the recovered record and the new one share a single timeline.
 		expCfg.ResumeAt = pers.Clock()
 		d.StoreDesc = fmt.Sprintf(", durable store %s (%d markets recovered)",
 			opts.DataDir, len(db.Markets()))
+	} else {
+		// Pre-create the in-memory store too (instead of letting the
+		// study build its own) so metrics are armed before the first
+		// tick appends — EnableMetrics writes plain pointers that must
+		// not race concurrent appends.
+		db = store.New()
 	}
+	db.EnableMetrics(opts.Metrics)
+	expCfg.DB = db
 	d.pers = pers
 
 	st, err := experiment.New(expCfg)
@@ -158,6 +183,8 @@ func startLeader(opts Options) (*Daemon, error) {
 	d.now.Store(&simNow)
 	apiSrv := query.NewAPI(engine, d.clock)
 	d.apiSrv = apiSrv
+	apiSrv.EnableMetrics(opts.Metrics)
+	apiSrv.SetSlowQuery(opts.SlowQuery, opts.Logger)
 	// Results cannot change faster than the study ticks, so intermediaries
 	// may cache exactly one wall-clock tick without revalidating.
 	apiSrv.SetCacheTTL(interval)
@@ -240,6 +267,9 @@ func startFollower(opts Options) (*Daemon, error) {
 		d.StoreDesc = ", following " + opts.Follow
 	}
 	d.db = db
+	// Arm store metrics before the replicator's first apply, for the same
+	// no-race-with-appends reason as the leader path.
+	db.EnableMetrics(opts.Metrics)
 	rep, err := replica.New(replica.Config{
 		Leader:     opts.Follow,
 		DB:         db,
@@ -275,6 +305,9 @@ func startFollower(opts Options) (*Daemon, error) {
 	engine := query.NewEngine(db, market.New())
 	apiSrv := query.NewAPI(engine, d.clock)
 	d.apiSrv = apiSrv
+	apiSrv.EnableMetrics(opts.Metrics)
+	apiSrv.SetSlowQuery(opts.SlowQuery, opts.Logger)
+	rep.EnableMetrics(opts.Metrics)
 	apiSrv.SetWatchLimit(opts.MaxWatchers)
 	apiSrv.SetReplication(d.replicationStatus)
 	apiSrv.SetPromote(d.Promote)

@@ -13,6 +13,7 @@ package fleet
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"spotlight/internal/advisor"
@@ -120,6 +121,10 @@ type Manager struct {
 
 	tick int
 	m    Metrics
+
+	// obsSnap is the scrape-safe copy of m, republished after every Step
+	// (see metrics.go); collectors read it instead of racing m.
+	obsSnap atomic.Pointer[Metrics]
 }
 
 // New validates the config and builds a manager with an armed feed
@@ -216,6 +221,7 @@ func (m *Manager) Step(now time.Time) {
 		Target:      m.cfg.Target,
 		Revocations: m.m.Revocations - revokedBefore,
 	})
+	m.publishSnap()
 }
 
 // drainEvents consumes everything the feed has buffered without

@@ -1,0 +1,60 @@
+package fleet
+
+import "spotlight/internal/obs"
+
+// Scrape-time fleet metrics. Manager is single-goroutine (Step owns all
+// state), so the registry's collectors cannot read m.m directly — a
+// scrape racing a Step would tear the struct. Instead Step publishes an
+// immutable snapshot through an atomic pointer after each cycle and the
+// collectors read that; the steady-state cost is one pointer store per
+// tick.
+
+// publishSnap is called at the end of every Step (and by EnableMetrics
+// for a pre-tick scrape baseline).
+func (m *Manager) publishSnap() {
+	snap := m.m
+	m.obsSnap.Store(&snap)
+}
+
+// EnableMetrics registers the fleet's lifetime accounting as scrape-time
+// collectors over the per-tick snapshot. A nil registry is a no-op.
+func (m *Manager) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.publishSnap()
+	load := func() Metrics {
+		if p := m.obsSnap.Load(); p != nil {
+			return *p
+		}
+		return Metrics{}
+	}
+	counter := func(name, help string, val func(Metrics) float64) {
+		reg.CounterFunc(name, help, func() float64 { return val(load()) })
+	}
+	counter("spotlight_fleet_ticks_total", "Management cycles run.",
+		func(s Metrics) float64 { return float64(s.Ticks) })
+	counter("spotlight_fleet_spot_launches_total", "Successful spot placements.",
+		func(s Metrics) float64 { return float64(s.SpotLaunches) })
+	counter("spotlight_fleet_fallbacks_total", "On-demand fallback placements.",
+		func(s Metrics) float64 { return float64(s.Fallbacks) })
+	counter("spotlight_fleet_migrations_total", "Event-steered spot-to-spot migrations.",
+		func(s Metrics) float64 { return float64(s.Migrations) })
+	counter("spotlight_fleet_repatriations_total", "On-demand capacity moved back to spot.",
+		func(s Metrics) float64 { return float64(s.Repatriations) })
+	counter("spotlight_fleet_revocations_total", "Fleet instances revoked by price.",
+		func(s Metrics) float64 { return float64(s.Revocations) })
+	counter("spotlight_fleet_events_total", "Change-feed events consumed.",
+		func(s Metrics) float64 { return float64(s.Events) })
+	counter("spotlight_fleet_lagged_total", "Feed overflows (forced resubscribes).",
+		func(s Metrics) float64 { return float64(s.Lagged) })
+	reg.GaugeFunc("spotlight_fleet_cost_dollars",
+		"Total dollars billed to the fleet's instances so far.",
+		func() float64 { return load().Cost })
+	reg.GaugeFunc("spotlight_fleet_availability_pcnt",
+		"Mean fraction of the target held, in percent.",
+		func() float64 { return load().AvailabilityPcnt() })
+	reg.GaugeFunc("spotlight_fleet_target",
+		"Desired instance count.",
+		func() float64 { return float64(load().Target) })
+}

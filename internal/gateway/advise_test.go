@@ -131,6 +131,31 @@ func TestPartitionedAdviseFanOut(t *testing.T) {
 		t.Errorf("merged ranking drew from one partition only")
 	}
 
+	// A complete fan-out carries a merged gateway ETag, and revalidating
+	// with it answers an empty 304 — the merge is skipped entirely when
+	// no partition's scope generation moved.
+	etag := resp.Header.Get(api.HeaderETag)
+	if etag == "" {
+		t.Fatal("complete fan-out advise carries no ETag")
+	}
+	rnm, rnmBody := postAdviseRaw(t, gsrv.URL, areq, etag)
+	if rnm.StatusCode != http.StatusNotModified || len(rnmBody) != 0 {
+		t.Fatalf("fan-out validator answered %d (%q), want empty 304", rnm.StatusCode, rnmBody)
+	}
+	if rnmEtag := rnm.Header.Get(api.HeaderETag); rnmEtag != etag {
+		t.Errorf("304 ETag = %q, want the merged tag %q", rnmEtag, etag)
+	}
+
+	// New data on either partition invalidates the merged tag.
+	dbs[g.ring.pick(ids[0].String())].RecordPrice(ids[0], store.PricePoint{At: t0.Add(25 * time.Hour), Price: 0.5})
+	fresh, body2 := postAdviseRaw(t, gsrv.URL, areq, etag)
+	if fresh.StatusCode != http.StatusOK {
+		t.Fatalf("post-append validator answered %d (%q), want a fresh 200", fresh.StatusCode, body2)
+	}
+	if newTag := fresh.Header.Get(api.HeaderETag); newTag == "" || newTag == etag {
+		t.Errorf("post-append ETag = %q, want a new tag (old %q)", newTag, etag)
+	}
+
 	// Constraint errors surface as the node's own envelope.
 	bad, body := postAdviseRaw(t, gsrv.URL, api.AdviseRequest{
 		AdviseConstraints: api.AdviseConstraints{Regions: []string{"mars-north-1"}},

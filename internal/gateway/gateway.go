@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spotlight/internal/obs"
 	"spotlight/pkg/api"
 	"spotlight/pkg/client"
 )
@@ -106,6 +107,11 @@ type Gateway struct {
 	probeStop chan struct{}
 	probeDone chan struct{}
 	closeOnce sync.Once
+
+	// reg/metrics are armed by EnableMetrics (see metrics.go); the
+	// zero-value gwMetrics no-ops on every hot path.
+	reg     *obs.Registry
+	metrics *gwMetrics
 }
 
 // New validates the config and builds the gateway.
@@ -124,6 +130,7 @@ func New(cfg Config) (*Gateway, error) {
 		ring:    newRing(cfg.Nodes, cfg.VirtualNodes),
 		clients: make([]*client.Client, len(cfg.Nodes)),
 		proxies: make([]*httputil.ReverseProxy, len(cfg.Nodes)),
+		metrics: newGwMetrics(len(cfg.Nodes)),
 	}
 	for i, node := range cfg.Nodes {
 		c, err := client.New(node, cfg.HTTPClient)
@@ -157,11 +164,18 @@ func New(cfg Config) (*Gateway, error) {
 // untouched.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v2/query", g.handleBatch)
-	mux.HandleFunc("POST /v2/advise", g.handleAdvise)
-	mux.HandleFunc("GET /v2/health", g.handleHealth)
-	mux.HandleFunc("GET /v2/watch", g.handleWatch)
-	mux.HandleFunc("/", g.handleProxy)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.Instrument(g.reg, route, h))
+	}
+	handle("POST /v2/query", "/v2/query", g.handleBatch)
+	handle("POST /v2/advise", "/v2/advise", g.handleAdvise)
+	handle("GET /v2/health", "/v2/health", g.handleHealth)
+	handle("GET /v2/watch", "/v2/watch", g.handleWatch)
+	if g.reg != nil {
+		mux.Handle("GET /metrics", g.reg.TextHandler())
+		mux.Handle("GET /v2/metrics", g.reg.JSONHandler())
+	}
+	handle("/", "/v1/*", g.handleProxy)
 	return mux
 }
 
@@ -365,6 +379,7 @@ func (g *Gateway) scatter(ctx context.Context, queries []api.Query) ([]api.Resul
 		if len(missing) > 0 {
 			sort.Strings(missing)
 			merged.Partial = missing
+			g.metrics.partialMerges.Inc()
 		}
 		results[i] = merged
 	}

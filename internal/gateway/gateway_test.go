@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"spotlight/internal/market"
+	"spotlight/internal/obs"
 	"spotlight/internal/query"
 	"spotlight/internal/store"
 	"spotlight/pkg/api"
@@ -318,6 +319,65 @@ func TestPartitionedScatterGather(t *testing.T) {
 	if len(h.Gateway.Nodes) != 2 || h.Gateway.Nodes[1].Status != "unreachable" {
 		t.Fatalf("per-node health = %+v, want node 1 unreachable", h.Gateway.Nodes)
 	}
+}
+
+// A node that keeps failing must show up in aggregated health with its
+// breaker open — the signal an operator (and the breaker_opens metric)
+// pages on — while the surviving node stays closed.
+func TestHealthEjectedNodeBreakerOpen(t *testing.T) {
+	live := newNode(t, store.New())
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	deadURL := deadSrv.URL
+	deadSrv.Close() // dead node: connection refused from here on
+
+	g, err := New(Config{
+		Nodes:         []string{live.URL, deadURL},
+		FailThreshold: 2,
+		EjectFor:      time.Minute,
+		Timeout:       5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	g.EnableMetrics(reg)
+	gsrv := gwServer(t, g)
+
+	// Each health poll fails the dead node once; the second crosses the
+	// threshold, and the poll snapshots breaker state after recording the
+	// failure, so the second response already shows it open.
+	var h api.Health
+	for i := 0; i < 2; i++ {
+		h = getHealth(t, gsrv.URL)
+	}
+	if h.Status != "degraded" || h.Gateway == nil || len(h.Gateway.Nodes) != 2 {
+		t.Fatalf("health = %+v, want degraded with 2 nodes", h)
+	}
+	dead := h.Gateway.Nodes[1]
+	if dead.Status != "unreachable" || dead.Breaker != "open" || dead.ConsecutiveFails < 2 {
+		t.Fatalf("dead node = %+v, want unreachable with an open breaker", dead)
+	}
+	if h.Gateway.Nodes[0].Breaker != "closed" || h.Gateway.Nodes[0].Status != "ok" {
+		t.Fatalf("live node = %+v, want ok with a closed breaker", h.Gateway.Nodes[0])
+	}
+	if n := reg.Counter("spotlight_gateway_breaker_opens_total", "", "node", deadURL).Value(); n != 1 {
+		t.Errorf("breaker_opens_total{node=%s} = %v, want 1", deadURL, n)
+	}
+}
+
+// getHealth fetches and decodes the gateway's aggregated GET /v2/health.
+func getHealth(t *testing.T, baseURL string) api.Health {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v2/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h api.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
 }
 
 // A replica fleet: both nodes serve the same store, so any routing is

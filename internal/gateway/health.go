@@ -56,6 +56,10 @@ type tracker struct {
 	nodes     []nodeState
 	threshold int
 	ejectFor  time.Duration
+	// onOpen, when set (EnableMetrics), observes each closed-to-open
+	// transition; called with the node's lock held, so it must not call
+	// back into the tracker.
+	onOpen func(node int)
 }
 
 func newTracker(n, threshold int, ejectFor time.Duration) *tracker {
@@ -97,6 +101,9 @@ func (t *tracker) fail(i int) {
 	s.mu.Lock()
 	s.fails++
 	if s.fails >= t.threshold || s.open {
+		if !s.open && t.onOpen != nil {
+			t.onOpen(i)
+		}
 		s.open = true
 		s.openedAt = time.Now()
 	}
@@ -205,8 +212,11 @@ func (g *Gateway) batchNode(ctx context.Context, primary int, queries []api.Quer
 		n := cands[launched]
 		launched++
 		go func() {
+			start := time.Now()
 			resp, etag, err := g.clients[n].BatchTagged(ctx, queries...)
-			if err == nil || nodeAlive(err) {
+			alive := err == nil || nodeAlive(err)
+			g.metrics.observeUpstream(n, time.Since(start), alive)
+			if alive {
 				g.health.succeed(n)
 			} else {
 				g.health.fail(n)
@@ -237,6 +247,7 @@ func (g *Gateway) batchNode(ctx context.Context, primary int, queries []api.Quer
 				first = a
 			}
 			if launched < len(cands) {
+				g.metrics.retries.Inc()
 				launch()
 			} else if got == launched {
 				return first
@@ -244,6 +255,7 @@ func (g *Gateway) batchNode(ctx context.Context, primary int, queries []api.Quer
 		case <-hedgeC:
 			hedgeC = nil
 			if launched < len(cands) {
+				g.metrics.hedges.Inc()
 				launch()
 			}
 		case <-ctx.Done():
@@ -266,7 +278,10 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, primary int, b
 	cands := g.pickCandidates(primary)
 	var lastErr error
 	var lastNode string
-	for _, n := range cands {
+	for k, n := range cands {
+		if k > 0 {
+			g.metrics.retries.Inc()
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Timeout)
 		var rd io.Reader
 		if body != nil {
@@ -279,14 +294,17 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, primary int, b
 			return
 		}
 		copyHeader(req.Header, r.Header)
+		start := time.Now()
 		resp, err := g.httpClient().Do(req)
 		if err != nil {
+			g.metrics.observeUpstream(n, time.Since(start), false)
 			cancel()
 			g.health.fail(n)
 			lastErr, lastNode = err, g.cfg.Nodes[n]
 			continue
 		}
 		if resp.StatusCode >= 500 {
+			g.metrics.observeUpstream(n, time.Since(start), false)
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 			resp.Body.Close()
 			cancel()
@@ -294,6 +312,7 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, primary int, b
 			lastErr, lastNode = errors.New(resp.Status), g.cfg.Nodes[n]
 			continue
 		}
+		g.metrics.observeUpstream(n, time.Since(start), true)
 		g.health.succeed(n)
 		copyHeader(w.Header(), resp.Header)
 		w.WriteHeader(resp.StatusCode)

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts the optional profiling listener behind -debug-addr:
+// net/http/pprof on its own mux (never the service mux, so profiling
+// endpoints can't leak onto the public port). Returns the bound address
+// and a stop function. Pass a registry to also serve /metrics there.
+func ServeDebug(addr string, reg *Registry) (boundAddr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metrics", reg.TextHandler())
+		mux.Handle("/v2/metrics", reg.JSONHandler())
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	return ln.Addr().String(), stop, nil
+}

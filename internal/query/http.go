@@ -2,6 +2,7 @@ package query
 
 import (
 	"encoding/json"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spotlight/internal/obs"
 	"spotlight/pkg/api"
 )
 
@@ -83,6 +85,15 @@ type API struct {
 	// promote, when set, exposes POST /v2/admin/promote (followers only):
 	// the daemon's failover hook that turns this node into the leader.
 	promote func(force bool) error
+
+	// Observability (obs.go): reg, when set by EnableMetrics, makes
+	// Handler() instrument every route and serve /metrics + /v2/metrics;
+	// slowQuery > 0 arms the per-request stage trace whose over-threshold
+	// requests log one structured line to slowLog. All set before serving.
+	reg         *obs.Registry
+	slowQuery   time.Duration
+	slowLog     *slog.Logger
+	slowQueries *obs.Counter
 }
 
 // NewAPI builds the HTTP layer over an engine.
@@ -179,24 +190,34 @@ func (a *API) SetETagSalt(salt uint64) {
 	a.epoch = int64(salt)
 }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler. When EnableMetrics armed the
+// API, every route is wrapped with the shared HTTP instrumentation (the
+// route label is the path as registered) and the registry itself is
+// served as GET /metrics and GET /v2/metrics.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/unavailability", a.v1(api.KindUnavailability, func(r api.Result) any { return r.Unavailability }))
-	mux.HandleFunc("GET /v1/stable", a.v1(api.KindStable, func(r api.Result) any { return r.Stable }))
-	mux.HandleFunc("GET /v1/volatile", a.v1(api.KindVolatile, func(r api.Result) any { return r.Volatile }))
-	mux.HandleFunc("GET /v1/fallback", a.v1(api.KindFallback, func(r api.Result) any { return r.Fallbacks }))
-	mux.HandleFunc("GET /v1/prices", a.v1(api.KindPrices, func(r api.Result) any { return r.Prices }))
-	mux.HandleFunc("GET /v1/outages", a.v1(api.KindOutages, func(r api.Result) any { return r.Outages }))
-	mux.HandleFunc("GET /v1/predict", a.v1(api.KindPredict, func(r api.Result) any { return r.Prediction }))
-	mux.HandleFunc("GET /v1/reserved-value", a.v1(api.KindReservedValue, func(r api.Result) any { return r.ReservedValue }))
-	mux.HandleFunc("GET /v1/markets", a.v1(api.KindMarkets, func(r api.Result) any { return r.Markets }))
-	mux.HandleFunc("GET /v1/summary", a.v1(api.KindSummary, func(r api.Result) any { return r.Summary }))
-	mux.HandleFunc("POST /v2/query", a.handleBatch)
-	mux.HandleFunc("POST /v2/advise", a.handleAdvise)
-	mux.HandleFunc("GET /v2/watch", a.handleWatch)
-	mux.HandleFunc("GET /v2/health", a.handleHealth)
-	mux.HandleFunc("POST /v2/admin/promote", a.handlePromote)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.Instrument(a.reg, route, h))
+	}
+	handle("GET /v1/unavailability", "/v1/unavailability", a.v1(api.KindUnavailability, func(r api.Result) any { return r.Unavailability }))
+	handle("GET /v1/stable", "/v1/stable", a.v1(api.KindStable, func(r api.Result) any { return r.Stable }))
+	handle("GET /v1/volatile", "/v1/volatile", a.v1(api.KindVolatile, func(r api.Result) any { return r.Volatile }))
+	handle("GET /v1/fallback", "/v1/fallback", a.v1(api.KindFallback, func(r api.Result) any { return r.Fallbacks }))
+	handle("GET /v1/prices", "/v1/prices", a.v1(api.KindPrices, func(r api.Result) any { return r.Prices }))
+	handle("GET /v1/outages", "/v1/outages", a.v1(api.KindOutages, func(r api.Result) any { return r.Outages }))
+	handle("GET /v1/predict", "/v1/predict", a.v1(api.KindPredict, func(r api.Result) any { return r.Prediction }))
+	handle("GET /v1/reserved-value", "/v1/reserved-value", a.v1(api.KindReservedValue, func(r api.Result) any { return r.ReservedValue }))
+	handle("GET /v1/markets", "/v1/markets", a.v1(api.KindMarkets, func(r api.Result) any { return r.Markets }))
+	handle("GET /v1/summary", "/v1/summary", a.v1(api.KindSummary, func(r api.Result) any { return r.Summary }))
+	handle("POST /v2/query", "/v2/query", a.handleBatch)
+	handle("POST /v2/advise", "/v2/advise", a.handleAdvise)
+	handle("GET /v2/watch", "/v2/watch", a.handleWatch)
+	handle("GET /v2/health", "/v2/health", a.handleHealth)
+	handle("POST /v2/admin/promote", "/v2/admin/promote", a.handlePromote)
+	if a.reg != nil {
+		mux.Handle("GET /metrics", a.reg.TextHandler())
+		mux.Handle("GET /v2/metrics", a.reg.JSONHandler())
+	}
 	return mux
 }
 
@@ -207,26 +228,35 @@ func (a *API) Handler() http.Handler {
 // responses carry the result directly, without the batch Result wrapper).
 func (a *API) v1(kind api.Kind, pick func(api.Result) any) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tr := a.newTrace()
 		q, aerr := queryFromURL(r, kind)
+		tr.step(&tr.parse)
 		if aerr == nil {
 			now := a.Now()
 			etag := a.etagFor([]api.Query{q}, now)
 			if etagMatches(r.Header.Get(api.HeaderIfNoneMatch), etag) {
+				tr.step(&tr.probe)
 				w.Header().Set(api.HeaderETag, etag)
 				a.setCacheControl(w)
 				w.WriteHeader(http.StatusNotModified)
+				a.finish(&tr, string(kind), http.StatusNotModified)
 				return
 			}
+			tr.step(&tr.probe)
 			res := a.exec(q, now)
+			tr.step(&tr.exec)
 			if res.Error == nil {
 				w.Header().Set(api.HeaderETag, etag)
 				a.setCacheControl(w)
 				writeJSON(w, pick(res))
+				tr.step(&tr.encode)
+				a.finish(&tr, string(kind), http.StatusOK)
 				return
 			}
 			aerr = res.Error
 		}
 		writeAPIErr(w, aerr)
+		a.finish(&tr, string(kind), http.StatusBadRequest)
 	}
 }
 

@@ -29,11 +29,13 @@ const (
 // out across the engine, and answer each independently — one malformed or
 // failing query never poisons its batchmates.
 func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tr := a.newTrace()
 	var req api.BatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
 		writeAPIErr(w, api.Errorf(api.CodeBadRequest, "bad batch body: %v", err))
 		return
 	}
+	tr.step(&tr.parse)
 	if len(req.Queries) == 0 {
 		writeAPIErr(w, api.Errorf(api.CodeBadRequest, "empty batch: supply at least one query"))
 		return
@@ -57,11 +59,14 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// the tag: a 304 asserts the results are unchanged, not the clock.
 	etag := a.etagFor(req.Queries, now)
 	if etagMatches(r.Header.Get(api.HeaderIfNoneMatch), etag) {
+		tr.step(&tr.probe)
 		w.Header().Set(api.HeaderETag, etag)
 		a.setCacheControl(w)
 		w.WriteHeader(http.StatusNotModified)
+		a.finish(&tr, batchKind(len(req.Queries)), http.StatusNotModified)
 		return
 	}
+	tr.step(&tr.probe)
 	resp := api.BatchResponse{Now: now, Results: make([]api.Result, len(req.Queries))}
 
 	// Fan out across the engine. Queries are read-only and the store is
@@ -78,9 +83,17 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i, q)
 	}
 	wg.Wait()
+	tr.step(&tr.exec)
 	w.Header().Set(api.HeaderETag, etag)
 	a.setCacheControl(w)
 	writeJSON(w, resp)
+	tr.step(&tr.encode)
+	a.finish(&tr, batchKind(len(req.Queries)), http.StatusOK)
+}
+
+// batchKind labels a batch request in the slow-query log by its size.
+func batchKind(n int) string {
+	return "batch[" + strconv.Itoa(n) + "]"
 }
 
 // maxBatchBody bounds the decoded batch envelope; MaxBatchQueries fully

@@ -491,6 +491,90 @@ func TestHealthDurableMode(t *testing.T) {
 	}
 }
 
+// getHealth fetches and decodes GET /v2/health.
+func getHealth(t *testing.T, baseURL string) api.Health {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v2/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health status = %d body=%s", resp.StatusCode, body)
+	}
+	var h api.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("health body %s: %v", body, err)
+	}
+	return h
+}
+
+// A follower whose leader subscription is down keeps serving but must
+// say "degraded"; a promoted node is disconnected by design and stays
+// "ok".
+func TestHealthDegradedFollowerDisconnected(t *testing.T) {
+	db := store.New()
+	a := NewAPI(NewEngine(db, market.New()), func() time.Time { return t0 })
+	defer a.Shutdown()
+	rep := &api.HealthReplication{Role: "follower", Leader: "http://leader", Connected: false}
+	a.SetReplication(func() *api.HealthReplication { return rep })
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	h := getHealth(t, srv.URL)
+	if h.Status != "degraded" {
+		t.Fatalf("disconnected follower health = %+v, want degraded", h)
+	}
+	if h.Replication == nil || h.Replication.Connected || h.Replication.Role != "follower" {
+		t.Fatalf("replication arm = %+v, want disconnected follower", h.Replication)
+	}
+	if !h.Store.Healthy {
+		t.Errorf("store arm = %+v; a stale follower's store is still healthy", h.Store)
+	}
+
+	rep = &api.HealthReplication{Role: "promoted", Leader: "http://leader", Connected: false}
+	if h := getHealth(t, srv.URL); h.Status != "ok" {
+		t.Fatalf("promoted node health = %+v, want ok (disconnected by design)", h)
+	}
+}
+
+// A durable store whose persister failed keeps answering queries from
+// memory but reports degraded with the sticky error.
+func TestHealthDegradedPersisterError(t *testing.T) {
+	dir := t.TempDir()
+	db, err := store.Open(dir, store.PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AppendSpike(store.SpikeEvent{At: t0, Market: mktA, Ratio: 1.2})
+	a := NewAPI(NewEngine(db, market.New()), func() time.Time { return t0 })
+	defer a.Shutdown()
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	// Simulated crash: the persister's error is sticky from here on.
+	db.Persister().Abandon()
+
+	h := getHealth(t, srv.URL)
+	if h.Status != "degraded" || h.Store.Mode != "durable" {
+		t.Fatalf("post-crash health = %+v, want degraded/durable", h)
+	}
+	if h.Store.Healthy || h.Store.Error == "" {
+		t.Fatalf("store arm = %+v, want unhealthy with the persister error", h.Store)
+	}
+
+	// Queries still answer: durability is fail-stop, reads are not.
+	resp, err := http.Get(srv.URL + "/v1/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("summary on degraded store = %d, want 200", resp.StatusCode)
+	}
+}
+
 func TestCacheControlHintsWithRevalidation(t *testing.T) {
 	db := store.New()
 	a := NewAPI(NewEngine(db, market.New()), func() time.Time { return t0.Add(24 * time.Hour) })

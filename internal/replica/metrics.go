@@ -1,0 +1,50 @@
+package replica
+
+import (
+	"time"
+
+	"spotlight/internal/obs"
+)
+
+// EnableMetrics registers the replicator's health as scrape-time
+// collectors: every series reads an atomic the apply/poll loops already
+// maintain, so replication itself takes zero extra instructions. Safe
+// before or after Start; a nil registry is a no-op.
+func (r *Replicator) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("spotlight_replica_applied_total",
+		"Records applied from the leader's event stream.",
+		func() float64 { return float64(r.applied.Load()) })
+	reg.CounterFunc("spotlight_replica_skipped_total",
+		"Stream records skipped because recovery already held them.",
+		func() float64 { return float64(r.skipped.Load()) })
+	reg.CounterFunc("spotlight_replica_reconnects_total",
+		"Watch-stream reconnects (hello frames after the first).",
+		func() float64 { return float64(r.reconnects.Load()) })
+	reg.CounterFunc("spotlight_replica_resyncs_total",
+		"Reconnects resumed via windowed-index resync (at-least-once gap).",
+		func() float64 { return float64(r.resyncs.Load()) })
+	reg.GaugeFunc("spotlight_replica_lag_records",
+		"Leader generation minus local generation (records behind).",
+		func() float64 {
+			local := r.cfg.DB.GlobalGeneration()
+			leader := r.leaderGen.Load()
+			if leader > local {
+				return float64(leader - local)
+			}
+			return 0
+		})
+	reg.GaugeFunc("spotlight_replica_connected",
+		"1 while the watch stream has framed within StaleAfter, else 0.",
+		func() float64 {
+			if t := r.lastFrame.Load(); t != 0 && time.Since(time.Unix(0, t)) < r.cfg.StaleAfter {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("spotlight_replica_leader_generation",
+		"Newest leader generation observed (events and health polls).",
+		func() float64 { return float64(r.leaderGen.Load()) })
+}

@@ -128,6 +128,11 @@ type Persister struct {
 	snapMu   sync.Mutex
 	closed   bool
 	lastSnap *snapDirState
+
+	// Recovery cost, set once in Open before the store is shared and
+	// read-only afterwards (scrape-time gauges in Store.EnableMetrics).
+	replayDur        time.Duration
+	recoveredRecords uint64
 }
 
 // shardWAL is one shard's log state. Appends run while holding the
@@ -209,6 +214,7 @@ func Open(dir string, opts PersistOptions) (*Store, error) {
 	}
 
 	s := New()
+	replayStart := time.Now()
 	info, err := findLatestSnapshot(dir)
 	if err != nil {
 		lock.Close()
@@ -240,13 +246,15 @@ func Open(dir string, opts PersistOptions) (*Store, error) {
 	}
 
 	p := &Persister{
-		dir:        dir,
-		store:      s,
-		opts:       opts,
-		salt:       meta.Salt,
-		recoveries: meta.Recoveries,
-		lock:       lock,
-		epoch:      maxEpoch,
+		dir:              dir,
+		store:            s,
+		opts:             opts,
+		salt:             meta.Salt,
+		recoveries:       meta.Recoveries,
+		lock:             lock,
+		epoch:            maxEpoch,
+		replayDur:        time.Since(replayStart),
+		recoveredRecords: s.gen.Load(),
 	}
 	if info.v2 {
 		// Prime incremental snapshots: shards unchanged since this
@@ -526,7 +534,11 @@ func (p *Persister) SaveCursor(data []byte) error {
 	if err := p.Err(); err != nil {
 		return err
 	}
-	return p.fail(writeFileAtomic(filepath.Join(p.dir, cursorFileName), data))
+	if err := p.fail(writeFileAtomic(filepath.Join(p.dir, cursorFileName), data)); err != nil {
+		return err
+	}
+	p.store.metrics.cursorSaves.Inc()
+	return nil
 }
 
 // LoadCursor returns the last blob SaveCursor persisted; ok is false
@@ -697,7 +709,15 @@ func (w *shardWAL) writeOutLocked() error {
 	// racing the disk I/O re-queue the shard for the next Flush.
 	w.dirty = false
 	w.mu.Unlock()
+	m := w.p.store.metrics
+	var start time.Time
+	if m.walFlushSeconds != nil && len(buf) > 0 {
+		start = time.Now()
+	}
 	err := w.writeSegmentLocked(buf)
+	if !start.IsZero() && err == nil {
+		m.observeFlush(len(buf), time.Since(start))
+	}
 	w.spare = buf[:0]
 	return err
 }
@@ -775,6 +795,7 @@ func (p *Persister) Snapshot() error {
 }
 
 func (p *Persister) snapshotLocked() (uint64, error) {
+	start := time.Now()
 	seq, captures := p.store.snapshotCut(p)
 	var cutErr error
 	for _, c := range captures {
@@ -798,6 +819,11 @@ func (p *Persister) snapshotLocked() (uint64, error) {
 		return 0, p.fail(err)
 	}
 	p.compact(seq)
+	m := p.store.metrics
+	m.snapshots.Inc()
+	m.snapshotLinked.Add(uint64(state.linked))
+	m.snapshotEncoded.Add(uint64(state.encoded))
+	m.snapshotSeconds.Observe(time.Since(start))
 	return seq, nil
 }
 

@@ -124,6 +124,11 @@ type shard struct {
 	// stores. Like rp/rg it is wired before the shard is published (at
 	// creation, or during single-threaded recovery) and immutable after.
 	wal *shardWAL
+
+	// metrics is the owning store's instrument block, wired at creation
+	// like rp/rg and immutable after; its instruments are nil no-ops
+	// until Store.EnableMetrics.
+	metrics *storeMetrics
 }
 
 // walBufPool recycles the scratch buffers append paths encode WAL frames
@@ -182,6 +187,8 @@ func (sh *shard) publish(d *rollupDelta) {
 	sh.rp.apply(d)
 	sh.rg.apply(d)
 	gen := sh.storeGen.Add(d.records)
+	sh.metrics.appendBatches.Inc()
+	sh.metrics.appendRecords.Add(d.records)
 	if len(d.events) > 0 {
 		sh.feed.publish(d.events, gen)
 	}

@@ -181,6 +181,10 @@ type snapDirState struct {
 	dir string
 	// records maps shard file name -> record count in that snapshot.
 	records map[string]uint64
+	// linked/encoded count how this snapshot's shard files were produced
+	// (hard-linked unchanged vs freshly encoded) — the incremental-
+	// snapshot efficiency signal the metrics layer reports.
+	linked, encoded int
 }
 
 // writeSnapshotV2 assembles and atomically publishes snapshot seq from
@@ -213,6 +217,7 @@ func writeSnapshotV2(dir string, seq uint64, captures []shardCapture, prev *snap
 			if err := os.Link(filepath.Join(prev.dir, name), path); err == nil {
 				man.Shards = append(man.Shards, snapManifestShard{Market: c.id.String(), File: name, Records: c.gen})
 				state.records[name] = c.gen
+				state.linked++
 				continue
 			}
 		}
@@ -221,6 +226,7 @@ func writeSnapshotV2(dir string, seq uint64, captures []shardCapture, prev *snap
 		}
 		man.Shards = append(man.Shards, snapManifestShard{Market: c.id.String(), File: name, Records: c.gen})
 		state.records[name] = c.gen
+		state.encoded++
 	}
 	if err := writeSyncedFile(filepath.Join(tmp, snapManifestName), mustJSON(man)); err != nil {
 		return nil, err

@@ -293,6 +293,11 @@ type Store struct {
 	// feed is the store's change-feed hub (feed.go): every append round
 	// publishes its typed events here after the shard lock is released.
 	feed *Feed
+
+	// metrics is the store's instrument block (metrics.go), allocated at
+	// construction and shared into every shard; its fields stay nil (all
+	// instruments no-ops) until EnableMetrics arms them.
+	metrics *storeMetrics
 }
 
 // New returns an empty store.
@@ -300,6 +305,7 @@ func New() *Store {
 	s := &Store{
 		shards:  make(map[market.SpotID]*shard),
 		rollups: make(map[rollupScope]*rollup),
+		metrics: &storeMetrics{},
 	}
 	s.feed = newFeed(s.gen.Load, defaultRingCapacity)
 	return s
@@ -325,6 +331,7 @@ func (s *Store) shardFor(id market.SpotID) *shard {
 		sh = newShard(id)
 		sh.rp, sh.rg, sh.storeGen = rp, rg, &s.gen
 		sh.feed = s.feed
+		sh.metrics = s.metrics
 		if s.persist != nil {
 			// Minting the WAL handle under the store lock orders it
 			// against snapshot epoch bumps (Store.snapshotCut), so a new
@@ -358,6 +365,7 @@ func (s *Store) adoptShard(sh *shard) {
 	defer s.mu.Unlock()
 	sh.rp, sh.rg, sh.storeGen = rp, rg, &s.gen
 	sh.feed = s.feed
+	sh.metrics = s.metrics
 	s.shards[sh.id] = sh
 	s.sorted = nil
 	for _, r := range [...]*rollup{rp, rg} {
